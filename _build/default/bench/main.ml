@@ -1,0 +1,659 @@
+(* Regenerates every table and figure of the paper's evaluation plus the
+   extension experiments of DESIGN.md, then runs Bechamel
+   micro-benchmarks of the tool's own algorithms.
+
+   Usage: dune exec bench/main.exe [-- SECTION ...]
+   Sections: FIG2 FIG3 TAB1 EXT-PARETO EXT-ORDER EXT-INPLACE EXT-GREEDY
+   EXT-XVAL EXT-MODE EXT-CACHE EXT-3LEVEL EXT-MULTITASK EXT-TILE
+   EXT-SEARCH EXT-WB MICRO (default: all). *)
+
+module Apps = Mhla_apps.Registry
+module Assign = Mhla_core.Assign
+module Cost = Mhla_core.Cost
+module Explore = Mhla_core.Explore
+module Prefetch = Mhla_core.Prefetch
+module Report = Mhla_core.Report
+module Table = Mhla_util.Table
+
+let section name description =
+  Printf.printf "\n==================== %s ====================\n%s\n\n" name
+    description
+
+(* Per-app results on the default platform, computed once and shared by
+   FIG2 / FIG3 / TAB1. *)
+let default_results =
+  lazy
+    (List.map
+       (fun (app : Mhla_apps.Defs.t) ->
+         let hierarchy =
+           Mhla_arch.Presets.two_level
+             ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+         in
+         let program = Lazy.force app.Mhla_apps.Defs.program in
+         (app.Mhla_apps.Defs.name, Explore.run program hierarchy))
+       Apps.all)
+
+let fig2 () =
+  section "FIG2"
+    "Paper Figure 2: normalised execution time per application\n\
+     (out-of-the-box = 1.00). Expected shape: MHLA cuts 40-60%, TE cuts\n\
+     up to a further 33% and approaches the ideal 0-wait bound.";
+  Table.print (Report.figure2_table (Lazy.force default_results))
+
+let fig3 () =
+  section "FIG3"
+    "Paper Figure 3: normalised energy per application. Expected shape:\n\
+     MHLA cuts up to 70%; TE leaves energy unchanged (the model counts\n\
+     only memory accesses).";
+  Table.print (Report.figure3_table (Lazy.force default_results))
+
+let tab1 () =
+  section "TAB1"
+    "Headline percentages quoted in section 3 of the paper.";
+  Table.print (Report.headline_table (Lazy.force default_results))
+
+let ext_pareto () =
+  section "EXT-PARETO"
+    "Trade-off exploration over on-chip sizes (abstract: 'thorough\n\
+     trade-off exploration for different memory layer sizes').";
+  let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes:256 ~max_bytes:8192 in
+  List.iter
+    (fun name ->
+      let app = Apps.find_exn name in
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      Printf.printf "--- %s ---\n" name;
+      Table.print (Report.sweep_table (Explore.sweep ~sizes program));
+      print_newline ())
+    [ "motion_estimation"; "cavity_detector"; "mp3_filterbank" ]
+
+let ext_order () =
+  section "EXT-ORDER"
+    "Ablation of Figure 1's greedy order: residual transfer-stall cycles\n\
+     after TE when the BT list is sorted by time/size (paper), FIFO,\n\
+     size, or time. Transfers are Full-mode (whole-window refills, so\n\
+     each extension needs a complete double buffer) and the size\n\
+     constraint leaves room for roughly one such buffer: the greedy\n\
+     order decides which transfers win the space.";
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("no TE", Table.Right);
+          ("time/size", Table.Right);
+          ("FIFO", Table.Right);
+          ("size", Table.Right);
+          ("time", Table.Right) ]
+  in
+  let full_config =
+    { Assign.default_config with
+      Assign.transfer_mode = Mhla_reuse.Candidate.Full }
+  in
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let r = Explore.run ~config:full_config program hierarchy in
+      let mapping = r.Explore.assign.Assign.mapping in
+      (* Leave room for about one whole-window double buffer above what
+         step 1 allocated. *)
+      let peak =
+        Mhla_lifetime.Occupancy.peak_bytes Mhla_lifetime.Occupancy.In_place
+          (Mhla_core.Mapping.layer_blocks mapping ~level:0)
+      in
+      let largest_buffer =
+        List.fold_left
+          (fun acc (bt : Mhla_core.Mapping.block_transfer) ->
+            max acc
+              bt.Mhla_core.Mapping.bt_candidate
+                .Mhla_reuse.Candidate.footprint_bytes)
+          0
+          (Mhla_core.Mapping.block_transfers mapping)
+      in
+      let tight =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:(max 1 (peak + largest_buffer + 16)) ()
+      in
+      let mapping = Mhla_core.Mapping.with_hierarchy mapping tight in
+      let stall order =
+        let te = Prefetch.run ~order mapping in
+        (Prefetch.evaluate mapping te).Cost.transfer_stall_cycles
+      in
+      Table.add_row table
+        [ app.Mhla_apps.Defs.name;
+          Table.cell_int r.Explore.after_assign.Cost.transfer_stall_cycles;
+          Table.cell_int (stall Prefetch.By_time_over_size);
+          Table.cell_int (stall Prefetch.Fifo);
+          Table.cell_int (stall Prefetch.By_size);
+          Table.cell_int (stall Prefetch.By_time) ])
+    Apps.all;
+  Table.print table
+
+let ext_inplace () =
+  section "EXT-INPLACE"
+    "Ablation of the in-place optimisation: step-1 time gain when layer\n\
+     occupancy is the lifetime-aware peak (paper) vs the conservative\n\
+     sum of all buffers.";
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("gain in-place", Table.Right);
+          ("gain sum", Table.Right);
+          ("peak bytes in-place", Table.Right);
+          ("bytes sum", Table.Right) ]
+  in
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let run policy =
+        Explore.run
+          ~config:{ Assign.default_config with Assign.policy }
+          program hierarchy
+      in
+      let in_place = run Mhla_lifetime.Occupancy.In_place in
+      let summed = run Mhla_lifetime.Occupancy.Sum in
+      let peak policy (r : Explore.result) =
+        Mhla_lifetime.Occupancy.peak_bytes policy
+          (Mhla_core.Mapping.layer_blocks r.Explore.assign.Assign.mapping
+             ~level:0)
+      in
+      Table.add_row table
+        [ app.Mhla_apps.Defs.name;
+          Table.cell_percent (Explore.assign_time_gain_percent in_place);
+          Table.cell_percent (Explore.assign_time_gain_percent summed);
+          Table.cell_int (peak Mhla_lifetime.Occupancy.In_place in_place);
+          Table.cell_int (peak Mhla_lifetime.Occupancy.Sum summed) ])
+    Apps.all;
+  Table.print table
+
+let ext_greedy () =
+  section "EXT-GREEDY"
+    "Greedy steepest descent vs exhaustive enumeration on the downsized\n\
+     applications (cycles objective; arrays kept off-chip for both).";
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("greedy cycles", Table.Right);
+          ("optimal cycles", Table.Right);
+          ("gap", Table.Right);
+          ("states", Table.Left) ]
+  in
+  let config =
+    { Assign.default_config with Assign.allow_array_promotion = false }
+  in
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let program = Lazy.force app.Mhla_apps.Defs.small in
+      let hierarchy = Mhla_arch.Presets.two_level ~onchip_bytes:256 () in
+      let greedy = Assign.greedy ~config program hierarchy in
+      let row =
+        match
+          Assign.exhaustive ~config ~max_states:2_000_000 program hierarchy
+        with
+        | Ok optimal ->
+          let g = greedy.Assign.breakdown.Cost.total_cycles in
+          let o = optimal.Assign.breakdown.Cost.total_cycles in
+          [ app.Mhla_apps.Defs.name;
+            Table.cell_int g;
+            Table.cell_int o;
+            Table.cell_percent
+              (100. *. (float_of_int (g - o) /. float_of_int o));
+            Table.cell_int optimal.Assign.evaluations ]
+        | Error msg ->
+          [ app.Mhla_apps.Defs.name;
+            Table.cell_int greedy.Assign.breakdown.Cost.total_cycles;
+            "-"; "-"; msg ]
+      in
+      Table.add_row table row)
+    Apps.all;
+  Table.print table
+
+let ext_xval () =
+  section "EXT-XVAL"
+    "Event-driven validation of the analytic TE model: per block\n\
+     transfer, simulated vs analytic stall cycles (agreement required\n\
+     within the pipeline cold-start bound).";
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("checked BTs", Table.Right);
+          ("within bound", Table.Right);
+          ("max deviation", Table.Right) ]
+  in
+  List.iter
+    (fun (name, (r : Explore.result)) ->
+      let report =
+        Mhla_sim.Crosscheck.crosscheck r.Explore.assign.Assign.mapping
+          r.Explore.te
+      in
+      let deviations =
+        List.map
+          (fun (c : Mhla_sim.Crosscheck.bt_check) ->
+            abs
+              (c.Mhla_sim.Crosscheck.simulated.Mhla_sim.Pipeline.stall_cycles
+              - c.Mhla_sim.Crosscheck.analytic_stall_cycles))
+          report.Mhla_sim.Crosscheck.checks
+      in
+      Table.add_row table
+        [ name;
+          Table.cell_int (List.length report.Mhla_sim.Crosscheck.checks);
+          Table.cell_int
+            (List.length report.Mhla_sim.Crosscheck.checks
+            - List.length report.Mhla_sim.Crosscheck.disagreements);
+          Table.cell_int (List.fold_left max 0 deviations) ])
+    (Lazy.force default_results);
+  Table.print table
+
+let ext_mode () =
+  section "EXT-MODE"
+    "Ablation of the transfer model: Full (every refill moves the whole\n\
+     window) vs Delta (sliding windows only fetch the new part - the\n\
+     inter-copy reuse refinement). Delta cuts off-chip traffic and\n\
+     gives TE cheap extension buffers.";
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("traffic full (B)", Table.Right);
+          ("traffic delta (B)", Table.Right);
+          ("saved", Table.Right);
+          ("TE extra full", Table.Right);
+          ("TE extra delta", Table.Right) ]
+  in
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let run mode =
+        Explore.run
+          ~config:{ Assign.default_config with Assign.transfer_mode = mode }
+          program hierarchy
+      in
+      let traffic (r : Explore.result) =
+        List.fold_left
+          (fun acc (bt : Mhla_core.Mapping.block_transfer) ->
+            acc + bt.Mhla_core.Mapping.total_bytes)
+          0
+          (Mhla_core.Mapping.block_transfers r.Explore.assign.Assign.mapping)
+      in
+      let full = run Mhla_reuse.Candidate.Full in
+      let delta = run Mhla_reuse.Candidate.Delta in
+      let tf = traffic full and td = traffic delta in
+      Table.add_row table
+        [ app.Mhla_apps.Defs.name;
+          Table.cell_int tf;
+          Table.cell_int td;
+          Table.cell_percent
+            (if tf = 0 then 0.
+             else 100. *. float_of_int (tf - td) /. float_of_int tf);
+          Table.cell_percent (Explore.te_extra_gain_percent full);
+          Table.cell_percent (Explore.te_extra_gain_percent delta) ])
+    Apps.all;
+  Table.print table
+
+let ext_cache () =
+  section "EXT-CACHE"
+    "Hardware-cache baseline: replay each application's exact access\n\
+     trace through an LRU cache of the same on-chip capacity (2-way,\n\
+     16 B lines) and compare with the MHLA+TE scratchpad mapping. The\n\
+     classic claim: software-placed copies beat a cache of equal size\n\
+     on these predictable loop kernels.";
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("miss rate", Table.Right);
+          ("cache cycles", Table.Right);
+          ("MHLA+TE cycles", Table.Right);
+          ("speedup", Table.Right);
+          ("cache energy (pJ)", Table.Right);
+          ("MHLA energy (pJ)", Table.Right);
+          ("energy ratio", Table.Right) ]
+  in
+  List.iter
+    (fun (name, (r : Explore.result)) ->
+      let app = Apps.find_exn name in
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let stats = Mhla_trace.Cache.simulate ~hierarchy program in
+      let mhla_cycles = r.Explore.after_te.Cost.total_cycles in
+      let mhla_energy = r.Explore.after_te.Cost.total_energy_pj in
+      Table.add_row table
+        [ name;
+          Table.cell_percent (100. *. Mhla_trace.Cache.miss_rate stats);
+          Table.cell_int stats.Mhla_trace.Cache.total_cycles;
+          Table.cell_int mhla_cycles;
+          Table.cell_float
+            (float_of_int stats.Mhla_trace.Cache.total_cycles
+            /. float_of_int mhla_cycles);
+          Table.cell_float ~decimals:0 stats.Mhla_trace.Cache.total_energy_pj;
+          Table.cell_float ~decimals:0 mhla_energy;
+          Table.cell_float
+            (stats.Mhla_trace.Cache.total_energy_pj /. mhla_energy) ])
+    (Lazy.force default_results);
+  Table.print table
+
+let ext_three_level () =
+  section "EXT-3LEVEL"
+    "Two on-chip layers: a small L1 plus a larger L2 against the flat\n\
+     two-level platform of the same total on-chip budget. Copy chains\n\
+     (L1 buffer refilled from an L2 buffer) become available.";
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("2-level cycles", Table.Right);
+          ("3-level cycles", Table.Right);
+          ("2-level energy", Table.Right);
+          ("3-level energy", Table.Right);
+          ("chains used", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let app = Apps.find_exn name in
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let budget = 4096 in
+      let two = Explore.run program (Mhla_arch.Presets.two_level ~onchip_bytes:budget ()) in
+      let three =
+        Explore.run program
+          (Mhla_arch.Presets.three_level ~l1_bytes:(budget / 8)
+             ~l2_bytes:(budget * 7 / 8) ())
+      in
+      let chains =
+        List.length
+          (List.filter
+             (fun (_, p) ->
+               match p with
+               | Mhla_core.Mapping.Chain (_ :: _ :: _) -> true
+               | Mhla_core.Mapping.Chain _ | Mhla_core.Mapping.Direct -> false)
+             three.Explore.assign.Assign.mapping.Mhla_core.Mapping.placements)
+      in
+      Table.add_row table
+        [ name;
+          Table.cell_int two.Explore.after_te.Cost.total_cycles;
+          Table.cell_int three.Explore.after_te.Cost.total_cycles;
+          Table.cell_float ~decimals:0 two.Explore.after_assign.Cost.total_energy_pj;
+          Table.cell_float ~decimals:0
+            three.Explore.after_assign.Cost.total_energy_pj;
+          Table.cell_int chains ])
+    [ "motion_estimation"; "cavity_detector"; "jpeg_encoder";
+      "mp3_filterbank" ];
+  Table.print table
+
+let ext_multitask () =
+  section "EXT-MULTITASK"
+    "Sequential multi-task composition (the paper's stated future\n\
+     work): three tasks share one scratchpad. The jointly allocated\n\
+     composed program matches the sum of per-task allocations - the\n\
+     tasks' buffers overlay in-place across task boundaries.";
+  let tasks =
+    List.map
+      (fun n -> Lazy.force (Apps.find_exn n).Mhla_apps.Defs.small)
+      [ "wavelet_2d"; "edge_detection"; "adpcm_coder" ]
+  in
+  let composed = Mhla_ir.Compose.sequence ~name:"task_set" tasks in
+  let budget = 512 in
+  let hierarchy = Mhla_arch.Presets.two_level ~onchip_bytes:budget () in
+  let joint = Explore.run composed hierarchy in
+  let separate_cycles, separate_energy =
+    List.fold_left
+      (fun (c, e) task ->
+        let r = Explore.run task hierarchy in
+        ( c + r.Explore.after_te.Cost.total_cycles,
+          e +. r.Explore.after_assign.Cost.total_energy_pj ))
+      (0, 0.) tasks
+  in
+  let table =
+    Table.create
+      ~columns:
+        [ ("allocation", Table.Left);
+          ("cycles (after TE)", Table.Right);
+          ("energy (pJ)", Table.Right) ]
+  in
+  Table.add_row table
+    [ "per-task (sum of 3 runs)";
+      Table.cell_int separate_cycles;
+      Table.cell_float ~decimals:0 separate_energy ];
+  Table.add_row table
+    [ "joint (composed program)";
+      Table.cell_int joint.Explore.after_te.Cost.total_cycles;
+      Table.cell_float ~decimals:0
+        joint.Explore.after_assign.Cost.total_energy_pj ];
+  Table.print table
+
+let ext_tile () =
+  section "EXT-TILE"
+    "Loop tiling widens MHLA's search space: a 48x48 matrix multiply\n\
+     has no small-footprint copy candidate for the B operand until the\n\
+     j and k loops are tiled; after tiling, an 8x8 block of B fits tiny\n\
+     scratchpads and is reused across a whole row of tiles.";
+  let matmul =
+    let open Mhla_ir.Build in
+    let n = 48 in
+    program "matmul"
+      ~arrays:[ array "a" [ n; n ]; array "b" [ n; n ]; array "c" [ n; n ] ]
+      [ loop "i" n
+          [ loop "j" n
+              [ loop "k" n
+                  [ stmt "mac" ~work:4
+                      [ rd "a" [ i "i"; i "k" ];
+                        rd "b" [ i "k"; i "j" ];
+                        wr "c" [ i "i"; i "j" ] ] ] ] ] ]
+  in
+  let tiled =
+    Mhla_ir.Transform.tile_exn ~iter:"j" ~factor:8
+      (Mhla_ir.Transform.tile_exn ~iter:"k" ~factor:8 matmul)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [ ("on-chip bytes", Table.Right);
+          ("flat cycles", Table.Right);
+          ("tiled cycles", Table.Right);
+          ("flat energy (pJ)", Table.Right);
+          ("tiled energy (pJ)", Table.Right) ]
+  in
+  List.iter
+    (fun budget ->
+      let h = Mhla_arch.Presets.two_level ~onchip_bytes:budget () in
+      let run p = Explore.run p h in
+      let flat = run matmul and blocked = run tiled in
+      Table.add_row table
+        [ Table.cell_int budget;
+          Table.cell_int flat.Explore.after_te.Cost.total_cycles;
+          Table.cell_int blocked.Explore.after_te.Cost.total_cycles;
+          Table.cell_float ~decimals:0
+            flat.Explore.after_assign.Cost.total_energy_pj;
+          Table.cell_float ~decimals:0
+            blocked.Explore.after_assign.Cost.total_energy_pj ])
+    [ 128; 256; 512; 1024; 2048 ];
+  Table.print table
+
+let ext_search () =
+  section "EXT-SEARCH"
+    "Steepest-descent greedy vs simulated annealing (4000 random moves,\n\
+     geometric cooling). The greedy is near-optimal at the calibrated\n\
+     budgets but falls into a local optimum on voice_compression with a\n\
+     3 KiB scratchpad; annealing escapes it at ~30x the evaluations.";
+  let table =
+    Table.create
+      ~columns:
+        [ ("case", Table.Left);
+          ("greedy cycles", Table.Right);
+          ("anneal cycles", Table.Right);
+          ("anneal vs greedy", Table.Right);
+          ("greedy evals", Table.Right);
+          ("anneal evals", Table.Right) ]
+  in
+  let run name budget =
+    let app = Apps.find_exn name in
+    let program = Lazy.force app.Mhla_apps.Defs.program in
+    let h = Mhla_arch.Presets.two_level ~onchip_bytes:budget () in
+    let greedy = Assign.greedy program h in
+    let sa = Assign.simulated_annealing program h in
+    let g = greedy.Assign.breakdown.Cost.total_cycles in
+    let a = sa.Assign.breakdown.Cost.total_cycles in
+    Table.add_row table
+      [ Printf.sprintf "%s @ %dB" name budget;
+        Table.cell_int g;
+        Table.cell_int a;
+        Table.cell_percent (100. *. (float_of_int (g - a) /. float_of_int g));
+        Table.cell_int greedy.Assign.evaluations;
+        Table.cell_int sa.Assign.evaluations ]
+  in
+  run "voice_compression" 3072;
+  run "voice_compression" 1536;
+  run "cavity_detector" 640;
+  run "adpcm_coder" 640;
+  Table.print table
+
+let ext_wb () =
+  section "EXT-WB"
+    "Deferred write-backs (the symmetric TE extension the paper leaves\n\
+     open): buffer drains to the off-chip store are also scheduled\n\
+     asynchronously and hidden behind the following iterations'\n\
+     compute, unless another access to the region blocks them.";
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("cycles, fetch-only TE", Table.Right);
+          ("cycles, + deferred drains", Table.Right);
+          ("extra gain", Table.Right);
+          ("drains hidden", Table.Right) ]
+  in
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let fetch_only = Explore.run program hierarchy in
+      let with_wb = Explore.run ~defer_writebacks:true program hierarchy in
+      let drains_hidden =
+        List.length
+          (List.filter
+             (fun (p : Prefetch.plan) ->
+               p.Prefetch.bt.Mhla_core.Mapping.is_writeback
+               && p.Prefetch.hidden_cycles > 0)
+             with_wb.Explore.te.Prefetch.plans)
+      in
+      let f = fetch_only.Explore.after_te.Cost.total_cycles in
+      let w = with_wb.Explore.after_te.Cost.total_cycles in
+      Table.add_row table
+        [ app.Mhla_apps.Defs.name;
+          Table.cell_int f;
+          Table.cell_int w;
+          Table.cell_percent (100. *. (float_of_int (f - w) /. float_of_int f));
+          Table.cell_int drains_hidden ])
+    Apps.all;
+  Table.print table
+
+let micro () =
+  section "MICRO"
+    "Bechamel micro-benchmarks of the tool's own algorithms (ns/run).";
+  let open Bechamel in
+  let me = Apps.find_exn "motion_estimation" in
+  let me_program = Lazy.force me.Mhla_apps.Defs.program in
+  let hierarchy = Mhla_arch.Presets.two_level ~onchip_bytes:2048 () in
+  let mapping = (Assign.greedy me_program hierarchy).Assign.mapping in
+  let tests =
+    [ Test.make ~name:"reuse-analysis(me)"
+        (Staged.stage (fun () ->
+             ignore (Mhla_reuse.Analysis.analyze me_program)));
+      Test.make ~name:"greedy-assign(me)"
+        (Staged.stage (fun () -> ignore (Assign.greedy me_program hierarchy)));
+      Test.make ~name:"te-schedule(me)"
+        (Staged.stage (fun () -> ignore (Prefetch.run mapping)));
+      Test.make ~name:"cost-evaluate(me)"
+        (Staged.stage (fun () -> ignore (Cost.evaluate mapping)));
+      Test.make ~name:"pipeline-sim(1k)"
+        (Staged.stage (fun () ->
+             ignore
+               (Mhla_sim.Pipeline.run
+                  {
+                    Mhla_sim.Pipeline.issues = 1000;
+                    transfer_cycles = 120;
+                    compute_cycles = 150;
+                    lookahead = 1;
+                    setup_cycles = 24;
+                    channels = 2;
+                  }))) ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let table =
+    Table.create ~columns:[ ("benchmark", Table.Left); ("ns/run", Table.Right) ]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Analyze.all ols Toolkit.Instance.monotonic_clock
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> Table.cell_float e
+            | Some [] | None -> "n/a"
+          in
+          Table.add_row table [ name; estimate ])
+        results)
+    tests;
+  Table.print table
+
+let sections =
+  [ ("FIG2", fig2);
+    ("FIG3", fig3);
+    ("TAB1", tab1);
+    ("EXT-PARETO", ext_pareto);
+    ("EXT-ORDER", ext_order);
+    ("EXT-INPLACE", ext_inplace);
+    ("EXT-GREEDY", ext_greedy);
+    ("EXT-XVAL", ext_xval);
+    ("EXT-MODE", ext_mode);
+    ("EXT-CACHE", ext_cache);
+    ("EXT-3LEVEL", ext_three_level);
+    ("EXT-MULTITASK", ext_multitask);
+    ("EXT-TILE", ext_tile);
+    ("EXT-SEARCH", ext_search);
+    ("EXT-WB", ext_wb);
+    ("MICRO", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | [ _ ] | [] -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some run -> run ()
+      | None ->
+        Printf.eprintf "unknown section %s (have: %s)\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 2)
+    requested

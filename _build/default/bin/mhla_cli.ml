@@ -1,0 +1,261 @@
+(* mhla — command-line front-end of the MHLA-with-Time-Extensions tool.
+
+   Subcommands:
+     list                      the nine bundled applications
+     show APP                  print an application's loop-nest program
+     run APP [--onchip N] ...  the full two-step flow with a report
+     emit APP                  pseudo-C of the transformed program
+     sweep APP [--min/--max]   trade-off exploration over on-chip sizes
+     figures                   regenerate the paper's Figures 2 and 3 *)
+
+module Apps = Mhla_apps.Registry
+module Assign = Mhla_core.Assign
+module Cost = Mhla_core.Cost
+module Explore = Mhla_core.Explore
+module Prefetch = Mhla_core.Prefetch
+module Report = Mhla_core.Report
+module Table = Mhla_util.Table
+
+let find_app name =
+  match Apps.find name with
+  | Some app -> Ok app
+  | None ->
+    Error
+      (Printf.sprintf "unknown application %S (try: %s)" name
+         (String.concat ", " Apps.names))
+
+(* --- shared options ---------------------------------------------------- *)
+
+open Cmdliner
+
+let app_arg =
+  let doc = "Application name (see $(b,mhla list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let onchip_arg =
+  let doc =
+    "On-chip scratchpad size in bytes; defaults to the application's \
+     calibrated budget."
+  in
+  Arg.(value & opt (some int) None & info [ "onchip" ] ~docv:"BYTES" ~doc)
+
+let dma_arg =
+  let doc =
+    "Model a DMA transfer engine. Without one, Time Extensions are not \
+     applicable (the tool runs step 1 only)."
+  in
+  Arg.(value & opt bool true & info [ "dma" ] ~docv:"BOOL" ~doc)
+
+let objective_conv =
+  Arg.enum
+    [ ("energy", Cost.Energy); ("cycles", Cost.Cycles);
+      ("energy-delay", Cost.Energy_delay) ]
+
+let objective_arg =
+  let doc = "Assignment objective: energy, cycles or energy-delay." in
+  Arg.(
+    value
+    & opt objective_conv Assign.default_config.Assign.objective
+    & info [ "objective" ] ~docv:"OBJ" ~doc)
+
+let mode_conv =
+  Arg.enum
+    [ ("full", Mhla_reuse.Candidate.Full);
+      ("delta", Mhla_reuse.Candidate.Delta) ]
+
+let mode_arg =
+  let doc =
+    "Block-transfer accounting: full window refills or delta (sliding \
+     window) refills."
+  in
+  Arg.(
+    value
+    & opt mode_conv Assign.default_config.Assign.transfer_mode
+    & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let search_conv =
+  let parse = function
+    | "greedy" -> Ok Explore.Greedy
+    | "anneal" ->
+      Ok (Explore.Annealing { seed = 42L; iterations = 4000 })
+    | s -> Error (`Msg (Printf.sprintf "unknown search %S" s))
+  in
+  let print ppf = function
+    | Explore.Greedy -> Fmt.string ppf "greedy"
+    | Explore.Annealing _ -> Fmt.string ppf "anneal"
+  in
+  Arg.conv (parse, print)
+
+let search_arg =
+  let doc = "Step-1 search engine: greedy (steepest descent) or anneal." in
+  Arg.(
+    value & opt search_conv Explore.Greedy
+    & info [ "search" ] ~docv:"ENGINE" ~doc)
+
+let debug_arg =
+  let doc = "Print the tool's internal decisions (moves, TE plans)." in
+  Arg.(value & flag & info [ "debug" ] ~doc)
+
+let setup_logs debug =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if debug then Logs.Debug else Logs.Warning))
+
+let config_of objective transfer_mode =
+  { Assign.default_config with Assign.objective; transfer_mode }
+
+let hierarchy_of (app : Mhla_apps.Defs.t) ~onchip ~dma =
+  let onchip_bytes =
+    match onchip with Some b -> b | None -> app.Mhla_apps.Defs.onchip_bytes
+  in
+  Mhla_arch.Presets.two_level ~dma ~onchip_bytes ()
+
+(* --- subcommands ------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let table =
+      Table.create
+        ~columns:
+          [ ("name", Table.Left); ("domain", Table.Left);
+            ("budget", Table.Right); ("description", Table.Left) ]
+    in
+    List.iter
+      (fun (app : Mhla_apps.Defs.t) ->
+        Table.add_row table
+          [ app.Mhla_apps.Defs.name; app.Mhla_apps.Defs.domain;
+            string_of_int app.Mhla_apps.Defs.onchip_bytes ^ "B";
+            app.Mhla_apps.Defs.description ])
+      Apps.all;
+    Table.print table
+  in
+  let doc = "List the nine bundled applications." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let show_cmd =
+  let run name =
+    match find_app name with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok app ->
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      Fmt.pr "%a@." Mhla_ir.Program.pp program;
+      Fmt.pr "notes: %s@." app.Mhla_apps.Defs.notes
+  in
+  let doc = "Print an application's loop-nest model and provenance." in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ app_arg)
+
+let json_arg =
+  let doc = "Emit machine-readable JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let run_cmd =
+  let run name onchip dma objective mode search verbose json debug =
+    setup_logs debug;
+    match find_app name with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok app ->
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy = hierarchy_of app ~onchip ~dma in
+      let config = config_of objective mode in
+      let result = Explore.run ~config ~search program hierarchy in
+      if json then
+        print_endline
+          (Mhla_util.Json.to_string ~indent:2
+             (Report.result_to_json ~name result))
+      else if verbose then print_endline (Report.detailed ~name result)
+      else print_endline (Report.summary ~name result)
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full report.")
+  in
+  let doc = "Run the two-step MHLA+TE flow on an application." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
+      $ search_arg $ verbose_arg $ json_arg $ debug_arg)
+
+let emit_cmd =
+  let run name onchip dma objective mode =
+    match find_app name with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok app ->
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy = hierarchy_of app ~onchip ~dma in
+      let config = config_of objective mode in
+      let result = Explore.run ~config program hierarchy in
+      print_string
+        (Mhla_codegen.Emit.emit ~schedule:result.Explore.te
+           result.Explore.assign.Assign.mapping)
+  in
+  let doc =
+    "Emit the MHLA+TE-transformed program as pseudo-C (buffers, DMA \
+     issues, rewritten accesses)."
+  in
+  Cmd.v (Cmd.info "emit" ~doc)
+    Term.(
+      const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg)
+
+let sweep_cmd =
+  let run name min_bytes max_bytes dma objective mode json =
+    match find_app name with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok app ->
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes ~max_bytes in
+      let config = config_of objective mode in
+      let points = Explore.sweep ~config ~dma ~sizes program in
+      if json then
+        print_endline
+          (Mhla_util.Json.to_string ~indent:2 (Report.sweep_to_json points))
+      else Table.print (Report.sweep_table points)
+  in
+  let min_arg =
+    Arg.(value & opt int 128 & info [ "min" ] ~docv:"BYTES"
+           ~doc:"Smallest on-chip size.")
+  in
+  let max_arg =
+    Arg.(value & opt int 8192 & info [ "max" ] ~docv:"BYTES"
+           ~doc:"Largest on-chip size.")
+  in
+  let doc = "Explore the size/cost trade-off for an application." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ app_arg $ min_arg $ max_arg $ dma_arg $ objective_arg
+      $ mode_arg $ json_arg)
+
+let figures_cmd =
+  let run json =
+    let results =
+      List.map
+        (fun (app : Mhla_apps.Defs.t) ->
+          let hierarchy =
+            hierarchy_of app ~onchip:None ~dma:true
+          in
+          ( app.Mhla_apps.Defs.name,
+            Explore.run (Lazy.force app.Mhla_apps.Defs.program) hierarchy ))
+        Apps.all
+    in
+    if json then
+      print_endline
+        (Mhla_util.Json.to_string ~indent:2 (Report.results_to_json results))
+    else begin
+      print_endline
+        "Figure 2 - normalised execution time (out-of-box = 1.00):";
+      Table.print (Report.figure2_table results);
+      print_newline ();
+      print_endline "Figure 3 - normalised energy (out-of-box = 1.00):";
+      Table.print (Report.figure3_table results)
+    end
+  in
+  let doc = "Regenerate the paper's Figure 2 and Figure 3 data." in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ json_arg)
+
+let () =
+  let doc =
+    "memory hierarchy layer assignment and prefetching (MHLA with Time \
+     Extensions, DATE 2005)"
+  in
+  let info = Cmd.info "mhla" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; figures_cmd ]))

@@ -1,0 +1,1 @@
+examples/cache_comparison.ml: Lazy List Mhla_apps Mhla_arch Mhla_core Mhla_trace Mhla_util Printf

@@ -1,0 +1,1 @@
+examples/motion_estimation_study.ml: Fmt Lazy List Mhla_apps Mhla_arch Mhla_core Mhla_ir Mhla_reuse Mhla_sim Printf

@@ -1,0 +1,1 @@
+examples/motion_estimation_study.mli:

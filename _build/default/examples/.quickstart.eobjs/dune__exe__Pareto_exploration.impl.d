@@ -1,0 +1,1 @@
+examples/pareto_exploration.ml: Lazy List Mhla_apps Mhla_arch Mhla_core Mhla_util Printf

@@ -1,0 +1,1 @@
+examples/prefetch_tuning.ml: Fmt List Mhla_arch Mhla_core Mhla_ir Mhla_lifetime Printf

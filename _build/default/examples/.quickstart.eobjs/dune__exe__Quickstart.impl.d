@@ -1,0 +1,1 @@
+examples/quickstart.ml: Mhla_arch Mhla_core Mhla_ir

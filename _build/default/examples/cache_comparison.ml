@@ -1,0 +1,70 @@
+(* Scratchpad vs hardware cache: replay an application's exact access
+   trace through LRU caches of several geometries and compare with the
+   MHLA+TE mapping of the same on-chip capacity.
+
+   Run with: dune exec examples/cache_comparison.exe *)
+
+module Cache = Mhla_trace.Cache
+module Cost = Mhla_core.Cost
+module Explore = Mhla_core.Explore
+module Table = Mhla_util.Table
+
+let () =
+  let app = Mhla_apps.Registry.find_exn "mp3_filterbank" in
+  let program = Lazy.force app.Mhla_apps.Defs.program in
+  let budget = app.Mhla_apps.Defs.onchip_bytes in
+  let hierarchy = Mhla_arch.Presets.two_level ~onchip_bytes:budget () in
+
+  Printf.printf "workload: %s, on-chip budget %d B\n\n"
+    app.Mhla_apps.Defs.name budget;
+
+  let mhla = Explore.run program hierarchy in
+  let table =
+    Table.create
+      ~columns:
+        [ ("design", Table.Left);
+          ("miss rate", Table.Right);
+          ("cycles", Table.Right);
+          ("energy (pJ)", Table.Right) ]
+  in
+  Table.add_row table
+    [ "out-of-the-box (no on-chip)"; "-";
+      Table.cell_int mhla.Explore.baseline.Cost.total_cycles;
+      Table.cell_float ~decimals:0 mhla.Explore.baseline.Cost.total_energy_pj ];
+
+  (* Cache geometries at the same capacity. *)
+  let line_ok ways line = budget mod (ways * line) = 0 in
+  List.iter
+    (fun (label, ways, line) ->
+      if line_ok ways line then begin
+        let config = Cache.config ~capacity_bytes:budget ~ways ~line_bytes:line in
+        let stats = Cache.simulate ~config ~hierarchy program in
+        Table.add_row table
+          [ label;
+            Table.cell_percent (100. *. Cache.miss_rate stats);
+            Table.cell_int stats.Cache.total_cycles;
+            Table.cell_float ~decimals:0 stats.Cache.total_energy_pj ]
+      end)
+    [ ("direct-mapped, 16B lines", 1, 16);
+      ("2-way LRU, 16B lines", 2, 16);
+      ("4-way LRU, 16B lines", 4, 16);
+      ("2-way LRU, 32B lines", 2, 32) ];
+
+  Table.add_row table
+    [ "MHLA scratchpad"; "-";
+      Table.cell_int mhla.Explore.after_assign.Cost.total_cycles;
+      Table.cell_float ~decimals:0
+        mhla.Explore.after_assign.Cost.total_energy_pj ];
+  Table.add_row table
+    [ "MHLA scratchpad + TE"; "-";
+      Table.cell_int mhla.Explore.after_te.Cost.total_cycles;
+      Table.cell_float ~decimals:0
+        mhla.Explore.after_te.Cost.total_energy_pj ];
+  Table.print table;
+
+  print_newline ();
+  print_endline
+    "The scratchpad wins on both axes: the software-placed copies pay no\n\
+     tag energy, never conflict-miss, and (with TE) overlap their\n\
+     transfers with compute.  The cache's advantage - needing no\n\
+     analysis - is exactly what MHLA automates away."

@@ -1,0 +1,37 @@
+(* Trade-off exploration: sweep the on-chip size for three applications
+   and print the energy/size Pareto frontier - the "thorough trade-off
+   exploration for different memory layer sizes" of the paper's
+   abstract.
+
+   Run with: dune exec examples/pareto_exploration.exe *)
+
+module Cost = Mhla_core.Cost
+module Explore = Mhla_core.Explore
+module Pareto = Mhla_util.Pareto
+module Report = Mhla_core.Report
+
+let study name =
+  let app = Mhla_apps.Registry.find_exn name in
+  let program = Lazy.force app.Mhla_apps.Defs.program in
+  let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes:128 ~max_bytes:8192 in
+  let points = Explore.sweep ~sizes program in
+  Printf.printf "\n=== %s ===\n" name;
+  Mhla_util.Table.print (Report.sweep_table points);
+
+  (* Interesting sizes only: the energy/size Pareto frontier. Bigger
+     scratchpads capture more reuse but cost more per access, so the
+     frontier has a genuine knee. *)
+  let frontier = Explore.pareto_energy points in
+  Printf.printf "\nenergy/size Pareto frontier:\n";
+  List.iter
+    (fun (p : _ Pareto.point) ->
+      Printf.printf "  %6.0f B -> %12.0f pJ\n" p.Pareto.x p.Pareto.y)
+    (Pareto.to_list frontier);
+  match Pareto.min_y frontier with
+  | Some best ->
+    Printf.printf "sweet spot: %.0f B on-chip (%.0f pJ)\n" best.Pareto.x
+      best.Pareto.y
+  | None -> ()
+
+let () =
+  List.iter study [ "motion_estimation"; "cavity_detector"; "jpeg_encoder" ]

@@ -1,0 +1,29 @@
+(* Quickstart: model a small convolution kernel, run the two-step MHLA
+   flow on a 1 KiB scratchpad platform, and print what happened.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let kernel =
+  let open Mhla_ir.Build in
+  (* A 64x64 image convolved with a 3x3 kernel: the image rows are
+     reused across the window loops - prime copy-candidate material. *)
+  program "conv3x3"
+    ~arrays:
+      [ array "image" [ 66; 66 ];
+        array "coeff" [ 3; 3 ];
+        array "out" [ 64; 64 ] ]
+    [ loop "y" 64
+        [ loop "x" 64
+            [ loop "ky" 3
+                [ loop "kx" 3
+                    [ stmt "mac" ~work:2
+                        [ rd "image" [ i "y" +$ i "ky"; i "x" +$ i "kx" ];
+                          rd "coeff" [ i "ky"; i "kx" ];
+                          wr "out" [ i "y"; i "x" ] ] ] ] ] ] ]
+
+let () =
+  let hierarchy = Mhla_arch.Presets.two_level ~onchip_bytes:1024 () in
+  let result = Mhla_core.Explore.run kernel hierarchy in
+  print_endline (Mhla_core.Report.summary ~name:"conv3x3" result);
+  print_newline ();
+  print_endline (Mhla_core.Report.detailed ~name:"conv3x3" result)

@@ -1,0 +1,1 @@
+lib/apps/adpcm_coder.ml: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/adpcm_coder.mli: Defs Mhla_ir

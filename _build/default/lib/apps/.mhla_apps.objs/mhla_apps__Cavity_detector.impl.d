@@ -1,0 +1,1 @@
+lib/apps/cavity_detector.ml: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/cavity_detector.mli: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/defs.ml: Lazy Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/defs.mli: Lazy Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/edge_detection.ml: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/edge_detection.mli: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/jpeg_encoder.ml: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/jpeg_encoder.mli: Defs Mhla_ir

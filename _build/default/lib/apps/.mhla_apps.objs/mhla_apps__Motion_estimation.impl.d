@@ -1,0 +1,1 @@
+lib/apps/motion_estimation.ml: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/motion_estimation.mli: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/mp3_filterbank.ml: Defs Mhla_ir

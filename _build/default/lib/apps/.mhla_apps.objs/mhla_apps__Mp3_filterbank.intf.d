@@ -1,0 +1,1 @@
+lib/apps/mp3_filterbank.mli: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/qsdpcm.ml: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/qsdpcm.mli: Defs Mhla_ir

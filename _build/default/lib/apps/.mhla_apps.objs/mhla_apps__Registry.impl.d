@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Adpcm_coder Cavity_detector Defs Edge_detection Jpeg_encoder List Motion_estimation Mp3_filterbank Qsdpcm Voice_compression Wavelet_2d

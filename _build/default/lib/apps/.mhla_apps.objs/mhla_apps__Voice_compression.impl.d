@@ -1,0 +1,1 @@
+lib/apps/voice_compression.ml: Defs Mhla_ir

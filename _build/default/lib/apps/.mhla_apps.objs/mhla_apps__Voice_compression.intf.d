@@ -1,0 +1,1 @@
+lib/apps/voice_compression.mli: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/wavelet_2d.ml: Defs Mhla_ir

@@ -1,0 +1,1 @@
+lib/apps/wavelet_2d.mli: Defs Mhla_ir

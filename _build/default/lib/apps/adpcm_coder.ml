@@ -1,0 +1,33 @@
+let table_size = 89
+
+let build ~name ~frames ~work =
+  let open Mhla_ir.Build in
+  let samples = frames * table_size in
+  program name
+    ~arrays:
+      [ array "pcm" ~element_bytes:2 [ samples ];
+        array "adpcm" [ samples ];
+        array "step_table" ~element_bytes:2 [ table_size ];
+        array "index_table" [ 16 ] ]
+    [ loop "f" frames
+        [ loop "k" table_size
+            [ stmt "encode" ~work
+                [ rd "pcm" [ (i "f" *$ table_size) +$ i "k" ];
+                  rd "step_table" [ i "k" ];
+                  wr "adpcm" [ (i "f" *$ table_size) +$ i "k" ] ] ];
+          loop "a" 16
+            [ stmt "adapt" ~work:2 [ rd "index_table" [ i "a" ] ] ] ] ]
+
+let app =
+  Defs.make ~name:"adpcm_coder"
+    ~description:"IMA-ADPCM voice compression of a PCM stream"
+    ~domain:"audio processing"
+    ~program:(fun () -> build ~name:"adpcm_coder" ~frames:256 ~work:12)
+    ~small:(fun () -> build ~name:"adpcm_coder_small" ~frames:4 ~work:10)
+    ~onchip_bytes:640
+    ~notes:
+      "Based on the public IMA/DVI ADPCM reference coder. The step-size \
+       table lookup is data-dependent in the original; it is modelled \
+       as a per-frame scan so that its copy candidate (the whole 178 B \
+       table) is identical while the access count stays one lookup per \
+       sample."

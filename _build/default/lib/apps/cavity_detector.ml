@@ -1,0 +1,56 @@
+let build ~name ~height ~width ~work =
+  let open Mhla_ir.Build in
+  let tap = 3 in
+  let pad = tap - 1 in
+  program name
+    ~arrays:
+      [ array "in_image" [ height + pad; width + pad ];
+        array "gauss_x" [ height + pad; width + pad ];
+        array "gauss_xy" [ height + pad; width + pad ];
+        array "comp_edge" [ height; width ];
+        array "max_image" [ height; width ] ]
+    [ (* horizontal blur *)
+      loop "y1" height
+        [ loop "x1" width
+            [ loop "k1" tap
+                [ stmt "blur_x" ~work
+                    [ rd "in_image" [ i "y1"; i "x1" +$ i "k1" ];
+                      wr "gauss_x" [ i "y1"; i "x1" ] ] ] ] ];
+      (* vertical blur: consumes a 3-line window of gauss_x *)
+      loop "y2" height
+        [ loop "x2" width
+            [ loop "k2" tap
+                [ stmt "blur_y" ~work
+                    [ rd "gauss_x" [ i "y2" +$ i "k2"; i "x2" ];
+                      wr "gauss_xy" [ i "y2"; i "x2" ] ] ] ] ];
+      (* edge image: |blurred - original| *)
+      loop "y3" height
+        [ loop "x3" width
+            [ stmt "edge" ~work:(2 * work)
+                [ rd "gauss_xy" [ i "y3"; i "x3" ];
+                  rd "in_image" [ i "y3"; i "x3" ];
+                  wr "comp_edge" [ i "y3"; i "x3" ] ] ] ];
+      (* labelling: local max over a 3x3 neighbourhood *)
+      loop "y4" (height - pad)
+        [ loop "x4" (width - pad)
+            [ loop "my" tap
+                [ loop "mx" tap
+                    [ stmt "label" ~work
+                        [ rd "comp_edge" [ i "y4" +$ i "my"; i "x4" +$ i "mx" ];
+                          wr "max_image" [ i "y4"; i "x4" ] ] ] ] ] ] ]
+
+let app =
+  Defs.make ~name:"cavity_detector"
+    ~description:"four-pass cavity detection on a 128x128 medical image"
+    ~domain:"image processing"
+    ~program:(fun () ->
+      build ~name:"cavity_detector" ~height:128 ~width:128 ~work:9)
+    ~small:(fun () ->
+      build ~name:"cavity_detector_small" ~height:12 ~width:12 ~work:6)
+    ~onchip_bytes:640
+    ~notes:
+      "Follows the public cavity-detector description used across the \
+       DTSE literature (Catthoor et al.): gauss-x, gauss-y, compute-edge \
+       and max-gauss passes over one image. Phase-local intermediates \
+       (gauss_x, gauss_xy, comp_edge) have disjoint lifetimes, so their \
+       line buffers overlay on-chip."

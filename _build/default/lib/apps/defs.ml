@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  description : string;
+  domain : string;
+  program : Mhla_ir.Program.t Lazy.t;
+  small : Mhla_ir.Program.t Lazy.t;
+  onchip_bytes : int;
+  notes : string;
+}
+
+let make ~name ~description ~domain ~program ~small ~onchip_bytes ~notes =
+  {
+    name;
+    description;
+    domain;
+    program = Lazy.from_fun program;
+    small = Lazy.from_fun small;
+    onchip_bytes;
+    notes;
+  }

@@ -1,0 +1,30 @@
+(** Common shape of a benchmark application.
+
+    The paper evaluates nine real-life applications from the motion
+    estimation, video encoding, image and audio processing domains.
+    The industrial C codes are proprietary; each module here models the
+    public-domain version of the same application class as a loop-nest
+    program (see the per-app [notes] for provenance and the DESIGN.md
+    substitution table). *)
+
+type t = {
+  name : string;
+  description : string;
+  domain : string;  (** paper's domain label *)
+  program : Mhla_ir.Program.t Lazy.t;  (** full-size workload *)
+  small : Mhla_ir.Program.t Lazy.t;
+      (** downsized variant for exhaustive-search and event-driven
+          validation tests *)
+  onchip_bytes : int;  (** default scratchpad budget for the figures *)
+  notes : string;  (** provenance and modelling decisions *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  domain:string ->
+  program:(unit -> Mhla_ir.Program.t) ->
+  small:(unit -> Mhla_ir.Program.t) ->
+  onchip_bytes:int ->
+  notes:string ->
+  t

@@ -1,0 +1,48 @@
+let build ~name ~height ~width ~work =
+  let open Mhla_ir.Build in
+  let tap = 3 in
+  let pad = tap - 1 in
+  program name
+    ~arrays:
+      [ array "input" [ height + pad; width + pad ];
+        array "smooth" [ height + pad; width + pad ];
+        array "sobel_k" [ tap; tap ];
+        array "grad" ~element_bytes:2 [ height; width ];
+        array "edges" [ height; width ] ]
+    [ (* smoothing pass *)
+      loop "ys" height
+        [ loop "xs" width
+            [ loop "sy" tap
+                [ loop "sx" tap
+                    [ stmt "smooth" ~work
+                        [ rd "input" [ i "ys" +$ i "sy"; i "xs" +$ i "sx" ];
+                          wr "smooth" [ i "ys"; i "xs" ] ] ] ] ] ];
+      (* gradient pass: both Sobel kernels over the smoothed image *)
+      loop "yg" height
+        [ loop "xg" width
+            [ loop "gy" tap
+                [ loop "gx" tap
+                    [ stmt "gradient" ~work:(2 * work)
+                        [ rd "smooth" [ i "yg" +$ i "gy"; i "xg" +$ i "gx" ];
+                          rd "sobel_k" [ i "gy"; i "gx" ];
+                          wr "grad" [ i "yg"; i "xg" ] ] ] ] ] ];
+      (* threshold pass *)
+      loop "yt" height
+        [ loop "xt" width
+            [ stmt "threshold" ~work
+                [ rd "grad" [ i "yt"; i "xt" ];
+                  wr "edges" [ i "yt"; i "xt" ] ] ] ] ]
+
+let app =
+  Defs.make ~name:"edge_detection"
+    ~description:"Gauss + Sobel + threshold edge detection, 128x128"
+    ~domain:"image processing"
+    ~program:(fun () ->
+      build ~name:"edge_detection" ~height:128 ~width:128 ~work:8)
+    ~small:(fun () ->
+      build ~name:"edge_detection_small" ~height:10 ~width:10 ~work:4)
+    ~onchip_bytes:384
+    ~notes:
+      "Classic Sobel pipeline as in public OpenCV-style reference code: \
+       per-pixel 3x3 windows make 3-line image buffers the dominant \
+       copy candidates; the 9 B Sobel kernel is promoted whole."

@@ -1,0 +1,62 @@
+let build ~name ~blocks_y ~blocks_x ~work =
+  let open Mhla_ir.Build in
+  let block = 8 in
+  let height = blocks_y * block in
+  let width = blocks_x * block in
+  program name
+    ~arrays:
+      [ array "image" [ height; width ];
+        array "coeff" ~element_bytes:2 [ height; width ];
+        array "cos_table" ~element_bytes:2 [ block; block ];
+        array "quant_table" ~element_bytes:2 [ block; block ];
+        array "category" [ block * block ];
+        array "bitstream" [ blocks_y * blocks_x * block * block ] ]
+    [ loop "by" blocks_y
+        [ loop "bx" blocks_x
+            [ (* separable 2-D DCT: coefficient (u,v) sums over (x,y) *)
+              loop "u" block
+                [ loop "v" block
+                    [ loop "x" block
+                        [ loop "yy" block
+                            [ stmt "dct_mac" ~work
+                                [ rd "image"
+                                    [ (i "by" *$ block) +$ i "x";
+                                      (i "bx" *$ block) +$ i "yy" ];
+                                  rd "cos_table" [ i "u"; i "x" ];
+                                  rd "cos_table" [ i "v"; i "yy" ] ] ] ] ] ];
+              loop "qu" block
+                [ loop "qv" block
+                    [ stmt "quantise" ~work:(2 * work)
+                        [ rd "quant_table" [ i "qu"; i "qv" ];
+                          wr "coeff"
+                            [ (i "by" *$ block) +$ i "qu";
+                              (i "bx" *$ block) +$ i "qv" ] ] ] ] ] ];
+      (* entropy pass: zigzag scan of each quantised block, category
+         lookup, bitstream emission *)
+      loop "ey" blocks_y
+        [ loop "ex" blocks_x
+            [ loop "zu" block
+                [ loop "zv" block
+                    [ stmt "entropy" ~work
+                        [ rd "coeff"
+                            [ (i "ey" *$ block) +$ i "zu";
+                              (i "ex" *$ block) +$ i "zv" ];
+                          rd "category" [ (i "zu" *$ block) +$ i "zv" ];
+                          wr "bitstream"
+                            [ (((i "ey" *$ blocks_x) +$ i "ex") *$ (block * block))
+                              +$ (i "zu" *$ block) +$ i "zv" ] ] ] ] ] ] ]
+
+let app =
+  Defs.make ~name:"jpeg_encoder"
+    ~description:"8x8 DCT + quantisation + entropy encoder on a 144x176 image"
+    ~domain:"image processing"
+    ~program:(fun () ->
+      build ~name:"jpeg_encoder" ~blocks_y:18 ~blocks_x:22 ~work:10)
+    ~small:(fun () ->
+      build ~name:"jpeg_encoder_small" ~blocks_y:2 ~blocks_x:2 ~work:3)
+    ~onchip_bytes:512
+    ~notes:
+      "Loop structure of the public IJG cjpeg forward-DCT path with the \
+       row/column factorisation unrolled into one 4-deep summation per \
+       block. The 128 B cosine table is read twice per MAC: promoting it \
+       on-chip removes two off-chip accesses per inner iteration."

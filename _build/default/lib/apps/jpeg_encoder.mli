@@ -1,0 +1,11 @@
+(** JPEG-style still-image encoder (image processing).
+
+    Per 8x8 block: a separable 2-D DCT using two small cosine tables,
+    then quantisation against a 64-entry table. The cosine and
+    quantisation tables are tiny and read millions of times — array
+    promotion material — while the image streams block by block. *)
+
+val app : Defs.t
+
+val build :
+  name:string -> blocks_y:int -> blocks_x:int -> work:int -> Mhla_ir.Program.t

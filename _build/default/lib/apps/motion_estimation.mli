@@ -1,0 +1,21 @@
+(** Full-search motion estimation (video encoding front-end).
+
+    The classic MHLA driver workload: for every 16x16 block of the
+    current frame, a search window of the previous frame is scanned at
+    every displacement in a +/-8 range and the sum of absolute
+    differences accumulated. The current block is reused across all
+    289 displacements and the search window slides block by block —
+    both are prime copy candidates. *)
+
+val app : Defs.t
+
+val build :
+  name:string ->
+  blocks_y:int ->
+  blocks_x:int ->
+  block:int ->
+  range:int ->
+  sad_work:int ->
+  Mhla_ir.Program.t
+(** [block] is the block edge, [range] the displacement radius,
+    [sad_work] the compute cycles per pixel comparison. *)

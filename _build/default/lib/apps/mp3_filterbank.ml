@@ -1,0 +1,35 @@
+let subbands = 32
+
+let taps = 16
+
+let build ~name ~granules ~work =
+  let open Mhla_ir.Build in
+  let window = subbands * taps in
+  let samples = (granules * subbands) + window in
+  program name
+    ~arrays:
+      [ array "pcm" ~element_bytes:2 [ samples ];
+        array "window" ~element_bytes:2 [ window ];
+        array "subband" ~element_bytes:2 [ granules; subbands ] ]
+    [ loop "g" granules
+        [ loop "sb" subbands
+            [ loop "t" taps
+                [ stmt "mac" ~work
+                    [ rd "pcm"
+                        [ (i "g" *$ subbands) +$ (i "t" *$ subbands) +$ i "sb" ];
+                      rd "window" [ (i "t" *$ subbands) +$ i "sb" ] ] ];
+              stmt "store" ~work:4 [ wr "subband" [ i "g"; i "sb" ] ] ] ] ]
+
+let app =
+  Defs.make ~name:"mp3_filterbank"
+    ~description:"polyphase analysis filterbank, 32 sub-bands, 512-tap window"
+    ~domain:"audio processing"
+    ~program:(fun () -> build ~name:"mp3_filterbank" ~granules:128 ~work:8)
+    ~small:(fun () -> build ~name:"mp3_filterbank_small" ~granules:4 ~work:4)
+    ~onchip_bytes:2560
+    ~notes:
+      "Loop structure of the ISO dist10 reference encoder's \
+       window_subband: the 512-coefficient analysis window is reused \
+       untouched every granule (level-1 copy candidate) while the PCM \
+       window slides by 32 samples per granule (delta-transfer \
+       opportunity)."

@@ -1,0 +1,74 @@
+let build ~name ~blocks_y ~blocks_x ~block ~range ~work =
+  let open Mhla_ir.Build in
+  assert (block mod 2 = 0);
+  let height = blocks_y * block in
+  let width = blocks_x * block in
+  let sub_block = block / 2 in
+  let sub_h = height / 2 in
+  let sub_w = width / 2 in
+  let search = (2 * range) + 1 in
+  program name
+    ~arrays:
+      [ array "cur" [ height; width ];
+        array "prev" [ height; width ];
+        array "sub" [ sub_h; sub_w ];
+        array "prev_sub" [ sub_h + (2 * range); sub_w + (2 * range) ];
+        array "qout" [ height; width ];
+        array "recon" [ height; width ] ]
+    [ (* phase 1: 2:1 subsampling of the current frame *)
+      loop "ys" sub_h
+        [ loop "xs" sub_w
+            [ stmt "subsample" ~work
+                [ rd "cur" [ i "ys" *$ 2; i "xs" *$ 2 ];
+                  rd "cur" [ i "ys" *$ 2; (i "xs" *$ 2) +$ c 1 ];
+                  rd "cur" [ (i "ys" *$ 2) +$ c 1; i "xs" *$ 2 ];
+                  rd "cur" [ (i "ys" *$ 2) +$ c 1; (i "xs" *$ 2) +$ c 1 ];
+                  wr "sub" [ i "ys"; i "xs" ] ] ] ];
+      (* phase 2: coarse motion estimation at quarter resolution *)
+      loop "by" blocks_y
+        [ loop "bx" blocks_x
+            [ loop "sy" search
+                [ loop "sx" search
+                    [ loop "my" sub_block
+                        [ loop "mx" sub_block
+                            [ stmt "coarse_sad" ~work
+                                [ rd "sub"
+                                    [ (i "by" *$ sub_block) +$ i "my";
+                                      (i "bx" *$ sub_block) +$ i "mx" ];
+                                  rd "prev_sub"
+                                    [ (i "by" *$ sub_block) +$ i "sy" +$ i "my";
+                                      (i "bx" *$ sub_block) +$ i "sx" +$ i "mx"
+                                    ] ] ] ] ] ] ] ];
+      (* phase 3: displaced-frame-difference quantisation *)
+      loop "yq" height
+        [ loop "xq" width
+            [ stmt "quantise" ~work:(2 * work)
+                [ rd "cur" [ i "yq"; i "xq" ];
+                  rd "prev" [ i "yq"; i "xq" ];
+                  wr "qout" [ i "yq"; i "xq" ] ] ] ];
+      (* phase 4: local reconstruction for the next frame's prediction *)
+      loop "yr" height
+        [ loop "xr" width
+            [ stmt "reconstruct" ~work
+                [ rd "qout" [ i "yr"; i "xr" ];
+                  rd "prev" [ i "yr"; i "xr" ];
+                  wr "recon" [ i "yr"; i "xr" ] ] ] ] ]
+
+let app =
+  Defs.make ~name:"qsdpcm"
+    ~description:"quadtree-structured DPCM encoder, QCIF-like frame"
+    ~domain:"video encoding"
+    ~program:(fun () ->
+      build ~name:"qsdpcm" ~blocks_y:9 ~blocks_x:11 ~block:16 ~range:4
+        ~work:8)
+    ~small:(fun () ->
+      build ~name:"qsdpcm_small" ~blocks_y:2 ~blocks_x:2 ~block:4 ~range:1
+        ~work:4)
+    ~onchip_bytes:1024
+    ~notes:
+      "Three-phase structure after Strobach's QSDPCM as used by \
+       Brockmeyer et al. (DATE'03): subsample, coarse quarter-resolution \
+       full search, full-resolution DPCM quantisation. The \
+       motion-compensated fetch of phase 3 is approximated by an aligned \
+       read (the displacement is data-dependent and bounded by the \
+       range, which only widens the copy window by a constant)."

@@ -1,0 +1,21 @@
+let all =
+  [
+    Motion_estimation.app;
+    Qsdpcm.app;
+    Cavity_detector.app;
+    Wavelet_2d.app;
+    Jpeg_encoder.app;
+    Edge_detection.app;
+    Adpcm_coder.app;
+    Mp3_filterbank.app;
+    Voice_compression.app;
+  ]
+
+let find name = List.find_opt (fun (a : Defs.t) -> a.Defs.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some app -> app
+  | None -> invalid_arg ("Registry.find_exn: unknown application " ^ name)
+
+let names = List.map (fun (a : Defs.t) -> a.Defs.name) all

@@ -1,0 +1,11 @@
+(** The nine real-life applications of the paper's evaluation. *)
+
+val all : Defs.t list
+(** In the order used by the figures. *)
+
+val find : string -> Defs.t option
+
+val find_exn : string -> Defs.t
+(** @raise Invalid_argument for an unknown application name. *)
+
+val names : string list

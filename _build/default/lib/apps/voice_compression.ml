@@ -1,0 +1,49 @@
+let frame_size = 160
+
+let lags = 11
+
+let build ~name ~frames ~work =
+  let open Mhla_ir.Build in
+  let samples = (frames * frame_size) + lags in
+  program name
+    ~arrays:
+      [ array "raw" ~element_bytes:2 [ samples + 1 ];
+        array "speech" ~element_bytes:2 [ samples ];
+        array "acf" ~element_bytes:4 [ frames; lags ];
+        array "lpc" ~element_bytes:4 [ frames; lags ];
+        array "reflection" ~element_bytes:4 [ lags ] ]
+    [ (* preemphasis: speech[n] = raw[n+1] - a*raw[n] *)
+      loop "pe" samples
+        [ stmt "preemphasis" ~work:3
+            [ rd "raw" [ i "pe" +$ c 1 ];
+              rd "raw" [ i "pe" ];
+              wr "speech" [ i "pe" ] ] ];
+      loop "f" frames
+        [ (* autocorrelation: speech[n] * speech[n+lag] *)
+          loop "lag" lags
+            [ loop "n" frame_size
+                [ stmt "autocorr" ~work
+                    [ rd "speech" [ (i "f" *$ frame_size) +$ i "n" ];
+                      rd "speech" [ (i "f" *$ frame_size) +$ i "n" +$ i "lag" ];
+                      wr "acf" [ i "f"; i "lag" ] ] ] ];
+          (* Levinson-Durbin recursion on the 11 coefficients *)
+          loop "it" (lags - 1)
+            [ loop "j" (lags - 1)
+                [ stmt "durbin" ~work:(3 * work)
+                    [ rd "acf" [ i "f"; i "j" ];
+                      rd "reflection" [ i "it" ];
+                      wr "lpc" [ i "f"; i "j" ] ] ] ] ] ]
+
+let app =
+  Defs.make ~name:"voice_compression"
+    ~description:"LPC analysis: autocorrelation + Levinson-Durbin, 160-sample frames"
+    ~domain:"audio processing"
+    ~program:(fun () -> build ~name:"voice_compression" ~frames:64 ~work:10)
+    ~small:(fun () ->
+      build ~name:"voice_compression_small" ~frames:2 ~work:4)
+    ~onchip_bytes:1536
+    ~notes:
+      "Loop skeleton of the ETSI GSM 06.10 / public rpeltp front-end: \
+       the 160-sample frame (plus lag overlap) is the natural level-1 \
+       copy, read 22 times per frame by the lag loop; the recursion \
+       arrays are 44 B each and promote whole."

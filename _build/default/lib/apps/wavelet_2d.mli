@@ -1,0 +1,11 @@
+(** Two-level 2-D discrete wavelet transform (image processing).
+
+    Each level runs a horizontal filtering pass producing low/high
+    bands, then a vertical pass over the low band. Row-oriented and
+    column-oriented accesses alternate, so the profitable copies differ
+    per pass — a layer-assignment stress test. *)
+
+val app : Defs.t
+
+val build : name:string -> size:int -> taps:int -> work:int -> Mhla_ir.Program.t
+(** [size] must be divisible by 4 (two decomposition levels). *)

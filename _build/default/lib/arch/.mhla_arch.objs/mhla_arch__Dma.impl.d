@@ -1,0 +1,1 @@
+lib/arch/dma.ml: Fmt

@@ -1,0 +1,1 @@
+lib/arch/energy_model.ml: Layer

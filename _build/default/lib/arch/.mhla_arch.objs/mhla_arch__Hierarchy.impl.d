@@ -1,0 +1,1 @@
+lib/arch/hierarchy.ml: Dma Fmt Fun Layer List Printf

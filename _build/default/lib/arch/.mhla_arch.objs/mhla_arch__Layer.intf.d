@@ -1,0 +1,1 @@
+lib/arch/layer.mli: Fmt

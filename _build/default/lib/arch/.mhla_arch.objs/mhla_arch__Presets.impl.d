@@ -1,0 +1,1 @@
+lib/arch/presets.ml: Dma Energy_model Hierarchy List

@@ -1,0 +1,1 @@
+lib/arch/presets.mli: Dma Hierarchy

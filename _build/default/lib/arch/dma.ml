@@ -1,0 +1,11 @@
+type t = { setup_cycles : int; setup_energy_pj : float; channels : int }
+
+let make ~setup_cycles ~setup_energy_pj ~channels =
+  if setup_cycles < 0 then invalid_arg "Dma.make: negative setup cycles";
+  if setup_energy_pj < 0. then invalid_arg "Dma.make: negative setup energy";
+  if channels <= 0 then invalid_arg "Dma.make: non-positive channel count";
+  { setup_cycles; setup_energy_pj; channels }
+
+let pp ppf t =
+  Fmt.pf ppf "DMA (setup %d cyc, %.1f pJ, %d ch)" t.setup_cycles
+    t.setup_energy_pj t.channels

@@ -1,0 +1,19 @@
+(** The memory transfer engine ("DMA engine or data mover", §1).
+
+    Time Extensions require this engine: it lets the CPU keep
+    processing while a block transfer streams data from an off-chip
+    layer into an on-chip layer. Without an engine TE is not applicable
+    (the paper says so explicitly) and the tool degrades to MHLA step 1
+    with synchronous, CPU-stalling transfers. *)
+
+type t = private {
+  setup_cycles : int;  (** per-issue programming cost, paid by the CPU *)
+  setup_energy_pj : float;  (** per-issue control energy *)
+  channels : int;  (** concurrent outstanding transfers *)
+}
+
+val make : setup_cycles:int -> setup_energy_pj:float -> channels:int -> t
+(** @raise Invalid_argument on negative setup cost or non-positive
+    channel count. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,66 @@
+type t = { layers : Layer.t list; dma : Dma.t option }
+
+let make ?dma layers =
+  (match layers with
+  | [] -> invalid_arg "Hierarchy.make: no layers"
+  | layers ->
+    let n = List.length layers in
+    let check level (l : Layer.t) =
+      let last = level = n - 1 in
+      match (last, l.capacity_bytes, l.location) with
+      | true, None, Layer.Off_chip -> ()
+      | true, Some _, _ ->
+        invalid_arg
+          ("Hierarchy.make: last layer " ^ l.name ^ " must be unbounded")
+      | true, None, Layer.On_chip ->
+        invalid_arg
+          ("Hierarchy.make: last layer " ^ l.name ^ " must be off-chip")
+      | false, Some _, Layer.On_chip -> ()
+      | false, None, _ ->
+        invalid_arg
+          ("Hierarchy.make: inner layer " ^ l.name ^ " must be bounded")
+      | false, Some _, Layer.Off_chip ->
+        invalid_arg
+          ("Hierarchy.make: inner layer " ^ l.name ^ " must be on-chip")
+    in
+    List.iteri check layers);
+  { layers; dma }
+
+let levels t = List.length t.layers
+
+let layer t level =
+  match List.nth_opt t.layers level with
+  | Some l -> l
+  | None ->
+    invalid_arg (Printf.sprintf "Hierarchy.layer: no level %d" level)
+
+let main_memory_level t = levels t - 1
+
+let main_memory t = layer t (main_memory_level t)
+
+let on_chip_levels t = List.init (levels t - 1) Fun.id
+
+let on_chip_capacity_bytes t =
+  let add acc (l : Layer.t) =
+    match l.capacity_bytes with Some c -> acc + c | None -> acc
+  in
+  List.fold_left add 0 t.layers
+
+let has_dma t = t.dma <> None
+
+let dma_exn t =
+  match t.dma with
+  | Some d -> d
+  | None -> invalid_arg "Hierarchy.dma_exn: platform has no DMA engine"
+
+let with_dma dma t = { t with dma = Some dma }
+
+let without_dma t = { t with dma = None }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iteri (fun i l -> Fmt.pf ppf "L%d: %a@," i Layer.pp l) t.layers;
+  (match t.dma with
+  | Some d -> Fmt.pf ppf "%a@," Dma.pp d
+  | None -> Fmt.pf ppf "no DMA engine@,");
+  Fmt.pf ppf "@]"

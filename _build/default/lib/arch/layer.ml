@@ -1,0 +1,60 @@
+type location = On_chip | Off_chip
+
+type t = {
+  name : string;
+  location : location;
+  capacity_bytes : int option;
+  read_energy_pj : float;
+  write_energy_pj : float;
+  latency_cycles : int;
+  bandwidth_bytes_per_cycle : int;
+  burst_energy_factor : float;
+}
+
+let make ~burst_energy_factor ~name ~location ~capacity_bytes
+    ~read_energy_pj ~write_energy_pj ~latency_cycles
+    ~bandwidth_bytes_per_cycle =
+  if name = "" then invalid_arg "Layer.make: empty name";
+  (match capacity_bytes with
+  | Some c when c <= 0 ->
+    invalid_arg ("Layer.make: non-positive capacity in " ^ name)
+  | Some _ | None -> ());
+  if read_energy_pj <= 0. || write_energy_pj <= 0. then
+    invalid_arg ("Layer.make: non-positive energy in " ^ name);
+  if latency_cycles <= 0 then
+    invalid_arg ("Layer.make: non-positive latency in " ^ name);
+  if bandwidth_bytes_per_cycle <= 0 then
+    invalid_arg ("Layer.make: non-positive bandwidth in " ^ name);
+  if burst_energy_factor <= 0. || burst_energy_factor > 1. then
+    invalid_arg ("Layer.make: burst energy factor out of (0,1] in " ^ name);
+  { name; location; capacity_bytes; read_energy_pj; write_energy_pj;
+    latency_cycles; bandwidth_bytes_per_cycle; burst_energy_factor }
+
+let is_on_chip t = t.location = On_chip
+
+let fits t ~bytes =
+  match t.capacity_bytes with None -> true | Some c -> bytes <= c
+
+let access_energy_pj t ~reads ~writes =
+  (float_of_int reads *. t.read_energy_pj)
+  +. (float_of_int writes *. t.write_energy_pj)
+
+let burst_read_energy_pj t = t.read_energy_pj *. t.burst_energy_factor
+
+let burst_write_energy_pj t = t.write_energy_pj *. t.burst_energy_factor
+
+let transfer_cycles t ~bytes =
+  if bytes = 0 then 0
+  else
+    (bytes + t.bandwidth_bytes_per_cycle - 1) / t.bandwidth_bytes_per_cycle
+
+let pp ppf t =
+  let pp_cap ppf = function
+    | None -> Fmt.string ppf "unbounded"
+    | Some c -> Fmt.pf ppf "%dB" c
+  in
+  Fmt.pf ppf "%s (%s, %a, rd %.1fpJ, wr %.1fpJ, lat %d, bw %dB/cyc)"
+    t.name
+    (match t.location with On_chip -> "on-chip" | Off_chip -> "off-chip")
+    pp_cap t.capacity_bytes t.read_energy_pj t.write_energy_pj
+    t.latency_cycles t.bandwidth_bytes_per_cycle

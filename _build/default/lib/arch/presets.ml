@@ -1,0 +1,26 @@
+let default_dma = Dma.make ~setup_cycles:10 ~setup_energy_pj:6.0 ~channels:2
+
+let two_level ?(dma = true) ~onchip_bytes () =
+  let layers =
+    [ Energy_model.sram_layer ~name:"SP" ~capacity_bytes:onchip_bytes ();
+      Energy_model.sdram_layer ~name:"SDRAM" () ]
+  in
+  if dma then Hierarchy.make ~dma:default_dma layers
+  else Hierarchy.make layers
+
+let three_level ?(dma = true) ~l1_bytes ~l2_bytes () =
+  let layers =
+    [ Energy_model.sram_layer ~name:"L1" ~capacity_bytes:l1_bytes ();
+      Energy_model.sram_layer ~name:"L2" ~capacity_bytes:l2_bytes ();
+      Energy_model.sdram_layer ~name:"SDRAM" () ]
+  in
+  if dma then Hierarchy.make ~dma:default_dma layers
+  else Hierarchy.make layers
+
+let sweep_sizes ~min_bytes ~max_bytes =
+  if min_bytes <= 0 || max_bytes < min_bytes then
+    invalid_arg "Presets.sweep_sizes: bad bounds";
+  let rec up acc size =
+    if size > max_bytes then List.rev acc else up (size :: acc) (size * 2)
+  in
+  up [] min_bytes

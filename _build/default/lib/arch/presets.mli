@@ -1,0 +1,20 @@
+(** Ready-made platforms for experiments and examples. *)
+
+val default_dma : Dma.t
+(** 24-cycle setup, two channels — a small data mover such as the one
+    assumed by the paper's TE step. *)
+
+val two_level : ?dma:bool -> onchip_bytes:int -> unit -> Hierarchy.t
+(** One on-chip scratchpad of [onchip_bytes] over off-chip SDRAM.
+    [dma] (default [true]) controls whether a transfer engine is
+    present — without one, TE is not applicable. *)
+
+val three_level :
+  ?dma:bool -> l1_bytes:int -> l2_bytes:int -> unit -> Hierarchy.t
+(** Two on-chip scratchpads (L1 closest) over off-chip SDRAM. *)
+
+val sweep_sizes : min_bytes:int -> max_bytes:int -> int list
+(** Power-of-two on-chip sizes from [min_bytes] to [max_bytes]
+    inclusive, for trade-off exploration sweeps.
+    @raise Invalid_argument if the bounds are non-positive or out of
+    order. *)

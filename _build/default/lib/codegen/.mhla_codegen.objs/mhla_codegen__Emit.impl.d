@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Buffer Fmt Hashtbl List Mhla_arch Mhla_core Mhla_ir Mhla_lifetime Mhla_reuse Printf String

@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Mhla_core Mhla_reuse

@@ -1,0 +1,24 @@
+(** Pseudo-C emission of the transformed program.
+
+    The real MHLA prototype rewrites the application source: it
+    declares the selected copy buffers in the scratchpad, inserts the
+    block-transfer calls at the refresh points, redirects the accesses
+    to the buffers, and (after TE) moves the DMA initiations early with
+    their priorities. This module renders that transformed program as
+    readable pseudo-C, so a user can see — and hand-port — exactly what
+    the tool decided.
+
+    The emitted code is documentation-grade pseudo-C: buffer subscripts
+    are window-relative (the affine terms of the sweeping iterators)
+    and transfers are `dma_fetch`/`dma_drain`/`memcpy` intrinsics; it
+    is not meant to compile as-is. *)
+
+val buffer_name : Mhla_reuse.Candidate.t -> string
+(** Stable scratchpad identifier for a candidate's (shared) buffer. *)
+
+val emit : ?schedule:Mhla_core.Prefetch.schedule -> Mhla_core.Mapping.t -> string
+(** Render the whole transformed program: declarations (off-chip
+    arrays, promoted arrays, copy buffers with double-buffer depth when
+    TE extended them), then the loop nest with transfers and rewritten
+    accesses. With [schedule], DMA issues carry their priority and
+    prefetch distance; without it transfers are synchronous. *)

@@ -1,0 +1,1 @@
+lib/core/assign.ml: Cost Float Fmt List Logs Mapping Mhla_arch Mhla_ir Mhla_lifetime Mhla_reuse Mhla_util Printf

@@ -1,0 +1,1 @@
+lib/core/assign.mli: Cost Mapping Mhla_arch Mhla_ir Mhla_lifetime Mhla_reuse Stdlib

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Fmt Fun List Mapping Mhla_arch Mhla_ir Mhla_reuse

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Assign Cost List Mapping Mhla_arch Mhla_ir Mhla_util Prefetch

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Assign Cost Mhla_arch Mhla_ir Mhla_util Prefetch

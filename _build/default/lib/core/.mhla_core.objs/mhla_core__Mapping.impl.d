@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Fmt Fun Hashtbl List Mhla_arch Mhla_ir Mhla_lifetime Mhla_reuse Mhla_util Printf

@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Fmt Mhla_arch Mhla_ir Mhla_lifetime Mhla_reuse

@@ -1,0 +1,1 @@
+lib/core/prefetch.ml: Cost Fmt List Logs Mapping Mhla_arch Mhla_ir Mhla_lifetime Mhla_reuse Printf

@@ -1,0 +1,1 @@
+lib/core/report.ml: Assign Buffer Cost Explore Fmt List Mapping Mhla_arch Mhla_ir Mhla_reuse Mhla_util Prefetch Printf

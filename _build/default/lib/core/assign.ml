@@ -1,0 +1,293 @@
+module Analysis = Mhla_reuse.Analysis
+module Candidate = Mhla_reuse.Candidate
+module Hierarchy = Mhla_arch.Hierarchy
+
+let log_src = Logs.Src.create "mhla.assign" ~doc:"MHLA step 1"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  objective : Cost.objective;
+  transfer_mode : Candidate.transfer_mode;
+  policy : Mhla_lifetime.Occupancy.policy;
+  allow_array_promotion : bool;
+  max_chain_length : int;
+}
+
+let default_config =
+  {
+    objective = Cost.Energy_delay;
+    transfer_mode = Candidate.Delta;
+    policy = Mhla_lifetime.Occupancy.In_place;
+    allow_array_promotion = true;
+    max_chain_length = 2;
+  }
+
+type step = { description : string; gain : float; objective_after : float }
+
+type result = {
+  mapping : Mapping.t;
+  breakdown : Cost.breakdown;
+  steps : step list;
+  evaluations : int;
+}
+
+(* Copy chains: pick a strictly-decreasing-level subsequence of the
+   useful candidates and a strictly-increasing run of on-chip layers.
+   The innermost link (first) serves the accesses. *)
+let chains config (m : Mapping.t) (info : Analysis.info) =
+  let on_chip = Hierarchy.on_chip_levels m.Mapping.hierarchy in
+  let candidates = Analysis.useful_candidates info in
+  let depth_cap = min config.max_chain_length (List.length on_chip) in
+  (* Build chains inner-to-outer: each extension picks a candidate of
+     strictly lower level and a strictly higher layer. *)
+  let rec extend chain level_floor layer_floor length acc =
+    let acc = if chain = [] then acc else List.rev chain :: acc in
+    if length >= depth_cap then acc
+    else
+      List.fold_left
+        (fun acc (c : Candidate.t) ->
+          if chain <> [] && c.Candidate.level >= level_floor then acc
+          else
+            List.fold_left
+              (fun acc layer ->
+                if layer < layer_floor then acc
+                else
+                  extend
+                    ({ Mapping.candidate = c; layer } :: chain)
+                    c.Candidate.level (layer + 1) (length + 1) acc)
+              acc on_chip)
+        acc candidates
+  in
+  (* [extend] accumulates the reversed prefixes; rebuild order so the
+     innermost (deepest level) link is first, as Mapping expects. *)
+  let raw = extend [] max_int 0 0 [] in
+  let orient links =
+    List.sort
+      (fun (a : Mapping.chain_link) b ->
+        compare b.Mapping.candidate.Candidate.level
+          a.Mapping.candidate.Candidate.level)
+      links
+  in
+  List.rev_map (fun links -> Mapping.Chain (orient links)) raw
+
+let alternatives config m info = Mapping.Direct :: chains config m info
+
+type move =
+  | Set_placement of Analysis.access_ref * Mapping.placement
+  | Set_array of string * int option
+
+let describe_move = function
+  | Set_placement (r, Mapping.Direct) ->
+    Fmt.str "%a -> direct" Analysis.pp_access_ref r
+  | Set_placement (r, Mapping.Chain links) ->
+    let pp_link ppf (l : Mapping.chain_link) =
+      Fmt.pf ppf "%s@@L%d" l.Mapping.candidate.Candidate.id l.Mapping.layer
+    in
+    Fmt.str "%a -> %a" Analysis.pp_access_ref r
+      Fmt.(list ~sep:(any "<-") pp_link)
+      links
+  | Set_array (a, Some l) -> Printf.sprintf "array %s -> L%d" a l
+  | Set_array (a, None) -> Printf.sprintf "array %s -> off-chip" a
+
+let apply_move m = function
+  | Set_placement (r, p) -> Mapping.with_placement m r p
+  | Set_array (a, l) -> Mapping.with_array_layer m ~array:a ~layer:l
+
+let moves config (m : Mapping.t) =
+  let placement_moves =
+    List.concat_map
+      (fun (info : Analysis.info) ->
+        let current = Mapping.placement_of m info.Analysis.ref_ in
+        List.filter_map
+          (fun p ->
+            if p = current then None
+            else Some (Set_placement (info.Analysis.ref_, p)))
+          (alternatives config m info))
+      m.Mapping.infos
+  in
+  let array_moves =
+    if not config.allow_array_promotion then []
+    else
+      let on_chip = Hierarchy.on_chip_levels m.Mapping.hierarchy in
+      List.concat_map
+        (fun array ->
+          let current =
+            let level = Mapping.array_layer m array in
+            if level = Hierarchy.main_memory_level m.Mapping.hierarchy then
+              None
+            else Some level
+          in
+          List.filter_map
+            (fun target ->
+              if target = current then None
+              else Some (Set_array (array, target)))
+            (None :: List.map (fun l -> Some l) on_chip))
+        (Mhla_ir.Program.array_names m.Mapping.program)
+  in
+  placement_moves @ array_moves
+
+let feasible config m = Mapping.occupancy_ok ~policy:config.policy m
+
+(* Strict-improvement threshold: relative 1e-9 guards against float
+   noise causing non-termination. *)
+let improves ~current ~candidate =
+  candidate < current -. (1e-9 *. (Float.abs current +. 1.))
+
+let greedy ?(config = default_config) program hierarchy =
+  let evaluations = ref 0 in
+  let objective m =
+    incr evaluations;
+    Cost.scalar config.objective (Cost.evaluate m)
+  in
+  let start =
+    Mapping.direct ~transfer_mode:config.transfer_mode program hierarchy
+  in
+  let rec descend m current steps =
+    let try_move best move =
+      let next = apply_move m move in
+      if not (feasible config next) then best
+      else begin
+        let value = objective next in
+        match best with
+        | Some (_, _, best_value) when value >= best_value -> best
+        | Some _ | None ->
+          if improves ~current ~candidate:value then Some (move, next, value)
+          else best
+      end
+    in
+    match List.fold_left try_move None (moves config m) with
+    | None -> (m, current, List.rev steps)
+    | Some (move, next, value) ->
+      let step =
+        {
+          description = describe_move move;
+          gain = current -. value;
+          objective_after = value;
+        }
+      in
+      Log.debug (fun m ->
+          m "greedy: %s (objective %.6g -> %.6g)" step.description current
+            value);
+      descend next value (step :: steps)
+  in
+  let start_value = objective start in
+  let mapping, _, steps = descend start start_value [] in
+  {
+    mapping;
+    breakdown = Cost.evaluate mapping;
+    steps;
+    evaluations = !evaluations;
+  }
+
+let simulated_annealing ?(config = default_config) ?(seed = 42L)
+    ?(iterations = 4000) program hierarchy =
+  let prng = Mhla_util.Prng.create ~seed in
+  let evaluations = ref 0 in
+  let objective m =
+    incr evaluations;
+    Cost.scalar config.objective (Cost.evaluate m)
+  in
+  let start =
+    Mapping.direct ~transfer_mode:config.transfer_mode program hierarchy
+  in
+  let start_value = objective start in
+  let current = ref start in
+  let current_value = ref start_value in
+  let best = ref start in
+  let best_value = ref start_value in
+  let steps = ref [] in
+  (* Geometric cooling from 5% of the initial objective down to ~1e-4
+     of it: early moves roam, late moves only refine. *)
+  let t0 = 0.05 *. start_value in
+  let t_end = 1e-4 *. start_value in
+  let decay =
+    if iterations <= 1 then 1.
+    else (t_end /. t0) ** (1. /. float_of_int (iterations - 1))
+  in
+  let temperature = ref t0 in
+  for _ = 1 to iterations do
+    (match moves config !current with
+    | [] -> ()
+    | all_moves ->
+      let move = Mhla_util.Prng.pick prng all_moves in
+      let next = apply_move !current move in
+      if feasible config next then begin
+        let value = objective next in
+        let delta = value -. !current_value in
+        let accept =
+          delta < 0.
+          || Mhla_util.Prng.float prng < exp (-.delta /. !temperature)
+        in
+        if accept then begin
+          current := next;
+          current_value := value;
+          if value < !best_value then begin
+            let improvement = !best_value -. value in
+            best := next;
+            best_value := value;
+            steps :=
+              {
+                description = describe_move move;
+                gain = improvement;
+                objective_after = value;
+              }
+              :: !steps
+          end
+        end
+      end);
+    temperature := !temperature *. decay
+  done;
+  {
+    mapping = !best;
+    breakdown = Cost.evaluate !best;
+    steps = List.rev !steps;
+    evaluations = !evaluations;
+  }
+
+let exhaustive ?(config = default_config) ~max_states program hierarchy =
+  let start =
+    Mapping.direct ~transfer_mode:config.transfer_mode program hierarchy
+  in
+  let alts =
+    List.map
+      (fun (info : Analysis.info) ->
+        (info.Analysis.ref_, alternatives config start info))
+      start.Mapping.infos
+  in
+  let states =
+    List.fold_left (fun acc (_, ps) -> acc * List.length ps) 1 alts
+  in
+  if states > max_states then
+    Error
+      (Printf.sprintf "exhaustive: %d states exceed the budget of %d" states
+         max_states)
+  else begin
+    let evaluations = ref 0 in
+    let best = ref None in
+    let rec assign m = function
+      | [] ->
+        if feasible config m then begin
+          incr evaluations;
+          let value = Cost.scalar config.objective (Cost.evaluate m) in
+          match !best with
+          | Some (_, best_value) when best_value <= value -> ()
+          | Some _ | None -> best := Some (m, value)
+        end
+      | (ref_, placements) :: rest ->
+        List.iter
+          (fun p -> assign (Mapping.with_placement m ref_ p) rest)
+          placements
+    in
+    assign start alts;
+    match !best with
+    | None -> Error "exhaustive: no feasible mapping (capacity too small?)"
+    | Some (mapping, _) ->
+      Ok
+        {
+          mapping;
+          breakdown = Cost.evaluate mapping;
+          steps = [];
+          evaluations = !evaluations;
+        }
+  end

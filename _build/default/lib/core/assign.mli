@@ -1,0 +1,74 @@
+(** MHLA step 1: copy-candidate selection and layer assignment.
+
+    Starting from the out-of-the-box mapping (everything off-chip), a
+    steepest-descent greedy repeatedly applies the feasible move with
+    the largest cost gain until no move improves the objective — the
+    exploration engine of the MHLA tool. Moves are: serve an access
+    through a copy chain (or revert it to Direct), and promote/demote a
+    whole array to/from an on-chip layer. Feasibility is the in-place-
+    optimised occupancy of every on-chip layer.
+
+    {!exhaustive} searches the full placement space (arrays kept
+    off-chip) and is used in tests and the EXT-GREEDY ablation to
+    measure the greedy's optimality gap on small instances. *)
+
+type config = {
+  objective : Cost.objective;
+  transfer_mode : Mhla_reuse.Candidate.transfer_mode;
+  policy : Mhla_lifetime.Occupancy.policy;
+  allow_array_promotion : bool;
+  max_chain_length : int;
+      (** cap on copy-chain depth; the hierarchy's on-chip depth is
+          also always a cap *)
+}
+
+val default_config : config
+(** Energy-delay objective (the balanced trade-off point the figures
+    report), [Delta] transfers (the full technique with inter-copy
+    reuse), in-place sizing, array promotion on, chains up to depth
+    2. *)
+
+(** One applied move, for reporting. *)
+type step = {
+  description : string;
+  gain : float;  (** objective decrease achieved by the move *)
+  objective_after : float;
+}
+
+type result = {
+  mapping : Mapping.t;
+  breakdown : Cost.breakdown;
+  steps : step list;  (** in application order *)
+  evaluations : int;  (** cost evaluations spent *)
+}
+
+val alternatives :
+  config -> Mapping.t -> Mhla_reuse.Analysis.info -> Mapping.placement list
+(** All placements considered for an access: [Direct] plus every
+    level-monotone copy chain over the on-chip layers (length capped by
+    [max_chain_length]). Deterministic order. *)
+
+val greedy : ?config:config -> Mhla_ir.Program.t -> Mhla_arch.Hierarchy.t -> result
+
+val exhaustive :
+  ?config:config ->
+  max_states:int ->
+  Mhla_ir.Program.t ->
+  Mhla_arch.Hierarchy.t ->
+  (result, string) Stdlib.result
+(** Full enumeration over access placements (no array promotion).
+    [Error] when the state count exceeds [max_states]. *)
+
+val simulated_annealing :
+  ?config:config ->
+  ?seed:int64 ->
+  ?iterations:int ->
+  Mhla_ir.Program.t ->
+  Mhla_arch.Hierarchy.t ->
+  result
+(** Stochastic alternative to {!greedy}: random feasible moves,
+    accepted when improving or with Boltzmann probability under a
+    geometric cooling schedule; returns the best mapping seen.
+    Deterministic for a given [seed] (default [42L]); [iterations]
+    defaults to [4000]. Escapes the local optima steepest descent can
+    fall into (see the EXT-SEARCH bench), at ~30x the evaluations. *)

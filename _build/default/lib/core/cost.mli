@@ -1,0 +1,51 @@
+(** Analytic cost engine: cycles and energy of a mapping.
+
+    Implements the paper's evaluation model: only accesses to the
+    memory hierarchy (plus the statements' declared compute work)
+    count. Execution time = compute + per-access stalls + block-
+    transfer stalls + DMA programming; energy = per-access energy +
+    transfer traffic energy + DMA control energy. Time Extensions
+    reduce only the block-transfer stall term; energy is unchanged —
+    exactly the paper's observation about Figures 2 and 3. *)
+
+type breakdown = {
+  compute_cycles : int;
+  access_stall_cycles : int;  (** CPU-issued loads/stores *)
+  transfer_stall_cycles : int;  (** block transfers not hidden by TE *)
+  dma_setup_cycles : int;  (** CPU cycles programming the engine *)
+  total_cycles : int;
+  access_energy_pj : float;
+  transfer_energy_pj : float;
+  dma_energy_pj : float;
+  total_energy_pj : float;
+}
+
+val bt_cycles_per_issue : Mapping.t -> Mapping.block_transfer -> int
+(** The hideable time of one issue of a block transfer: source latency
+    plus the burst time at the slower of the two ports. DMA setup is
+    not included — the CPU always pays it. *)
+
+val evaluate : ?hidden_per_issue:(string -> int) -> Mapping.t -> breakdown
+(** [hidden_per_issue bt_id] is how many cycles of each issue of that
+    transfer are overlapped with computation (from the TE step);
+    defaults to no hiding. Hiding is clamped to the issue time. *)
+
+val ideal : Mapping.t -> breakdown
+(** Every block transfer fully hidden — the paper's "0 wait cycles
+    block transfer time" bound that TE pushes towards. *)
+
+(** What the assignment step minimises. *)
+type objective = Energy | Cycles | Energy_delay
+
+val scalar : objective -> breakdown -> float
+
+val pp_objective : objective Fmt.t
+
+val loop_iteration_cycles : Mapping.t -> iter:string -> int
+(** Compute + access-stall cycles of {e one} iteration of the loop
+    with iterator [iter] (block-transfer stalls excluded): the CPU work
+    available to hide a prefetch extended across that loop, Figure 1's
+    [compute_loop_cycles].
+    @raise Invalid_argument for an unknown iterator. *)
+
+val pp_breakdown : breakdown Fmt.t

@@ -1,0 +1,97 @@
+type result = {
+  program : Mhla_ir.Program.t;
+  hierarchy : Mhla_arch.Hierarchy.t;
+  baseline : Cost.breakdown;
+  assign : Assign.result;
+  te : Prefetch.schedule;
+  after_assign : Cost.breakdown;
+  after_te : Cost.breakdown;
+  ideal : Cost.breakdown;
+}
+
+type search = Greedy | Annealing of { seed : int64; iterations : int }
+
+let run ?config ?order ?(search = Greedy) ?defer_writebacks program
+    hierarchy =
+  let transfer_mode =
+    match config with
+    | Some c -> c.Assign.transfer_mode
+    | None -> Assign.default_config.Assign.transfer_mode
+  in
+  let baseline =
+    Cost.evaluate (Mapping.direct ~transfer_mode program hierarchy)
+  in
+  let assign =
+    match search with
+    | Greedy -> Assign.greedy ?config program hierarchy
+    | Annealing { seed; iterations } ->
+      Assign.simulated_annealing ?config ~seed ~iterations program hierarchy
+  in
+  let te = Prefetch.run ?order ?defer_writebacks assign.Assign.mapping in
+  {
+    program;
+    hierarchy;
+    baseline;
+    assign;
+    te;
+    after_assign = assign.Assign.breakdown;
+    after_te = Prefetch.evaluate assign.Assign.mapping te;
+    ideal = Cost.ideal assign.Assign.mapping;
+  }
+
+let normalised_cycles r (b : Cost.breakdown) =
+  float_of_int b.Cost.total_cycles
+  /. float_of_int r.baseline.Cost.total_cycles
+
+let normalised_energy r (b : Cost.breakdown) =
+  b.Cost.total_energy_pj /. r.baseline.Cost.total_energy_pj
+
+let time_after_assign r = normalised_cycles r r.after_assign
+
+let time_after_te r = normalised_cycles r r.after_te
+
+let time_ideal r = normalised_cycles r r.ideal
+
+let energy_after_assign r = normalised_energy r r.after_assign
+
+let energy_after_te r = normalised_energy r r.after_te
+
+let assign_time_gain_percent r =
+  Mhla_util.Stats.percent_gain
+    ~baseline:(float_of_int r.baseline.Cost.total_cycles)
+    ~improved:(float_of_int r.after_assign.Cost.total_cycles)
+
+let te_extra_gain_percent r =
+  Mhla_util.Stats.percent_gain
+    ~baseline:(float_of_int r.after_assign.Cost.total_cycles)
+    ~improved:(float_of_int r.after_te.Cost.total_cycles)
+
+let energy_gain_percent r =
+  Mhla_util.Stats.percent_gain ~baseline:r.baseline.Cost.total_energy_pj
+    ~improved:r.after_assign.Cost.total_energy_pj
+
+type sweep_point = { onchip_bytes : int; point_result : result }
+
+let sweep ?config ?order ?(dma = true) ~sizes program =
+  let point onchip_bytes =
+    let hierarchy = Mhla_arch.Presets.two_level ~dma ~onchip_bytes () in
+    { onchip_bytes; point_result = run ?config ?order program hierarchy }
+  in
+  List.map point sizes
+
+let pareto_energy points =
+  let to_point p =
+    Mhla_util.Pareto.point
+      ~x:(float_of_int p.onchip_bytes)
+      ~y:p.point_result.after_assign.Cost.total_energy_pj p
+  in
+  Mhla_util.Pareto.of_list (List.map to_point points)
+
+let pareto_cycles points =
+  let to_point p =
+    Mhla_util.Pareto.point
+      ~x:(float_of_int p.onchip_bytes)
+      ~y:(float_of_int p.point_result.after_te.Cost.total_cycles)
+      p
+  in
+  Mhla_util.Pareto.of_list (List.map to_point points)

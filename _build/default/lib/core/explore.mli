@@ -1,0 +1,72 @@
+(** The complete MHLA-with-TE flow and trade-off exploration.
+
+    [run] reproduces the tool's pipeline: evaluate the out-of-the-box
+    code, run selection & assignment (step 1), run Time Extensions
+    (step 2), and compute the ideal 0-wait bound. [sweep] repeats the
+    flow over a range of on-chip sizes — the "thorough trade-off
+    exploration for different memory layer sizes" of the abstract. *)
+
+type result = {
+  program : Mhla_ir.Program.t;
+  hierarchy : Mhla_arch.Hierarchy.t;
+  baseline : Cost.breakdown;  (** everything off-chip, no copies *)
+  assign : Assign.result;  (** step 1 outcome *)
+  te : Prefetch.schedule;  (** step 2 outcome *)
+  after_assign : Cost.breakdown;
+  after_te : Cost.breakdown;
+  ideal : Cost.breakdown;  (** step-1 mapping, transfers fully hidden *)
+}
+
+(** Which step-1 search engine to use. *)
+type search = Greedy | Annealing of { seed : int64; iterations : int }
+
+val run :
+  ?config:Assign.config ->
+  ?order:Prefetch.order ->
+  ?search:search ->
+  ?defer_writebacks:bool ->
+  Mhla_ir.Program.t ->
+  Mhla_arch.Hierarchy.t ->
+  result
+(** [search] defaults to [Greedy]; [defer_writebacks] (default [false])
+    also lets TE hide buffer drains (see {!Prefetch.run}). *)
+
+(** Normalised views used by the paper's figures (baseline = 1.0). *)
+
+val time_after_assign : result -> float
+
+val time_after_te : result -> float
+
+val time_ideal : result -> float
+
+val energy_after_assign : result -> float
+
+val energy_after_te : result -> float
+
+val assign_time_gain_percent : result -> float
+(** Step-1 execution-time reduction vs. out-of-the-box (Figure 2's
+    40–60 %). *)
+
+val te_extra_gain_percent : result -> float
+(** Step-2 reduction relative to the step-1 time (the paper's "up to
+    33 %"). *)
+
+val energy_gain_percent : result -> float
+(** Step-1 energy reduction (Figure 3's up to 70 %). *)
+
+type sweep_point = { onchip_bytes : int; point_result : result }
+
+val sweep :
+  ?config:Assign.config ->
+  ?order:Prefetch.order ->
+  ?dma:bool ->
+  sizes:int list ->
+  Mhla_ir.Program.t ->
+  sweep_point list
+(** Two-level platforms of each size ([dma] defaults to [true]). *)
+
+val pareto_energy : sweep_point list -> sweep_point Mhla_util.Pareto.t
+(** Frontier of (on-chip bytes, energy after step 1). *)
+
+val pareto_cycles : sweep_point list -> sweep_point Mhla_util.Pareto.t
+(** Frontier of (on-chip bytes, cycles after step 2). *)

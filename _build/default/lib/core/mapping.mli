@@ -1,0 +1,97 @@
+(** Mappings: the output of the selection-and-assignment step.
+
+    A mapping fixes, for every static access, which copy candidate (if
+    any) serves it and on which layer each buffer of its copy chain
+    lives; arrays themselves may also be promoted from the off-chip
+    store to an on-chip layer. From a mapping the block transfers, the
+    layer occupancies and the cost breakdown all follow. *)
+
+(** One buffer of a copy chain. *)
+type chain_link = {
+  candidate : Mhla_reuse.Candidate.t;
+  layer : int;  (** on-chip level holding the buffer *)
+}
+
+(** How an access is served. *)
+type placement =
+  | Direct  (** straight from the layer holding the array *)
+  | Chain of chain_link list
+      (** innermost buffer first: link 0 serves the CPU accesses, link
+          [i] is refilled from link [i+1], the last link from the
+          array's layer. Levels strictly decrease and layers strictly
+          increase along the list. *)
+
+type t = private {
+  program : Mhla_ir.Program.t;
+  hierarchy : Mhla_arch.Hierarchy.t;
+  transfer_mode : Mhla_reuse.Candidate.transfer_mode;
+  infos : Mhla_reuse.Analysis.info list;
+  placements : (Mhla_reuse.Analysis.access_ref * placement) list;
+  array_layers : (string * int) list;
+      (** arrays promoted on-chip; absent = off-chip store *)
+  schedule : Mhla_lifetime.Schedule.t;  (** cached program timeline *)
+}
+
+val direct :
+  ?transfer_mode:Mhla_reuse.Candidate.transfer_mode ->
+  Mhla_ir.Program.t ->
+  Mhla_arch.Hierarchy.t ->
+  t
+(** The out-of-the-box mapping: every access Direct, every array
+    off-chip. [transfer_mode] defaults to [Full]. *)
+
+val with_placement : t -> Mhla_reuse.Analysis.access_ref -> placement -> t
+(** Functional update; validates the chain shape.
+    @raise Invalid_argument for an unknown access or malformed chain. *)
+
+val with_array_layer : t -> array:string -> layer:int option -> t
+(** Promote an array to an on-chip layer ([Some level]) or demote it
+    back off-chip ([None]).
+    @raise Invalid_argument for an unknown array or the off-chip
+    level. *)
+
+val placement_of : t -> Mhla_reuse.Analysis.access_ref -> placement
+
+val array_layer : t -> string -> int
+(** The level holding the array (the off-chip level by default). *)
+
+val serving_layer : t -> Mhla_reuse.Analysis.access_ref -> int
+(** The level CPU accesses of this access actually hit. *)
+
+(** A derived block transfer stream between two layers. *)
+type block_transfer = {
+  bt_id : string;
+  bt_candidate : Mhla_reuse.Candidate.t;
+  src_layer : int;
+  dst_layer : int;
+  issues : int;
+  bytes_per_issue : int;  (** average over issues, honouring the mode *)
+  total_bytes : int;
+  is_writeback : bool;
+      (** [true] when the stream drains a written buffer outward *)
+}
+
+val block_transfers : t -> block_transfer list
+(** All copy-chain refills and write-backs, plus the initial fill /
+    final drain of arrays promoted on-chip. Deterministic order. *)
+
+val layer_blocks : t -> level:int -> Mhla_lifetime.Occupancy.block list
+(** The buffers and promoted arrays living on one on-chip layer, with
+    their lifetimes (for in-place sizing). *)
+
+val occupancy_ok :
+  ?policy:Mhla_lifetime.Occupancy.policy ->
+  ?extra:(int * Mhla_lifetime.Occupancy.block) list ->
+  t ->
+  bool
+(** Every on-chip layer within capacity; [extra] adds transient blocks
+    (e.g. TE double buffers) as [(level, block)]. [policy] defaults to
+    [In_place]. *)
+
+val with_hierarchy : t -> Mhla_arch.Hierarchy.t -> t
+(** The same placements evaluated against another platform with the
+    same number of levels — used to stress TE under a tighter size
+    constraint than the assignment used.
+    @raise Invalid_argument when the level counts differ. *)
+
+val pp : t Fmt.t

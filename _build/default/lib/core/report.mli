@@ -1,0 +1,31 @@
+(** Rendering of exploration results as plain-text reports. *)
+
+val summary : name:string -> Explore.result -> string
+(** One-paragraph outcome: gains of both steps, TE detail, headline
+    comparison with the paper's bands. *)
+
+val detailed : name:string -> Explore.result -> string
+(** Full report: cost breakdowns of all four design points, the chosen
+    mapping, applied assignment steps and TE plans. *)
+
+val figure2_table : (string * Explore.result) list -> Mhla_util.Table.t
+(** The paper's Figure 2: normalised execution time per application
+    (out-of-the-box = 1.00) for MHLA, MHLA+TE and the ideal bound. *)
+
+val figure3_table : (string * Explore.result) list -> Mhla_util.Table.t
+(** The paper's Figure 3: normalised energy per application for MHLA
+    (and after TE, which the model keeps identical). *)
+
+val headline_table : (string * Explore.result) list -> Mhla_util.Table.t
+(** TAB1: per-application percentage gains quoted in §3 of the paper. *)
+
+val sweep_table : Explore.sweep_point list -> Mhla_util.Table.t
+(** EXT-PARETO: per-size cycles/energy after each step. *)
+
+val result_to_json : name:string -> Explore.result -> Mhla_util.Json.t
+(** Machine-readable result: the four design points' full breakdowns,
+    normalised gains, the chosen placements and the TE plans. *)
+
+val results_to_json : (string * Explore.result) list -> Mhla_util.Json.t
+
+val sweep_to_json : Explore.sweep_point list -> Mhla_util.Json.t

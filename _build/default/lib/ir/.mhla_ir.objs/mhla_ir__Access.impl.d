@@ -1,0 +1,1 @@
+lib/ir/access.ml: Affine Fmt List String

@@ -1,0 +1,1 @@
+lib/ir/affine.ml: Fmt List Map Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/build.ml: Access Affine Array_decl Program Stmt

@@ -1,0 +1,1 @@
+lib/ir/build.mli: Access Affine Array_decl Program

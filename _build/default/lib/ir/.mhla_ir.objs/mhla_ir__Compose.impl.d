@@ -1,0 +1,1 @@
+lib/ir/compose.ml: Access Affine Array_decl List Printf Program Stmt

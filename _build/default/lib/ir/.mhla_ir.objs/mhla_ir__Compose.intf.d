@@ -1,0 +1,1 @@
+lib/ir/compose.mli: Program

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Access Array_decl Fmt List Printf Stmt String

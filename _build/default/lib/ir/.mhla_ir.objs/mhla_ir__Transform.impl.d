@@ -1,0 +1,1 @@
+lib/ir/transform.ml: Access Affine List Printf Program Stmt

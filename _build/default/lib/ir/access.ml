@@ -1,0 +1,29 @@
+type direction = Read | Write
+
+type t = { array : string; direction : direction; index : Affine.t list }
+
+let make ~array ~direction ~index =
+  if array = "" then invalid_arg "Access.make: empty array name";
+  if index = [] then invalid_arg "Access.make: empty index";
+  { array; direction; index }
+
+let read array index = make ~array ~direction:Read ~index
+
+let write array index = make ~array ~direction:Write ~index
+
+let is_read t = t.direction = Read
+
+let is_write t = t.direction = Write
+
+let iterators t =
+  List.concat_map Affine.iterators t.index
+  |> List.sort_uniq String.compare
+
+let pp_direction ppf = function
+  | Read -> Fmt.string ppf "R"
+  | Write -> Fmt.string ppf "W"
+
+let pp ppf t =
+  Fmt.pf ppf "%a %s%a" pp_direction t.direction t.array
+    Fmt.(list ~sep:nop (brackets Affine.pp))
+    t.index

@@ -1,0 +1,21 @@
+type t = { name : string; dims : int list; element_bytes : int }
+
+let make ~name ~dims ~element_bytes =
+  if name = "" then invalid_arg "Array_decl.make: empty name";
+  if dims = [] then invalid_arg "Array_decl.make: no dimensions";
+  if List.exists (fun d -> d <= 0) dims then
+    invalid_arg ("Array_decl.make: non-positive dimension in " ^ name);
+  if element_bytes <= 0 then
+    invalid_arg ("Array_decl.make: non-positive element size in " ^ name);
+  { name; dims; element_bytes }
+
+let elements t = List.fold_left ( * ) 1 t.dims
+
+let size_bytes t = elements t * t.element_bytes
+
+let rank t = List.length t.dims
+
+let pp ppf t =
+  Fmt.pf ppf "%s%a (%dB/elem)" t.name
+    Fmt.(list ~sep:nop (brackets int))
+    t.dims t.element_bytes

@@ -1,0 +1,21 @@
+(** Array declarations: the data objects MHLA places on memory layers. *)
+
+type t = private {
+  name : string;
+  dims : int list;  (** extent of each dimension, outermost first *)
+  element_bytes : int;  (** bytes per element, e.g. 1 for pixels *)
+}
+
+val make : name:string -> dims:int list -> element_bytes:int -> t
+(** @raise Invalid_argument on an empty name, empty or non-positive
+    dimension list, or non-positive element size. *)
+
+val elements : t -> int
+(** Total number of elements (product of dimensions). *)
+
+val size_bytes : t -> int
+
+val rank : t -> int
+(** Number of dimensions. *)
+
+val pp : t Fmt.t

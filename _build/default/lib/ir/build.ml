@@ -1,0 +1,23 @@
+let i name = Affine.var name
+
+let c k = Affine.const k
+
+let ( +$ ) = Affine.add
+
+let ( -$ ) a b = Affine.add a (Affine.scale (-1) b)
+
+let ( *$ ) e k = Affine.scale k e
+
+let array ?(element_bytes = 1) name dims =
+  Array_decl.make ~name ~dims ~element_bytes
+
+let rd = Access.read
+
+let wr = Access.write
+
+let stmt name ?(work = 1) accesses =
+  Program.Stmt (Stmt.make ~name ~work_cycles:work ~accesses)
+
+let loop iter trip body = Program.Loop { iter; trip; body }
+
+let program name ~arrays body = Program.make_exn ~name ~arrays ~body

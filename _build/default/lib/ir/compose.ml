@@ -1,0 +1,40 @@
+let prefix_names ~prefix (p : Program.t) =
+  let rn name = prefix ^ name in
+  let rename_access (a : Access.t) =
+    Access.make ~array:(rn a.Access.array) ~direction:a.Access.direction
+      ~index:(List.map (Affine.rename rn) a.Access.index)
+  in
+  let rename_stmt (s : Stmt.t) =
+    Stmt.make ~name:(rn s.Stmt.name) ~work_cycles:s.Stmt.work_cycles
+      ~accesses:(List.map rename_access s.Stmt.accesses)
+  in
+  let rec rename_node = function
+    | Program.Stmt s -> Program.Stmt (rename_stmt s)
+    | Program.Loop l ->
+      Program.Loop
+        {
+          Program.iter = rn l.Program.iter;
+          trip = l.Program.trip;
+          body = List.map rename_node l.Program.body;
+        }
+  in
+  let arrays =
+    List.map
+      (fun (a : Array_decl.t) ->
+        Array_decl.make ~name:(rn a.Array_decl.name) ~dims:a.Array_decl.dims
+          ~element_bytes:a.Array_decl.element_bytes)
+      p.Program.arrays
+  in
+  Program.make_exn ~name:(rn p.Program.name) ~arrays
+    ~body:(List.map rename_node p.Program.body)
+
+let sequence ~name tasks =
+  if tasks = [] then invalid_arg "Compose.sequence: no tasks";
+  let renamed =
+    List.mapi
+      (fun k task -> prefix_names ~prefix:(Printf.sprintf "t%d_" k) task)
+      tasks
+  in
+  let arrays = List.concat_map (fun (p : Program.t) -> p.Program.arrays) renamed in
+  let body = List.concat_map (fun (p : Program.t) -> p.Program.body) renamed in
+  Program.make_exn ~name ~arrays ~body

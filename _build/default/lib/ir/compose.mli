@@ -1,0 +1,20 @@
+(** Composition of programs into multi-task workloads.
+
+    The paper's future work: "we plan to extend our technique to
+    multiple tasks". For statically-scheduled embedded systems the
+    simplest realistic model is sequential task composition: tasks run
+    one after another on the same platform, sharing the scratchpad. The
+    combined program hands MHLA the cross-task view — buffers of
+    different tasks have disjoint lifetimes and overlay in-place, which
+    a per-task allocation cannot exploit. *)
+
+val sequence : name:string -> Program.t list -> Program.t
+(** [sequence ~name tasks] concatenates the tasks in order. Every
+    array, iterator and statement of task [k] is prefixed with
+    ["tk_"], so the result always validates regardless of name clashes
+    between tasks.
+    @raise Invalid_argument on an empty task list. *)
+
+val prefix_names : prefix:string -> Program.t -> Program.t
+(** The renaming used by {!sequence}, exposed for tests: prefix every
+    array, iterator and statement name. *)

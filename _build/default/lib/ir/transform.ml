@@ -1,0 +1,85 @@
+let subst_in_access ~iter ~replacement (a : Access.t) =
+  Access.make ~array:a.Access.array ~direction:a.Access.direction
+    ~index:(List.map (Affine.subst ~iter ~replacement) a.Access.index)
+
+let subst_in_stmt ~iter ~replacement (s : Stmt.t) =
+  Stmt.make ~name:s.Stmt.name ~work_cycles:s.Stmt.work_cycles
+    ~accesses:(List.map (subst_in_access ~iter ~replacement) s.Stmt.accesses)
+
+let rec subst_in_node ~iter ~replacement = function
+  | Program.Stmt s -> Program.Stmt (subst_in_stmt ~iter ~replacement s)
+  | Program.Loop l ->
+    Program.Loop
+      {
+        l with
+        Program.body = List.map (subst_in_node ~iter ~replacement) l.Program.body;
+      }
+
+let tile ~iter ~factor (p : Program.t) =
+  match Program.iterator_trip p iter with
+  | None -> Error (Printf.sprintf "tile: no loop %S" iter)
+  | Some trip ->
+    if factor <= 1 || factor >= trip then
+      Error
+        (Printf.sprintf "tile: factor %d not in 1 < factor < %d" factor trip)
+    else if trip mod factor <> 0 then
+      Error
+        (Printf.sprintf "tile: factor %d does not divide trip %d" factor trip)
+    else begin
+      let outer = iter ^ "_o" in
+      let inner = iter ^ "_i" in
+      let replacement =
+        Affine.add (Affine.var ~coeff:factor outer) (Affine.var inner)
+      in
+      let rec rewrite = function
+        | Program.Stmt _ as node -> node
+        | Program.Loop l when l.Program.iter = iter ->
+          let body =
+            List.map (subst_in_node ~iter ~replacement) l.Program.body
+          in
+          Program.Loop
+            {
+              Program.iter = outer;
+              trip = trip / factor;
+              body =
+                [ Program.Loop { Program.iter = inner; trip = factor; body } ];
+            }
+        | Program.Loop l ->
+          Program.Loop
+            { l with Program.body = List.map rewrite l.Program.body }
+      in
+      Program.make ~name:p.Program.name ~arrays:p.Program.arrays
+        ~body:(List.map rewrite p.Program.body)
+    end
+
+let tile_exn ~iter ~factor p =
+  match tile ~iter ~factor p with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Transform.tile_exn: " ^ msg)
+
+let interchange ~outer ~inner (p : Program.t) =
+  let changed = ref false in
+  let rec rewrite = function
+    | Program.Stmt _ as node -> node
+    | Program.Loop l
+      when l.Program.iter = outer -> (
+      match l.Program.body with
+      | [ Program.Loop il ] when il.Program.iter = inner ->
+        changed := true;
+        Program.Loop
+          {
+            il with
+            Program.body =
+              [ Program.Loop { l with Program.body = il.Program.body } ];
+          }
+      | _ -> Program.Loop l)
+    | Program.Loop l ->
+      Program.Loop { l with Program.body = List.map rewrite l.Program.body }
+  in
+  let body = List.map rewrite p.Program.body in
+  if not !changed then
+    Error
+      (Printf.sprintf
+         "interchange: %S is not a perfect nest directly inside %S" inner
+         outer)
+  else Program.make ~name:p.Program.name ~arrays:p.Program.arrays ~body

@@ -1,0 +1,28 @@
+(** Loop transformations that enlarge MHLA's search space.
+
+    MHLA takes the loop structure as given: a copy candidate exists
+    only at the nesting levels the program already has. Restructuring
+    the loops first — the DTSE flow's earlier steps — creates new
+    levels and therefore new, smaller copy candidates. Tiling is the
+    workhorse: it turns "one huge window per iteration" into "one small
+    block per tile", often the difference between a useless and a
+    perfect fit for a given scratchpad. *)
+
+val tile :
+  iter:string -> factor:int -> Program.t -> (Program.t, string) result
+(** [tile ~iter ~factor p] strip-mines the loop [iter] into an outer
+    loop [iter_o] of [trip / factor] iterations and an inner loop
+    [iter_i] of [factor], rewriting every subscript with
+    [iter = factor * iter_o + iter_i]. Errors when the loop does not
+    exist, [factor] does not divide the trip count, or [factor] is not
+    in [1 < factor < trip]. *)
+
+val tile_exn : iter:string -> factor:int -> Program.t -> Program.t
+(** @raise Invalid_argument with {!tile}'s error message. *)
+
+val interchange :
+  outer:string -> inner:string -> Program.t -> (Program.t, string) result
+(** Swap two perfectly-nested adjacent loops ([inner] must be the sole
+    child of [outer]). Changes which reuse direction the copy-candidate
+    levels expose. Subscripts are untouched — only the nesting order
+    (and hence footprints and transfer counts) changes. *)

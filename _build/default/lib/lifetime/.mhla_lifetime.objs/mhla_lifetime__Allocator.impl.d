@@ -1,0 +1,1 @@
+lib/lifetime/allocator.ml: Fmt List Mhla_util Occupancy Printf

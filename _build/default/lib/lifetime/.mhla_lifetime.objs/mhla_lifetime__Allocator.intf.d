@@ -1,0 +1,1 @@
+lib/lifetime/allocator.mli: Fmt Occupancy

@@ -1,0 +1,1 @@
+lib/lifetime/occupancy.ml: Fmt List Mhla_util

@@ -1,0 +1,1 @@
+lib/lifetime/occupancy.mli: Fmt Mhla_util

@@ -1,0 +1,1 @@
+lib/lifetime/schedule.ml: Hashtbl List Mhla_ir Mhla_reuse Mhla_util

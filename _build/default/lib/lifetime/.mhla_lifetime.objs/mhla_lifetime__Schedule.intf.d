@@ -1,0 +1,1 @@
+lib/lifetime/schedule.mli: Mhla_ir Mhla_reuse Mhla_util

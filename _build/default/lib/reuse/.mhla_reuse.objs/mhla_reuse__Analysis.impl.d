@@ -1,0 +1,1 @@
+lib/reuse/analysis.ml: Candidate Fmt List Mhla_ir String

@@ -1,0 +1,1 @@
+lib/reuse/analysis.mli: Candidate Fmt Mhla_ir

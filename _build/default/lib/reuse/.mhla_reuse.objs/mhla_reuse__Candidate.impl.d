@@ -1,0 +1,1 @@
+lib/reuse/candidate.ml: Fmt Footprint List Mhla_ir Printf

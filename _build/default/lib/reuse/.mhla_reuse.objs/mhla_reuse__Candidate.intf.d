@@ -1,0 +1,1 @@
+lib/reuse/candidate.mli: Fmt Mhla_ir

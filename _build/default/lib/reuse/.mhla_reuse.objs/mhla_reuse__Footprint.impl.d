@@ -1,0 +1,1 @@
+lib/reuse/footprint.ml: List Mhla_ir

@@ -1,0 +1,1 @@
+lib/reuse/footprint.mli: Mhla_ir

@@ -1,0 +1,22 @@
+let elements_along_dims ~decl ~trip ~free (access : Mhla_ir.Access.t) =
+  let dims = decl.Mhla_ir.Array_decl.dims in
+  let span expr dim_extent =
+    let extent = Mhla_ir.Affine.extent expr ~trip ~free in
+    min (extent + 1) dim_extent
+  in
+  List.map2 span access.Mhla_ir.Access.index dims
+
+let elements ~decl ~trip ~free access =
+  List.fold_left ( * ) 1 (elements_along_dims ~decl ~trip ~free access)
+
+let bytes ~decl ~trip ~free access =
+  elements ~decl ~trip ~free access * decl.Mhla_ir.Array_decl.element_bytes
+
+let overlap_elements ~decl ~trip ~free ~advance (access : Mhla_ir.Access.t) =
+  let spans = elements_along_dims ~decl ~trip ~free access in
+  let overlap_dim expr span =
+    let shift = abs (Mhla_ir.Affine.coeff expr advance) in
+    max 0 (span - shift)
+  in
+  let overlaps = List.map2 overlap_dim access.Mhla_ir.Access.index spans in
+  List.fold_left ( * ) 1 overlaps

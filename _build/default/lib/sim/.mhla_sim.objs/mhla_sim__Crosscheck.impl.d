@@ -1,0 +1,1 @@
+lib/sim/crosscheck.ml: Fmt List Mhla_arch Mhla_core Pipeline

@@ -1,0 +1,1 @@
+lib/sim/crosscheck.mli: Fmt Mhla_core Pipeline

@@ -1,0 +1,70 @@
+module Cost = Mhla_core.Cost
+module Mapping = Mhla_core.Mapping
+module Prefetch = Mhla_core.Prefetch
+
+type bt_check = {
+  check_id : string;
+  params : Pipeline.params;
+  simulated : Pipeline.outcome;
+  analytic_stall_cycles : int;
+  cold_start_bound : int;
+}
+
+let within_bound c =
+  abs (c.simulated.Pipeline.stall_cycles - c.analytic_stall_cycles)
+  <= c.cold_start_bound
+
+type report = { checks : bt_check list; disagreements : bt_check list }
+
+let check_of_plan (m : Mapping.t) (plan : Prefetch.plan) =
+  let bt = plan.Prefetch.bt in
+  let setup_cycles, channels =
+    if Mhla_arch.Hierarchy.has_dma m.Mapping.hierarchy then begin
+      let d = Mhla_arch.Hierarchy.dma_exn m.Mapping.hierarchy in
+      (d.Mhla_arch.Dma.setup_cycles, d.Mhla_arch.Dma.channels)
+    end
+    else (0, 1)
+  in
+  let compute_cycles =
+    match plan.Prefetch.freedom with
+    | iter :: _ -> Cost.loop_iteration_cycles m ~iter
+    | [] -> 0
+  in
+  let params =
+    {
+      Pipeline.issues = bt.Mapping.issues;
+      transfer_cycles = plan.Prefetch.bt_time;
+      compute_cycles;
+      lookahead = plan.Prefetch.extra_buffers;
+      setup_cycles;
+      channels;
+    }
+  in
+  {
+    check_id = bt.Mapping.bt_id;
+    params;
+    simulated = Pipeline.run params;
+    analytic_stall_cycles = Pipeline.analytic_stall params;
+    cold_start_bound =
+      (params.Pipeline.lookahead + 1)
+      * (params.Pipeline.transfer_cycles + params.Pipeline.setup_cycles);
+  }
+
+let crosscheck m (schedule : Prefetch.schedule) =
+  let checks =
+    List.filter_map
+      (fun (p : Prefetch.plan) ->
+        if p.Prefetch.bt.Mapping.issues > 0 then Some (check_of_plan m p)
+        else None)
+      schedule.Prefetch.plans
+  in
+  {
+    checks;
+    disagreements = List.filter (fun c -> not (within_bound c)) checks;
+  }
+
+let pp_check ppf c =
+  Fmt.pf ppf "%s: simulated stall %d, analytic %d (bound %d) %s" c.check_id
+    c.simulated.Pipeline.stall_cycles c.analytic_stall_cycles
+    c.cold_start_bound
+    (if within_bound c then "OK" else "DISAGREE")

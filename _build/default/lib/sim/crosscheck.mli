@@ -1,0 +1,28 @@
+(** EXT-XVAL: event-driven validation of the analytic TE model.
+
+    For every block transfer the TE step planned, build the equivalent
+    {!Pipeline} stream and compare simulated against analytic stalls.
+    The analytic model is a steady-state approximation: it ignores the
+    pipeline cold start (the first [lookahead+1] buffers cannot be
+    hidden) and DMA channel serialisation, so per-stream agreement is
+    required only up to [cold_start_bound]. *)
+
+type bt_check = {
+  check_id : string;
+  params : Pipeline.params;
+  simulated : Pipeline.outcome;
+  analytic_stall_cycles : int;
+  cold_start_bound : int;
+      (** [(lookahead+1) * (transfer + setup)] slack allowed *)
+}
+
+val within_bound : bt_check -> bool
+(** [|simulated - analytic| <= cold_start_bound]. *)
+
+type report = { checks : bt_check list; disagreements : bt_check list }
+
+val crosscheck :
+  Mhla_core.Mapping.t -> Mhla_core.Prefetch.schedule -> report
+(** One check per TE plan with at least one issue. *)
+
+val pp_check : bt_check Fmt.t

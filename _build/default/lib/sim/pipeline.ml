@@ -1,0 +1,87 @@
+type params = {
+  issues : int;
+  transfer_cycles : int;
+  compute_cycles : int;
+  lookahead : int;
+  setup_cycles : int;
+  channels : int;
+}
+
+type outcome = {
+  total_cycles : int;
+  stall_cycles : int;
+  dma_busy_cycles : int;
+}
+
+let validate p =
+  if p.issues <= 0 then invalid_arg "Pipeline.run: issues must be positive";
+  if p.transfer_cycles < 0 || p.compute_cycles < 0 || p.lookahead < 0
+     || p.setup_cycles < 0
+  then invalid_arg "Pipeline.run: negative parameter";
+  if p.channels < 1 then invalid_arg "Pipeline.run: channels must be >= 1"
+
+(* Iteration [it] consumes buffer [it]. Transfer [it] is issued by the
+   CPU at the start of iteration [it - lookahead] (time 0 when that is
+   in the past), runs on a single serial DMA channel, and must finish
+   before iteration [it] begins computing. *)
+let run p =
+  validate p;
+  let completion = Array.make p.issues 0 in
+  let cpu = ref 0 in
+  let channel_free = Array.make p.channels 0 in
+  let dma_busy = ref 0 in
+  let stalls = ref 0 in
+  let issue j =
+    (* The CPU programs the engine, then the transfer queues on the
+       earliest-free channel. *)
+    cpu := !cpu + p.setup_cycles;
+    let best = ref 0 in
+    Array.iteri
+      (fun c free -> if free < channel_free.(!best) then best := c)
+      channel_free;
+    let c = !best in
+    let start = max !cpu channel_free.(c) in
+    channel_free.(c) <- start + p.transfer_cycles;
+    dma_busy := !dma_busy + p.transfer_cycles;
+    completion.(j) <- channel_free.(c)
+  in
+  for it = 0 to p.issues - 1 do
+    (* Transfers whose initiation point is this iteration's start:
+       iteration 0 primes the pipeline with the first lookahead+1
+       buffers, later iterations top it up with one. *)
+    if it = 0 then
+      for j = 0 to min p.lookahead (p.issues - 1) do
+        issue j
+      done
+    else if it + p.lookahead < p.issues then issue (it + p.lookahead);
+    let ready = completion.(it) in
+    if ready > !cpu then begin
+      stalls := !stalls + (ready - !cpu);
+      cpu := ready
+    end;
+    cpu := !cpu + p.compute_cycles
+  done;
+  { total_cycles = !cpu; stall_cycles = !stalls; dma_busy_cycles = !dma_busy }
+
+let analytic_stall p =
+  validate p;
+  let hidden = min p.transfer_cycles (p.lookahead * p.compute_cycles) in
+  p.issues * (p.transfer_cycles - hidden)
+
+let steady_state_stall p =
+  validate p;
+  if p.lookahead = 0 then p.issues * p.transfer_cycles
+  else begin
+    (* Up to [lookahead + 1] transfers are in flight at once (the one
+       being awaited plus the ones issued ahead), bounded by the
+       channel count; each iteration then waits for a
+       [transfer / overlap] slice, of which the CPU covers compute plus
+       one setup. *)
+    let overlap = min (p.lookahead + 1) p.channels in
+    let service = p.transfer_cycles / overlap in
+    p.issues * max 0 (service - p.compute_cycles - p.setup_cycles)
+  end
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "total %d, stall %d, dma busy %d" o.total_cycles o.stall_cycles
+    o.dma_busy_cycles

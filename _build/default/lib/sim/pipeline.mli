@@ -1,0 +1,48 @@
+(** Cycle-level simulation of one prefetch pipeline.
+
+    The analytic cost engine ({!Mhla_core.Cost}) charges a block
+    transfer [issues * max(0, time - hidden)] stall cycles. This module
+    replays the same stream event by event — CPU iterations consuming
+    buffers, a DMA engine filling them [lookahead] iterations ahead —
+    and measures the stalls that actually occur, including the cold
+    start and DMA serialisation the analytic model ignores. Agreement
+    within the cold-start bound is the EXT-XVAL experiment. *)
+
+type params = {
+  issues : int;  (** transfers in the stream (refresh-loop trip) *)
+  transfer_cycles : int;  (** DMA busy time per issue *)
+  compute_cycles : int;  (** CPU work per iteration between uses *)
+  lookahead : int;
+      (** how many iterations ahead a transfer is initiated; [0] =
+          synchronous (no TE) *)
+  setup_cycles : int;  (** CPU-paid DMA programming per issue *)
+  channels : int;  (** concurrent DMA channels (>= 1) *)
+}
+
+type outcome = {
+  total_cycles : int;  (** makespan of the whole stream *)
+  stall_cycles : int;  (** CPU cycles spent waiting on transfers *)
+  dma_busy_cycles : int;
+}
+
+val run : params -> outcome
+(** @raise Invalid_argument on negative parameters or [issues <= 0]. *)
+
+val analytic_stall : params -> int
+(** The tool's (Figure-1) stall arithmetic for the same stream:
+    [issues * max 0 (transfer_cycles - lookahead * compute_cycles)].
+    Accurate while the DMA channel keeps up (transfer <= compute); with
+    a saturated channel it is optimistic — see {!steady_state_stall}. *)
+
+val steady_state_stall : params -> int
+(** Steady-state stall of the simulated pipeline, cold start excluded.
+    With no lookahead every issue stalls [transfer_cycles]. With
+    lookahead [k], [min k channels] transfers overlap, giving an
+    effective service time of [ceil (transfer / min k channels)] per
+    iteration against the CPU's [compute + setup]. {b Exact} for
+    [channels = 1]; for more channels it is the work-conservation
+    {b lower bound} — the simulator can stall somewhat more because
+    issue and consumption phase against each other (the single-channel
+    form is then an upper bound). *)
+
+val pp_outcome : outcome Fmt.t

@@ -1,0 +1,1 @@
+lib/trace/cache.ml: Array Interp Mhla_arch Mhla_ir

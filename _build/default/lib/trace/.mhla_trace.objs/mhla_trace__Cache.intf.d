@@ -1,0 +1,1 @@
+lib/trace/cache.mli: Mhla_arch Mhla_ir

@@ -1,0 +1,1 @@
+lib/trace/interp.ml: Hashtbl List Mhla_ir Printf

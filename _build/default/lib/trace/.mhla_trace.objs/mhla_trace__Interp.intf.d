@@ -1,0 +1,1 @@
+lib/trace/interp.mli: Mhla_ir

@@ -1,0 +1,136 @@
+module Layer = Mhla_arch.Layer
+module Hierarchy = Mhla_arch.Hierarchy
+
+type config = { capacity_bytes : int; ways : int; line_bytes : int }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let config ~capacity_bytes ~ways ~line_bytes =
+  if not (is_power_of_two line_bytes) then
+    invalid_arg "Cache.config: line_bytes must be a power of two";
+  if ways < 1 then invalid_arg "Cache.config: ways must be >= 1";
+  if capacity_bytes <= 0 || capacity_bytes mod (ways * line_bytes) <> 0 then
+    invalid_arg
+      "Cache.config: capacity must be a positive multiple of ways * line";
+  { capacity_bytes; ways; line_bytes }
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+  total_cycles : int;
+  total_energy_pj : float;
+}
+
+let miss_rate s =
+  if s.accesses = 0 then 0.
+  else float_of_int s.misses /. float_of_int s.accesses
+
+type slot = { mutable tag : int; mutable dirty : bool; mutable used : int }
+
+(* Tag comparison costs grow with associativity: a standard first-order
+   overhead of 15% extra energy per additional way. *)
+let tag_energy_factor ways = 1.0 +. (0.15 *. float_of_int (ways - 1))
+
+let simulate ?config:cfg ~hierarchy program =
+  let on = Hierarchy.layer hierarchy 0 in
+  let off = Hierarchy.main_memory hierarchy in
+  if not (Layer.is_on_chip on) then
+    invalid_arg "Cache.simulate: hierarchy has no on-chip layer";
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None ->
+      let capacity =
+        match on.Layer.capacity_bytes with
+        | Some c -> c
+        | None -> invalid_arg "Cache.simulate: unbounded on-chip layer"
+      in
+      (* Round down to a legal 2-way geometry. *)
+      let line_bytes = 16 in
+      let ways = 2 in
+      let unit = ways * line_bytes in
+      if capacity < unit then
+        invalid_arg "Cache.simulate: on-chip capacity below one cache set";
+      config ~capacity_bytes:(capacity / unit * unit) ~ways ~line_bytes
+  in
+  let sets = cfg.capacity_bytes / (cfg.ways * cfg.line_bytes) in
+  let cache =
+    Array.init sets (fun _ ->
+        Array.init cfg.ways (fun _ -> { tag = -1; dirty = false; used = 0 }))
+  in
+  let clock = ref 0 in
+  let hits = ref 0 in
+  let misses = ref 0 in
+  let evictions = ref 0 in
+  let writebacks = ref 0 in
+  let cycles = ref 0 in
+  let energy = ref 0. in
+  let tag_factor = tag_energy_factor cfg.ways in
+  let hit_energy direction =
+    tag_factor
+    *.
+    match direction with
+    | Mhla_ir.Access.Read -> on.Layer.read_energy_pj
+    | Mhla_ir.Access.Write -> on.Layer.write_energy_pj
+  in
+  let line_cycles = Layer.transfer_cycles off ~bytes:cfg.line_bytes in
+  let access (e : Interp.event) =
+    incr clock;
+    let line = e.Interp.address / cfg.line_bytes in
+    let set = cache.(line mod sets) in
+    let tag = line / sets in
+    cycles := !cycles + on.Layer.latency_cycles;
+    energy := !energy +. hit_energy e.Interp.direction;
+    let slot_hit = Array.exists (fun s -> s.tag = tag) set in
+    if slot_hit then begin
+      incr hits;
+      Array.iter
+        (fun s ->
+          if s.tag = tag then begin
+            s.used <- !clock;
+            if e.Interp.direction = Mhla_ir.Access.Write then s.dirty <- true
+          end)
+        set
+    end
+    else begin
+      incr misses;
+      (* Choose the LRU victim. *)
+      let victim = ref set.(0) in
+      Array.iter (fun s -> if s.used < !victim.used then victim := s) set;
+      let v = !victim in
+      if v.tag >= 0 then incr evictions;
+      let line_elements = max 1 (cfg.line_bytes / e.Interp.element_bytes) in
+      if v.tag >= 0 && v.dirty then begin
+        incr writebacks;
+        cycles := !cycles + off.Layer.latency_cycles + line_cycles;
+        energy :=
+          !energy
+          +. (float_of_int line_elements
+             *. (Layer.burst_write_energy_pj off
+                +. Layer.burst_read_energy_pj on))
+      end;
+      cycles := !cycles + off.Layer.latency_cycles + line_cycles;
+      energy :=
+        !energy
+        +. (float_of_int line_elements
+           *. (Layer.burst_read_energy_pj off
+              +. Layer.burst_write_energy_pj on));
+      v.tag <- tag;
+      v.dirty <- e.Interp.direction = Mhla_ir.Access.Write;
+      v.used <- !clock
+    end
+  in
+  let accesses = Interp.fold program ~init:0 ~f:(fun n e -> access e; n + 1) in
+  cycles := !cycles + Mhla_ir.Program.total_work_cycles program;
+  {
+    accesses;
+    hits = !hits;
+    misses = !misses;
+    evictions = !evictions;
+    writebacks = !writebacks;
+    total_cycles = !cycles;
+    total_energy_pj = !energy;
+  }

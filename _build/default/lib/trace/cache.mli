@@ -1,0 +1,47 @@
+(** Trace-driven set-associative cache simulator.
+
+    The comparison baseline the scratchpad literature always asks for:
+    instead of MHLA's software-placed copies, give the CPU a hardware
+    cache of the same capacity and replay the program's exact access
+    trace through it. Misses stream whole lines from the off-chip
+    layer; hits pay the on-chip access cost plus tag overhead.
+
+    LRU replacement, write-allocate, write-back (dirty lines cost a
+    line write-back on eviction). *)
+
+type config = {
+  capacity_bytes : int;
+  ways : int;  (** associativity; 1 = direct-mapped *)
+  line_bytes : int;  (** power of two *)
+}
+
+val config : capacity_bytes:int -> ways:int -> line_bytes:int -> config
+(** @raise Invalid_argument unless [line_bytes] is a power of two,
+    [ways >= 1], and [capacity_bytes] is a positive multiple of
+    [ways * line_bytes]. *)
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;  (** dirty evictions *)
+  total_cycles : int;
+  total_energy_pj : float;
+}
+
+val miss_rate : stats -> float
+
+val simulate :
+  ?config:config ->
+  hierarchy:Mhla_arch.Hierarchy.t ->
+  Mhla_ir.Program.t ->
+  stats
+(** Replay the program's full trace. [config] defaults to a 2-way
+    cache with 16-byte lines sized to the hierarchy's on-chip
+    capacity. The hierarchy provides the cost model: on-chip layer for
+    hit cost (with a tag-lookup overhead per way), off-chip layer for
+    line fills and write-backs; statement compute cycles are charged as
+    in {!Mhla_core.Cost}.
+    @raise Invalid_argument when the hierarchy has no on-chip layer
+    able to hold the cache. *)

@@ -1,0 +1,143 @@
+type event = {
+  stmt : string;
+  array : string;
+  direction : Mhla_ir.Access.direction;
+  address : int;
+  element_bytes : int;
+}
+
+type layout = (string * int) list
+
+let align8 n = (n + 7) land lnot 7
+
+let layout (program : Mhla_ir.Program.t) =
+  let place (next, acc) (a : Mhla_ir.Array_decl.t) =
+    let base = align8 next in
+    (base + Mhla_ir.Array_decl.size_bytes a, (a.Mhla_ir.Array_decl.name, base) :: acc)
+  in
+  let _, placed =
+    List.fold_left place (0, []) program.Mhla_ir.Program.arrays
+  in
+  List.rev placed
+
+let find_decl program array =
+  match Mhla_ir.Program.find_array program array with
+  | Some d -> d
+  | None -> invalid_arg ("Interp: unknown array " ^ array)
+
+(* Row-major offset with bounds checking per dimension. *)
+let element_offset (decl : Mhla_ir.Array_decl.t) ~indices =
+  let rec walk acc dims indices =
+    match (dims, indices) with
+    | [], [] -> acc
+    | dim :: dims, idx :: indices ->
+      if idx < 0 || idx >= dim then
+        invalid_arg
+          (Printf.sprintf "Interp: index %d out of bounds 0..%d in %s" idx
+             (dim - 1) decl.Mhla_ir.Array_decl.name);
+      walk ((acc * dim) + idx) dims indices
+    | _, _ ->
+      invalid_arg ("Interp: rank mismatch on " ^ decl.Mhla_ir.Array_decl.name)
+  in
+  walk 0 decl.Mhla_ir.Array_decl.dims indices
+
+let address layout program ~array ~indices =
+  let decl = find_decl program array in
+  let base =
+    match List.assoc_opt array layout with
+    | Some b -> b
+    | None -> invalid_arg ("Interp: array not in layout: " ^ array)
+  in
+  base + (element_offset decl ~indices * decl.Mhla_ir.Array_decl.element_bytes)
+
+let fold ?only_stmt (program : Mhla_ir.Program.t) ~init ~f =
+  let bases = layout program in
+  let env = Hashtbl.create 16 in
+  let lookup name =
+    match Hashtbl.find_opt env name with
+    | Some v -> v
+    | None -> invalid_arg ("Interp: free iterator " ^ name)
+  in
+  let acc = ref init in
+  let run_stmt (s : Mhla_ir.Stmt.t) =
+    match only_stmt with
+    | Some name when name <> s.Mhla_ir.Stmt.name -> ()
+    | Some _ | None ->
+      List.iter
+        (fun (a : Mhla_ir.Access.t) ->
+          let indices =
+            List.map (fun e -> Mhla_ir.Affine.eval e ~env:lookup) a.Mhla_ir.Access.index
+          in
+          let address =
+            address bases program ~array:a.Mhla_ir.Access.array ~indices
+          in
+          let decl = find_decl program a.Mhla_ir.Access.array in
+          acc :=
+            f !acc
+              {
+                stmt = s.Mhla_ir.Stmt.name;
+                array = a.Mhla_ir.Access.array;
+                direction = a.Mhla_ir.Access.direction;
+                address;
+                element_bytes = decl.Mhla_ir.Array_decl.element_bytes;
+              })
+        s.Mhla_ir.Stmt.accesses
+  in
+  let rec run_node = function
+    | Mhla_ir.Program.Stmt s -> run_stmt s
+    | Mhla_ir.Program.Loop l ->
+      for it = 0 to l.Mhla_ir.Program.trip - 1 do
+        Hashtbl.replace env l.Mhla_ir.Program.iter it;
+        List.iter run_node l.Mhla_ir.Program.body
+      done;
+      Hashtbl.remove env l.Mhla_ir.Program.iter
+  in
+  List.iter run_node program.Mhla_ir.Program.body;
+  !acc
+
+let count_events ?only_stmt program =
+  fold ?only_stmt program ~init:0 ~f:(fun n _ -> n + 1)
+
+(* Sweep the statement's own iteration space (pinning the iterators in
+   [fix]) and collect the distinct addresses of one access. *)
+let touched_addresses program ~stmt ~access_index ~fix =
+  let bases = layout program in
+  let ctx =
+    match Mhla_ir.Program.find_context program ~stmt with
+    | Some c -> c
+    | None -> invalid_arg ("Interp: unknown statement " ^ stmt)
+  in
+  let access =
+    match
+      List.nth_opt ctx.Mhla_ir.Program.stmt.Mhla_ir.Stmt.accesses access_index
+    with
+    | Some a -> a
+    | None -> invalid_arg "Interp: access index out of range"
+  in
+  let loops = ctx.Mhla_ir.Program.loops in
+  let addresses = Hashtbl.create 256 in
+  let rec sweep env = function
+    | [] ->
+      let lookup name =
+        match List.assoc_opt name env with
+        | Some v -> v
+        | None -> 0
+      in
+      let indices =
+        List.map
+          (fun e -> Mhla_ir.Affine.eval e ~env:lookup)
+          access.Mhla_ir.Access.index
+      in
+      Hashtbl.replace addresses
+        (address bases program ~array:access.Mhla_ir.Access.array ~indices)
+        ()
+    | (iter, trip) :: rest -> (
+      match List.assoc_opt iter fix with
+      | Some v -> sweep ((iter, v) :: env) rest
+      | None ->
+        for it = 0 to trip - 1 do
+          sweep ((iter, it) :: env) rest
+        done)
+  in
+  sweep [] loops;
+  List.sort compare (Hashtbl.fold (fun addr () acc -> addr :: acc) addresses [])

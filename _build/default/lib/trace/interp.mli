@@ -1,0 +1,55 @@
+(** Dynamic reference executor for the loop-nest IR.
+
+    Walks the loop tree iteration by iteration and emits one event per
+    array access with its exact linearised address. This is the ground
+    truth the static analyses are checked against: access counts must
+    match {!Mhla_ir.Program.total_accesses} and the distinct addresses
+    touched inside a refresh window must be covered by the analytic
+    footprint box. It also feeds the {!Cache} simulator.
+
+    Cost is one closure call per dynamic access — fine for the bundled
+    applications (up to ~10^7 events) but mind it on bigger inputs. *)
+
+type event = {
+  stmt : string;
+  array : string;
+  direction : Mhla_ir.Access.direction;
+  address : int;  (** global byte address, see {!layout} *)
+  element_bytes : int;
+}
+
+type layout = (string * int) list
+(** Base byte address of every array, assigned in declaration order,
+    8-byte aligned, starting at 0. *)
+
+val layout : Mhla_ir.Program.t -> layout
+
+val address :
+  layout -> Mhla_ir.Program.t -> array:string -> indices:int list -> int
+(** Row-major linearised byte address of one element.
+    @raise Invalid_argument for an unknown array, a rank mismatch or an
+    out-of-bounds index. *)
+
+val fold :
+  ?only_stmt:string ->
+  Mhla_ir.Program.t ->
+  init:'a ->
+  f:('a -> event -> 'a) ->
+  'a
+(** Execute the program in source order and fold over every access
+    event. [only_stmt] restricts the events to one statement (the
+    loops still iterate fully).
+    @raise Invalid_argument when a subscript leaves the array bounds —
+    an IR modelling bug worth failing loudly on. *)
+
+val count_events : ?only_stmt:string -> Mhla_ir.Program.t -> int
+
+val touched_addresses :
+  Mhla_ir.Program.t ->
+  stmt:string ->
+  access_index:int ->
+  fix:(string * int) list ->
+  int list
+(** The distinct addresses one access touches while the iterators in
+    [fix] are pinned and all other enclosing loops sweep — the dynamic
+    counterpart of a copy-candidate footprint. Sorted ascending. *)

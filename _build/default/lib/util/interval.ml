@@ -1,0 +1,44 @@
+type t = { lo : int; hi : int }
+
+let make ~lo ~hi =
+  if hi < lo then
+    invalid_arg (Printf.sprintf "Interval.make: hi (%d) < lo (%d)" hi lo);
+  { lo; hi }
+
+let is_empty t = t.lo = t.hi
+
+let length t = t.hi - t.lo
+
+let overlaps a b = a.lo < b.hi && b.lo < a.hi
+
+let contains t x = t.lo <= x && x < t.hi
+
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let pp ppf t = Fmt.pf ppf "[%d,%d)" t.lo t.hi
+
+(* Sweep line: +weight events at [lo], -weight events at [hi]. At equal
+   instants the closing events come first so half-open semantics hold. *)
+let events blocks =
+  let push acc (iv, w) =
+    if is_empty iv || w = 0 then acc
+    else (iv.lo, w) :: (iv.hi, -w) :: acc
+  in
+  let evs = List.fold_left push [] blocks in
+  let compare_event (t1, w1) (t2, w2) =
+    match compare t1 t2 with 0 -> compare w1 w2 | c -> c
+  in
+  List.sort compare_event evs
+
+let peak_weight_instant blocks =
+  let step (current, peak, at) (t, w) =
+    let current = current + w in
+    if current > peak then (current, current, t) else (current, peak, at)
+  in
+  let _, peak, at = List.fold_left step (0, 0, 0) (events blocks) in
+  (peak, at)
+
+let peak_weight blocks = fst (peak_weight_instant blocks)

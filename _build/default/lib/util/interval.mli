@@ -1,0 +1,37 @@
+(** Half-open integer intervals [\[lo, hi)] and weighted-overlap
+    queries.
+
+    Used by the lifetime analysis: each allocated block occupies
+    [weight] bytes during its lifetime interval, and the storage an
+    on-chip layer needs is the peak of the sum of weights over all
+    instants — the classic in-place-optimisation size estimate. *)
+
+type t = private { lo : int; hi : int }
+(** A half-open interval [\[lo, hi)], always with [lo <= hi]. An
+    interval with [lo = hi] is empty. *)
+
+val make : lo:int -> hi:int -> t
+(** @raise Invalid_argument if [hi < lo]. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val overlaps : t -> t -> bool
+(** Half-open overlap: [\[0,2)] and [\[2,4)] do not overlap. *)
+
+val contains : t -> int -> bool
+
+val hull : t -> t -> t
+(** Smallest interval covering both arguments. *)
+
+val pp : t Fmt.t
+
+val peak_weight : (t * int) list -> int
+(** [peak_weight blocks] is the maximum, over all instants, of the sum
+    of weights of the intervals alive at that instant. Empty intervals
+    contribute nothing. Runs in O(n log n). *)
+
+val peak_weight_instant : (t * int) list -> int * int
+(** Like {!peak_weight} but also returns the earliest instant at which
+    the peak is reached ([(peak, instant)]); [(0, 0)] for no blocks. *)

@@ -1,0 +1,89 @@
+type t =
+  | Obj of (string * t) list
+  | Arr of t list
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Null
+
+let obj fields = Obj fields
+
+let arr items = Arr items
+
+let str s = Str s
+
+let int n = Int n
+
+let float f =
+  if not (Float.is_finite f) then
+    invalid_arg "Json.float: not representable";
+  Float f
+
+let bool b = Bool b
+
+let null = Null
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string ?(indent = 0) t =
+  let buf = Buffer.create 1024 in
+  let pretty = indent > 0 in
+  let pad level =
+    if pretty then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (level * indent) ' ')
+    end
+  in
+  let rec emit level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+      (* Shortest representation that round-trips. *)
+      let s = Printf.sprintf "%.17g" f in
+      let shorter = Printf.sprintf "%.12g" f in
+      Buffer.add_string buf
+        (if float_of_string shorter = f then shorter else s)
+    | Str s -> escape buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun k item ->
+          if k > 0 then Buffer.add_char buf ',';
+          pad (level + 1);
+          emit (level + 1) item)
+        items;
+      pad level;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun k (name, value) ->
+          if k > 0 then Buffer.add_char buf ',';
+          pad (level + 1);
+          escape buf name;
+          Buffer.add_string buf (if pretty then ": " else ":");
+          emit (level + 1) value)
+        fields;
+      pad level;
+      Buffer.add_char buf '}'
+  in
+  emit 0 t;
+  Buffer.contents buf

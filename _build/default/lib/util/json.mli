@@ -1,0 +1,27 @@
+(** Minimal JSON emission (no parsing, no dependencies).
+
+    Enough for the tool's machine-readable reports: objects, arrays,
+    strings with escaping, ints, floats (emitted with full precision,
+    [NaN]/[inf] rejected at construction) and booleans. *)
+
+type t
+
+val obj : (string * t) list -> t
+
+val arr : t list -> t
+
+val str : string -> t
+
+val int : int -> t
+
+val float : float -> t
+(** @raise Invalid_argument on NaN or infinities (not representable in
+    JSON). *)
+
+val bool : bool -> t
+
+val null : t
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent] > 0 pretty-prints with that many spaces per level
+    (default 0 = compact). *)

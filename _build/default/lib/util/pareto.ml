@@ -1,0 +1,50 @@
+type 'a point = { x : float; y : float; payload : 'a }
+
+let point ~x ~y payload = { x; y; payload }
+
+let dominates p q =
+  p.x <= q.x && p.y <= q.y && (p.x < q.x || p.y < q.y)
+
+(* Invariant: sorted by strictly increasing [x] and strictly decreasing
+   [y]; no element dominates another. *)
+type 'a t = 'a point list
+
+let empty = []
+
+let size = List.length
+
+let is_empty t = t = []
+
+let add p t =
+  let rec insert = function
+    | [] -> [ p ]
+    | q :: rest ->
+      if dominates q p || (q.x = p.x && q.y = p.y) then q :: rest
+      else if dominates p q then insert rest
+      else if p.x < q.x then p :: q :: rest
+      else q :: insert rest
+  in
+  insert t
+
+let of_list points = List.fold_left (fun t p -> add p t) empty points
+
+let to_list t = t
+
+let min_y t =
+  let better acc p =
+    match acc with
+    | None -> Some p
+    | Some q -> if p.y < q.y then Some p else acc
+  in
+  List.fold_left better None t
+
+let best_under ~x_max t =
+  min_y (List.filter (fun p -> p.x <= x_max) t)
+
+let mem_dominated p t = List.exists (fun q -> dominates q p) t
+
+let pp ~payload ppf t =
+  let pp_point ppf p =
+    Fmt.pf ppf "(%g, %g) %a" p.x p.y payload p.payload
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_point) t

@@ -1,0 +1,50 @@
+let require_non_empty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | samples -> samples
+
+let mean samples =
+  let samples = require_non_empty "Stats.mean" samples in
+  List.fold_left ( +. ) 0. samples /. float_of_int (List.length samples)
+
+let geomean samples =
+  let samples = require_non_empty "Stats.geomean" samples in
+  let add_log acc s =
+    if s <= 0. then invalid_arg "Stats.geomean: non-positive sample"
+    else acc +. log s
+  in
+  let total = List.fold_left add_log 0. samples in
+  exp (total /. float_of_int (List.length samples))
+
+let stdev samples =
+  let samples = require_non_empty "Stats.stdev" samples in
+  let m = mean samples in
+  let sq_sum = List.fold_left (fun acc s -> acc +. ((s -. m) ** 2.)) 0. samples in
+  sqrt (sq_sum /. float_of_int (List.length samples))
+
+let min_max samples =
+  let samples = require_non_empty "Stats.min_max" samples in
+  let step (lo, hi) s = (min lo s, max hi s) in
+  List.fold_left step (infinity, neg_infinity) samples
+
+let percentile samples ~p =
+  let samples = require_non_empty "Stats.percentile" samples in
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort compare samples in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
+
+let ratio a b =
+  if b = 0. then invalid_arg "Stats.ratio: division by zero";
+  a /. b
+
+let percent_gain ~baseline ~improved =
+  if baseline = 0. then invalid_arg "Stats.percent_gain: zero baseline";
+  (baseline -. improved) /. baseline *. 100.

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Lazy List Mhla_apps Mhla_ir Mhla_reuse String

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest List Mhla_arch

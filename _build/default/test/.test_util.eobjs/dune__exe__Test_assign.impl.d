@@ -1,0 +1,1 @@
+test/test_assign.ml: Alcotest Lazy List Mhla_apps Mhla_arch Mhla_core Mhla_ir Mhla_lifetime Mhla_reuse QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Lazy List Mhla_apps Mhla_arch Mhla_codegen Mhla_core Mhla_ir Printf String

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest List Mhla_arch Mhla_core Mhla_ir Mhla_reuse QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array List Mhla_arch Mhla_codegen Mhla_core Mhla_ir Mhla_reuse Mhla_sim Mhla_trace Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Lazy List Mhla_apps Mhla_arch Mhla_core Mhla_util Printf String

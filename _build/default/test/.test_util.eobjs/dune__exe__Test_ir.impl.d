@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Fmt List Mhla_ir Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lifetime.ml: Alcotest List Mhla_ir Mhla_lifetime Mhla_reuse Mhla_util Printf QCheck2 QCheck_alcotest

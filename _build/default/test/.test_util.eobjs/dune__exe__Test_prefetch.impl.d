@@ -1,0 +1,1 @@
+test/test_prefetch.ml: Alcotest List Mhla_arch Mhla_core Mhla_ir Mhla_lifetime Mhla_reuse

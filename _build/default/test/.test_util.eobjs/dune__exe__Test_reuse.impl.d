@@ -1,0 +1,1 @@
+test/test_reuse.ml: Alcotest List Mhla_ir Mhla_reuse QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Lazy List Mhla_apps Mhla_arch Mhla_core Mhla_ir Mhla_sim QCheck2 QCheck_alcotest

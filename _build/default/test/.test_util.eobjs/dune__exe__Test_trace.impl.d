@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Lazy List Mhla_apps Mhla_arch Mhla_ir Mhla_reuse Mhla_trace Printf

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Hashtbl List Mhla_arch Mhla_core Mhla_ir Mhla_trace Option Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun List Mhla_util QCheck2 QCheck_alcotest String

@@ -1,0 +1,133 @@
+(* Sanity tests over the nine benchmark applications. *)
+
+module Apps = Mhla_apps.Registry
+module Defs = Mhla_apps.Defs
+module Program = Mhla_ir.Program
+module Analysis = Mhla_reuse.Analysis
+
+let test_nine_applications () =
+  Alcotest.(check int) "the paper evaluates nine applications" 9
+    (List.length Apps.all)
+
+let test_names_unique () =
+  let names = Apps.names in
+  Alcotest.(check int) "no duplicates"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "find known" true
+    (Apps.find "motion_estimation" <> None);
+  Alcotest.(check bool) "find unknown" true (Apps.find "nope" = None);
+  Alcotest.check_raises "find_exn unknown"
+    (Invalid_argument "Registry.find_exn: unknown application nope")
+    (fun () -> ignore (Apps.find_exn "nope"))
+
+let test_domains_cover_the_paper () =
+  (* "nine real life applications of motion estimation, video encoding,
+     image and audio processing domain" *)
+  let domains =
+    List.sort_uniq String.compare
+      (List.map (fun (a : Defs.t) -> a.Defs.domain) Apps.all)
+  in
+  Alcotest.(check (list string)) "paper's domains"
+    [ "audio processing"; "image processing"; "motion estimation";
+      "video encoding" ]
+    domains
+
+let per_app check =
+  List.iter (fun (app : Defs.t) -> check app) Apps.all
+
+let test_programs_validate_and_are_nontrivial () =
+  per_app (fun app ->
+      let p = Lazy.force app.Defs.program in
+      let name = app.Defs.name in
+      Alcotest.(check bool) (name ^ ": has arrays") true
+        (List.length p.Program.arrays >= 2);
+      Alcotest.(check bool) (name ^ ": has statements") true
+        (List.length (Program.contexts p) >= 1);
+      Alcotest.(check bool) (name ^ ": does real work") true
+        (Program.total_work_cycles p > 1000);
+      Alcotest.(check bool) (name ^ ": touches memory") true
+        (Program.total_access_count p > 1000))
+
+let test_small_variants () =
+  per_app (fun app ->
+      let full = Lazy.force app.Defs.program in
+      let small = Lazy.force app.Defs.small in
+      let name = app.Defs.name in
+      Alcotest.(check bool) (name ^ ": small is smaller") true
+        (Program.total_access_count small < Program.total_access_count full);
+      Alcotest.(check bool) (name ^ ": distinct program names") true
+        (full.Program.name <> small.Program.name))
+
+let test_budgets_positive_and_modest () =
+  per_app (fun app ->
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": positive budget")
+        true (app.Defs.onchip_bytes > 0);
+      (* A scratchpad bigger than all data would make MHLA pointless. *)
+      let p = Lazy.force app.Defs.program in
+      let data =
+        List.fold_left
+          (fun acc a -> acc + Mhla_ir.Array_decl.size_bytes a)
+          0 p.Program.arrays
+      in
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": budget below total data")
+        true
+        (app.Defs.onchip_bytes < data))
+
+let test_apps_have_reuse () =
+  (* Each application must expose at least one copy candidate with a
+     reuse factor above 2 - otherwise it cannot demonstrate MHLA. *)
+  per_app (fun app ->
+      let infos = Analysis.analyze (Lazy.force app.Defs.program) in
+      let best =
+        List.fold_left
+          (fun acc (info : Analysis.info) ->
+            List.fold_left
+              (fun acc c ->
+                max acc
+                  (Mhla_reuse.Candidate.reuse_factor Mhla_reuse.Candidate.Full
+                     c))
+              acc info.Analysis.candidates)
+          0. infos
+      in
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": best reuse factor > 2")
+        true (best > 2.))
+
+let test_notes_and_descriptions () =
+  per_app (fun app ->
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": has provenance notes")
+        true
+        (String.length app.Defs.notes > 80);
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": has description")
+        true
+        (String.length app.Defs.description > 10))
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "nine apps" `Quick test_nine_applications;
+          Alcotest.test_case "unique names" `Quick test_names_unique;
+          Alcotest.test_case "lookup" `Quick test_registry_lookup;
+          Alcotest.test_case "domains" `Quick test_domains_cover_the_paper;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "validate, non-trivial" `Quick
+            test_programs_validate_and_are_nontrivial;
+          Alcotest.test_case "small variants" `Quick test_small_variants;
+          Alcotest.test_case "budgets" `Quick
+            test_budgets_positive_and_modest;
+          Alcotest.test_case "reuse present" `Quick test_apps_have_reuse;
+          Alcotest.test_case "documentation" `Quick
+            test_notes_and_descriptions;
+        ] );
+    ]

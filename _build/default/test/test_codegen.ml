@@ -1,0 +1,211 @@
+(* Tests for the pseudo-C emitter and the multi-task composition. *)
+
+module Build = Mhla_ir.Build
+module Compose = Mhla_ir.Compose
+module Program = Mhla_ir.Program
+module Assign = Mhla_core.Assign
+module Explore = Mhla_core.Explore
+module Emit = Mhla_codegen.Emit
+module Presets = Mhla_arch.Presets
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let check_contains what code needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (looking for %S)" what needle)
+    true (contains code needle)
+
+let conv () =
+  let open Build in
+  program "conv"
+    ~arrays:
+      [ array "image" [ 34; 34 ]; array "coeff" [ 3; 3 ];
+        array "out" [ 32; 32 ] ]
+    [ loop "y" 32
+        [ loop "x" 32
+            [ loop "ky" 3
+                [ loop "kx" 3
+                    [ stmt "mac" ~work:4
+                        [ rd "image" [ i "y" +$ i "ky"; i "x" +$ i "kx" ];
+                          rd "coeff" [ i "ky"; i "kx" ];
+                          wr "out" [ i "y"; i "x" ] ] ] ] ] ] ]
+
+let explored () =
+  Explore.run (conv ()) (Presets.two_level ~onchip_bytes:512 ())
+
+(* --- emit --------------------------------------------------------------- *)
+
+let test_emit_structure () =
+  let r = explored () in
+  let code =
+    Emit.emit ~schedule:r.Explore.te r.Explore.assign.Assign.mapping
+  in
+  check_contains "header" code "transformed by MHLA + Time Extensions";
+  check_contains "off-chip image" code "elem1_t image[34][34]";
+  check_contains "loop structure" code "for (int y = 0; y < 32; y++)";
+  check_contains "statement call" code "mac(";
+  check_contains "work annotation" code "/* 4 cycles */";
+  (* Balanced braces. *)
+  let count ch =
+    String.fold_left (fun n c -> if c = ch then n + 1 else n) 0 code
+  in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}')
+
+let test_emit_buffers_and_transfers () =
+  let r = explored () in
+  let mapping = r.Explore.assign.Assign.mapping in
+  let code = Emit.emit ~schedule:r.Explore.te mapping in
+  (* Every selected buffer must be declared and filled. *)
+  List.iter
+    (fun (_, placement) ->
+      match placement with
+      | Mhla_core.Mapping.Direct -> ()
+      | Mhla_core.Mapping.Chain links ->
+        List.iter
+          (fun (link : Mhla_core.Mapping.chain_link) ->
+            let name = Emit.buffer_name link.Mhla_core.Mapping.candidate in
+            check_contains "buffer declared" code ("_t " ^ name);
+            check_contains "buffer filled or drained" code name)
+          links)
+    mapping.Mhla_core.Mapping.placements
+
+let test_emit_te_annotations () =
+  let r = explored () in
+  let code =
+    Emit.emit ~schedule:r.Explore.te r.Explore.assign.Assign.mapping
+  in
+  let te_extended =
+    List.exists
+      (fun (p : Mhla_core.Prefetch.plan) -> p.Mhla_core.Prefetch.extended <> [])
+      r.Explore.te.Mhla_core.Prefetch.plans
+  in
+  if te_extended then begin
+    check_contains "async issue" code "dma_fetch_async";
+    check_contains "priority" code "/*prio*/";
+    check_contains "hiding annotation" code "hides"
+  end
+
+let test_emit_without_schedule_is_synchronous () =
+  let r = explored () in
+  let code = Emit.emit r.Explore.assign.Assign.mapping in
+  Alcotest.(check bool) "no async issues" false
+    (contains code "dma_fetch_async");
+  check_contains "synchronous transfers" code "/* synchronous */"
+
+let test_emit_direct_mapping_has_no_buffers () =
+  let p = conv () in
+  let m = Mhla_core.Mapping.direct p (Presets.two_level ~onchip_bytes:512 ()) in
+  let code = Emit.emit m in
+  Alcotest.(check bool) "no dma calls" false (contains code "dma_fetch");
+  (* Affine.pp renders terms alphabetically. *)
+  check_contains "plain array access" code "image[ky + y][kx + x]"
+
+let test_emit_address_map () =
+  let r = explored () in
+  let code =
+    Emit.emit ~schedule:r.Explore.te r.Explore.assign.Assign.mapping
+  in
+  check_contains "address map present" code "address map";
+  check_contains "hex offsets" code "0x0000"
+
+let test_emit_all_apps_smoke () =
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let program = Lazy.force app.Mhla_apps.Defs.small in
+      let r = Explore.run program (Presets.two_level ~onchip_bytes:256 ()) in
+      let code =
+        Emit.emit ~schedule:r.Explore.te r.Explore.assign.Assign.mapping
+      in
+      Alcotest.(check bool)
+        (app.Mhla_apps.Defs.name ^ ": emits")
+        true
+        (String.length code > 100))
+    Mhla_apps.Registry.all
+
+(* --- compose ------------------------------------------------------------ *)
+
+let small_task name =
+  let open Build in
+  program name
+    ~arrays:[ array "a" [ 16 ]; array "b" [ 16 ] ]
+    [ loop "i" 16 [ stmt "s" ~work:2 [ rd "a" [ i "i" ]; wr "b" [ i "i" ] ] ] ]
+
+let test_compose_prefixes () =
+  let p = Compose.prefix_names ~prefix:"t0_" (small_task "task") in
+  Alcotest.(check string) "program name" "t0_task" p.Program.name;
+  Alcotest.(check (list string)) "arrays" [ "t0_a"; "t0_b" ]
+    (Program.array_names p);
+  Alcotest.(check (list string)) "statements" [ "t0_s" ]
+    (Program.stmt_names p);
+  Alcotest.(check (option int)) "iterator renamed" (Some 16)
+    (Program.iterator_trip p "t0_i");
+  (* Metrics invariant under renaming. *)
+  Alcotest.(check int) "accesses preserved"
+    (Program.total_access_count (small_task "task"))
+    (Program.total_access_count p)
+
+let test_compose_sequence () =
+  let tasks = [ small_task "alpha"; small_task "beta" ] in
+  let p = Compose.sequence ~name:"both" tasks in
+  Alcotest.(check int) "arrays concatenated" 4
+    (List.length p.Program.arrays);
+  Alcotest.(check (list string)) "statements in task order"
+    [ "t0_s"; "t1_s" ] (Program.stmt_names p);
+  Alcotest.(check int) "work adds up"
+    (2 * Program.total_work_cycles (small_task "x"))
+    (Program.total_work_cycles p)
+
+let test_compose_identical_tasks_validate () =
+  (* The whole point of prefixing: the same task twice must validate. *)
+  let t = small_task "same" in
+  let p = Compose.sequence ~name:"twice" [ t; t ] in
+  Alcotest.(check int) "both instances present" 2
+    (List.length (Program.stmt_names p))
+
+let test_compose_empty_rejected () =
+  Alcotest.check_raises "no tasks"
+    (Invalid_argument "Compose.sequence: no tasks") (fun () ->
+      ignore (Compose.sequence ~name:"none" []))
+
+let test_compose_flows_through_mhla () =
+  let p =
+    Compose.sequence ~name:"pair" [ small_task "alpha"; small_task "beta" ]
+  in
+  let r = Explore.run p (Presets.two_level ~onchip_bytes:128 ()) in
+  Alcotest.(check bool) "improves" true
+    (r.Explore.after_assign.Mhla_core.Cost.total_cycles
+    <= r.Explore.baseline.Mhla_core.Cost.total_cycles)
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "emit",
+        [
+          Alcotest.test_case "structure" `Quick test_emit_structure;
+          Alcotest.test_case "buffers and transfers" `Quick
+            test_emit_buffers_and_transfers;
+          Alcotest.test_case "TE annotations" `Quick test_emit_te_annotations;
+          Alcotest.test_case "synchronous without schedule" `Quick
+            test_emit_without_schedule_is_synchronous;
+          Alcotest.test_case "direct mapping" `Quick
+            test_emit_direct_mapping_has_no_buffers;
+          Alcotest.test_case "address map" `Quick test_emit_address_map;
+          Alcotest.test_case "all apps smoke" `Quick test_emit_all_apps_smoke;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "prefixes" `Quick test_compose_prefixes;
+          Alcotest.test_case "sequence" `Quick test_compose_sequence;
+          Alcotest.test_case "identical tasks" `Quick
+            test_compose_identical_tasks_validate;
+          Alcotest.test_case "empty rejected" `Quick test_compose_empty_rejected;
+          Alcotest.test_case "flows through MHLA" `Quick
+            test_compose_flows_through_mhla;
+        ] );
+    ]

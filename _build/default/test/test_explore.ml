@@ -1,0 +1,198 @@
+(* Tests for the two-step exploration flow and the size sweeps. *)
+
+module Build = Mhla_ir.Build
+module Assign = Mhla_core.Assign
+module Cost = Mhla_core.Cost
+module Explore = Mhla_core.Explore
+module Prefetch = Mhla_core.Prefetch
+module Report = Mhla_core.Report
+module Pareto = Mhla_util.Pareto
+module Presets = Mhla_arch.Presets
+
+let kernel () =
+  let open Build in
+  program "kernel"
+    ~arrays:
+      [ array "image" [ 34; 34 ]; array "coeff" [ 3; 3 ];
+        array "out" [ 32; 32 ] ]
+    [ loop "y" 32
+        [ loop "x" 32
+            [ loop "ky" 3
+                [ loop "kx" 3
+                    [ stmt "mac" ~work:4
+                        [ rd "image" [ i "y" +$ i "ky"; i "x" +$ i "kx" ];
+                          rd "coeff" [ i "ky"; i "kx" ];
+                          wr "out" [ i "y"; i "x" ] ] ] ] ] ] ]
+
+let run ?(budget = 512) () =
+  Explore.run (kernel ()) (Presets.two_level ~onchip_bytes:budget ())
+
+let test_design_point_ordering () =
+  let r = run () in
+  let b = r.Explore.baseline.Cost.total_cycles in
+  let a = r.Explore.after_assign.Cost.total_cycles in
+  let t = r.Explore.after_te.Cost.total_cycles in
+  let i = r.Explore.ideal.Cost.total_cycles in
+  Alcotest.(check bool) "assign <= baseline" true (a <= b);
+  Alcotest.(check bool) "te <= assign" true (t <= a);
+  Alcotest.(check bool) "ideal <= te" true (i <= t)
+
+let test_te_energy_invariant () =
+  let r = run () in
+  Alcotest.(check (float 1e-9)) "energy identical before/after TE"
+    r.Explore.after_assign.Cost.total_energy_pj
+    r.Explore.after_te.Cost.total_energy_pj
+
+let test_normalised_views () =
+  let r = run () in
+  Alcotest.(check bool) "normalised times in (0, 1]" true
+    (Explore.time_after_assign r > 0. && Explore.time_after_assign r <= 1.);
+  Alcotest.(check bool) "te <= assign (normalised)" true
+    (Explore.time_after_te r <= Explore.time_after_assign r);
+  Alcotest.(check bool) "ideal lowest" true
+    (Explore.time_ideal r <= Explore.time_after_te r);
+  Alcotest.(check (float 1e-9)) "gain consistent with normalised time"
+    (100. *. (1. -. Explore.time_after_assign r))
+    (Explore.assign_time_gain_percent r);
+  Alcotest.(check (float 1e-9)) "energy views agree"
+    (Explore.energy_after_assign r)
+    (Explore.energy_after_te r)
+
+let test_baseline_is_out_of_the_box () =
+  let r = run () in
+  Alcotest.(check int) "baseline has no transfers" 0
+    r.Explore.baseline.Cost.transfer_stall_cycles;
+  Alcotest.(check int) "baseline pays no dma" 0
+    r.Explore.baseline.Cost.dma_setup_cycles
+
+let test_config_and_order_plumbing () =
+  let config =
+    { Assign.default_config with Assign.objective = Cost.Energy }
+  in
+  let r =
+    Explore.run ~config ~order:Prefetch.Fifo (kernel ())
+      (Presets.two_level ~onchip_bytes:512 ())
+  in
+  Alcotest.(check bool) "order recorded" true
+    (r.Explore.te.Prefetch.order = Prefetch.Fifo);
+  Alcotest.(check bool) "energy objective no worse" true
+    (r.Explore.after_assign.Cost.total_energy_pj
+    <= r.Explore.baseline.Cost.total_energy_pj)
+
+(* --- sweep ------------------------------------------------------------ *)
+
+let test_sweep_points () =
+  let sizes = [ 128; 512; 2048 ] in
+  let points = Explore.sweep ~sizes (kernel ()) in
+  Alcotest.(check (list int)) "one point per size" sizes
+    (List.map (fun (p : Explore.sweep_point) -> p.Explore.onchip_bytes) points);
+  (* The baseline does not depend on the scratchpad size. *)
+  let baselines =
+    List.map
+      (fun (p : Explore.sweep_point) ->
+        p.Explore.point_result.Explore.baseline.Cost.total_cycles)
+      points
+  in
+  (match baselines with
+  | b :: rest -> List.iter (Alcotest.(check int) "same baseline" b) rest
+  | [] -> Alcotest.fail "no points")
+
+let test_sweep_no_dma () =
+  let points = Explore.sweep ~dma:false ~sizes:[ 512 ] (kernel ()) in
+  match points with
+  | [ p ] ->
+    Alcotest.(check int) "no TE plans without DMA" 0
+      (List.length p.Explore.point_result.Explore.te.Prefetch.plans)
+  | _ -> Alcotest.fail "expected one point"
+
+let test_pareto_frontiers () =
+  let sizes = [ 128; 256; 512; 1024; 2048 ] in
+  let points = Explore.sweep ~sizes (kernel ()) in
+  let fe = Explore.pareto_energy points in
+  let fc = Explore.pareto_cycles points in
+  Alcotest.(check bool) "energy frontier non-empty" true
+    (not (Pareto.is_empty fe));
+  Alcotest.(check bool) "cycles frontier non-empty" true
+    (not (Pareto.is_empty fc));
+  (* Frontier points must come from the sweep. *)
+  List.iter
+    (fun (p : _ Pareto.point) ->
+      Alcotest.(check bool) "payload is a sweep point" true
+        (List.memq p.Pareto.payload points))
+    (Pareto.to_list fe)
+
+(* --- report ----------------------------------------------------------- *)
+
+let test_report_rendering () =
+  let r = run () in
+  let summary = Report.summary ~name:"kernel" r in
+  Alcotest.(check bool) "summary mentions the name" true
+    (String.length summary > 40);
+  let detailed = Report.detailed ~name:"kernel" r in
+  Alcotest.(check bool) "detailed is long" true
+    (String.length detailed > 400);
+  let t = Report.figure2_table [ ("kernel", r) ] in
+  let rendered = Mhla_util.Table.render t in
+  Alcotest.(check bool) "figure2 has a data row" true
+    (List.length (String.split_on_char '\n' rendered) >= 4);
+  let t3 = Report.figure3_table [ ("kernel", r) ] in
+  Alcotest.(check bool) "figure3 renders" true
+    (String.length (Mhla_util.Table.render t3) > 0);
+  let th = Report.headline_table [ ("kernel", r) ] in
+  Alcotest.(check bool) "headline renders" true
+    (String.length (Mhla_util.Table.render th) > 0);
+  let points = Explore.sweep ~sizes:[ 128; 256 ] (kernel ()) in
+  let ts = Report.sweep_table points in
+  Alcotest.(check bool) "sweep renders" true
+    (String.length (Mhla_util.Table.render ts) > 0)
+
+let test_json_report () =
+  let r = run () in
+  let json =
+    Mhla_util.Json.to_string (Report.result_to_json ~name:"kernel" r)
+  in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "has application" true
+    (contains "\"application\":\"kernel\"");
+  Alcotest.(check bool) "has design points" true
+    (contains "\"after_te\"" && contains "\"ideal\"");
+  Alcotest.(check bool) "has placements" true (contains "\"placements\"");
+  Alcotest.(check bool) "has TE plans" true (contains "\"time_extensions\"");
+  let sweep_json =
+    Mhla_util.Json.to_string
+      (Report.sweep_to_json (Explore.sweep ~sizes:[ 128 ] (kernel ())))
+  in
+  Alcotest.(check bool) "sweep json non-empty" true
+    (String.length sweep_json > 100)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "design point ordering" `Quick
+            test_design_point_ordering;
+          Alcotest.test_case "TE energy invariant" `Quick
+            test_te_energy_invariant;
+          Alcotest.test_case "normalised views" `Quick test_normalised_views;
+          Alcotest.test_case "baseline shape" `Quick
+            test_baseline_is_out_of_the_box;
+          Alcotest.test_case "config plumbing" `Quick
+            test_config_and_order_plumbing;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "points" `Quick test_sweep_points;
+          Alcotest.test_case "no dma" `Quick test_sweep_no_dma;
+          Alcotest.test_case "pareto" `Quick test_pareto_frontiers;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "rendering" `Quick test_report_rendering;
+          Alcotest.test_case "json" `Quick test_json_report ] );
+    ]

@@ -1,0 +1,180 @@
+(* End-to-end checks: the full two-step flow on the real (downsized)
+   applications, with the invariants the paper's evaluation relies on. *)
+
+module Apps = Mhla_apps.Registry
+module Defs = Mhla_apps.Defs
+module Assign = Mhla_core.Assign
+module Cost = Mhla_core.Cost
+module Explore = Mhla_core.Explore
+module Mapping = Mhla_core.Mapping
+module Prefetch = Mhla_core.Prefetch
+module Report = Mhla_core.Report
+module Presets = Mhla_arch.Presets
+
+let run_small (app : Defs.t) ~budget =
+  Explore.run
+    (Lazy.force app.Defs.small)
+    (Presets.two_level ~onchip_bytes:budget ())
+
+let per_small_app check =
+  List.iter (fun (app : Defs.t) -> check app (run_small app ~budget:256)) Apps.all
+
+let test_flow_invariants_all_apps () =
+  per_small_app (fun app r ->
+      let name = app.Defs.name in
+      let b = r.Explore.baseline.Cost.total_cycles in
+      let a = r.Explore.after_assign.Cost.total_cycles in
+      let t = r.Explore.after_te.Cost.total_cycles in
+      let i = r.Explore.ideal.Cost.total_cycles in
+      Alcotest.(check bool) (name ^ ": monotone design points") true
+        (i <= t && t <= a && a <= b);
+      Alcotest.(check (float 1e-6)) (name ^ ": TE keeps energy")
+        r.Explore.after_assign.Cost.total_energy_pj
+        r.Explore.after_te.Cost.total_energy_pj;
+      Alcotest.(check bool) (name ^ ": mapping feasible") true
+        (Mapping.occupancy_ok r.Explore.assign.Assign.mapping))
+
+let test_flow_improves_all_apps () =
+  (* On every application the paper reports significant gains; at a
+     reasonable small budget the tool must at least strictly improve. *)
+  per_small_app (fun app r ->
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": strictly better than out-of-the-box")
+        true
+        (r.Explore.after_assign.Cost.total_cycles
+        < r.Explore.baseline.Cost.total_cycles))
+
+let test_full_size_headline_bands () =
+  (* The calibrated full-size runs must stay in the paper's bands:
+     step-1 time gain 40..65%, best energy gain close to 70%, TE extra
+     gain in [0, 33%]. *)
+  let results =
+    List.map
+      (fun (app : Defs.t) ->
+        ( app.Defs.name,
+          Explore.run
+            (Lazy.force app.Defs.program)
+            (Presets.two_level ~onchip_bytes:app.Defs.onchip_bytes ()) ))
+      Apps.all
+  in
+  List.iter
+    (fun (name, r) ->
+      let g1 = Explore.assign_time_gain_percent r in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: step-1 gain %.1f%% in 40..65%%" name g1)
+        true
+        (g1 >= 40. && g1 <= 65.);
+      let te = Explore.te_extra_gain_percent r in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: TE gain %.1f%% in 0..33%%" name te)
+        true
+        (te >= 0. && te <= 33.);
+      let e = Explore.energy_gain_percent r in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: energy gain %.1f%% positive and <= 80%%" name e)
+        true
+        (e > 0. && e <= 80.))
+    results;
+  let best_energy =
+    List.fold_left
+      (fun acc (_, r) -> max acc (Explore.energy_gain_percent r))
+      0. results
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "best energy gain %.1f%% is near the paper's 70%%"
+       best_energy)
+    true
+    (best_energy >= 60. && best_energy <= 80.)
+
+let test_dma_less_platform_degrades_gracefully () =
+  per_small_app (fun app _ ->
+      let r =
+        Explore.run
+          (Lazy.force app.Defs.small)
+          (Presets.two_level ~dma:false ~onchip_bytes:256 ())
+      in
+      Alcotest.(check int)
+        (app.Defs.name ^ ": TE not applicable")
+        0
+        (List.length r.Explore.te.Prefetch.plans);
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": step 1 still works")
+        true
+        (r.Explore.after_assign.Cost.total_cycles
+        <= r.Explore.baseline.Cost.total_cycles))
+
+let test_three_level_hierarchy_flow () =
+  let app = Apps.find_exn "motion_estimation" in
+  let h = Presets.three_level ~l1_bytes:128 ~l2_bytes:1024 () in
+  let r = Explore.run (Lazy.force app.Defs.small) h in
+  Alcotest.(check bool) "improves on three levels" true
+    (r.Explore.after_assign.Cost.total_cycles
+    <= r.Explore.baseline.Cost.total_cycles);
+  Alcotest.(check bool) "mapping feasible" true
+    (Mapping.occupancy_ok r.Explore.assign.Assign.mapping)
+
+let test_deferred_writebacks_never_hurt () =
+  per_small_app (fun app _ ->
+      let program = Lazy.force app.Defs.small in
+      let hierarchy = Presets.two_level ~onchip_bytes:256 () in
+      let fetch_only = Explore.run program hierarchy in
+      let with_wb = Explore.run ~defer_writebacks:true program hierarchy in
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": deferring drains never loses cycles")
+        true
+        (with_wb.Explore.after_te.Cost.total_cycles
+        <= fetch_only.Explore.after_te.Cost.total_cycles))
+
+let test_reports_render_for_every_app () =
+  per_small_app (fun app r ->
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": summary renders")
+        true
+        (String.length (Report.summary ~name:app.Defs.name r) > 40);
+      Alcotest.(check bool)
+        (app.Defs.name ^ ": detailed renders")
+        true
+        (String.length (Report.detailed ~name:app.Defs.name r) > 200))
+
+let test_figure_tables_have_nine_rows () =
+  let results =
+    List.map
+      (fun (app : Defs.t) -> (app.Defs.name, run_small app ~budget:256))
+      Apps.all
+  in
+  let rows table =
+    (* header + rule + one row per app *)
+    List.length
+      (List.filter
+         (fun line -> String.length line > 0)
+         (String.split_on_char '\n' (Mhla_util.Table.render table)))
+  in
+  Alcotest.(check int) "figure 2 rows" 11 (rows (Report.figure2_table results));
+  Alcotest.(check int) "figure 3 rows" 11 (rows (Report.figure3_table results))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "invariants on all apps" `Quick
+            test_flow_invariants_all_apps;
+          Alcotest.test_case "improves on all apps" `Quick
+            test_flow_improves_all_apps;
+          Alcotest.test_case "headline bands (full size)" `Slow
+            test_full_size_headline_bands;
+          Alcotest.test_case "no-DMA degrades gracefully" `Quick
+            test_dma_less_platform_degrades_gracefully;
+          Alcotest.test_case "three-level hierarchy" `Quick
+            test_three_level_hierarchy_flow;
+          Alcotest.test_case "deferred drains never hurt" `Quick
+            test_deferred_writebacks_never_hurt;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "reports render" `Quick
+            test_reports_render_for_every_app;
+          Alcotest.test_case "figure tables" `Quick
+            test_figure_tables_have_nine_rows;
+        ] );
+    ]

@@ -1,0 +1,330 @@
+(* Unit and property tests for the loop-nest IR. *)
+
+module Affine = Mhla_ir.Affine
+module Array_decl = Mhla_ir.Array_decl
+module Access = Mhla_ir.Access
+module Stmt = Mhla_ir.Stmt
+module Program = Mhla_ir.Program
+module Build = Mhla_ir.Build
+
+(* --- Affine ----------------------------------------------------------- *)
+
+let env_of alist name = List.assoc name alist
+
+let test_affine_eval () =
+  let e = Affine.add (Affine.var ~coeff:3 "i") (Affine.const 2) in
+  Alcotest.(check int) "3i+2 at i=4" 14
+    (Affine.eval e ~env:(env_of [ ("i", 4) ]));
+  let e2 = Affine.add e (Affine.var ~coeff:(-1) "j") in
+  Alcotest.(check int) "3i - j + 2" 9
+    (Affine.eval e2 ~env:(env_of [ ("i", 4); ("j", 5) ]))
+
+let test_affine_cancellation () =
+  let e = Affine.add (Affine.var "i") (Affine.var ~coeff:(-1) "i") in
+  Alcotest.(check bool) "i - i is constant" true (Affine.is_constant e);
+  Alcotest.(check int) "coeff of cancelled var" 0 (Affine.coeff e "i")
+
+let test_affine_scale () =
+  let e = Affine.scale 2 (Affine.add (Affine.var "i") (Affine.const 3)) in
+  Alcotest.(check int) "2*(i+3) coeff" 2 (Affine.coeff e "i");
+  Alcotest.(check int) "2*(i+3) const" 6 (Affine.constant_part e);
+  Alcotest.(check bool) "scale by 0" true
+    (Affine.is_constant (Affine.scale 0 (Affine.var "i")))
+
+let test_affine_var_zero_coeff () =
+  Alcotest.(check bool) "var with coeff 0 is constant" true
+    (Affine.is_constant (Affine.var ~coeff:0 "i"))
+
+let test_affine_iterators_sorted () =
+  let e = Affine.add (Affine.var "z") (Affine.var "a") in
+  Alcotest.(check (list string)) "sorted" [ "a"; "z" ] (Affine.iterators e)
+
+let test_affine_extent () =
+  let trip = env_of [ ("i", 10); ("j", 4) ] in
+  let e = Affine.add (Affine.var "i") (Affine.var ~coeff:2 "j") in
+  (* i sweeps 0..9 (extent 9), 2j sweeps 0,2,4,6 (extent 6). *)
+  Alcotest.(check int) "both free" 15
+    (Affine.extent e ~trip ~free:(fun _ -> true));
+  Alcotest.(check int) "only i free" 9
+    (Affine.extent e ~trip ~free:(fun n -> n = "i"));
+  Alcotest.(check int) "none free" 0
+    (Affine.extent e ~trip ~free:(fun _ -> false));
+  (* Negative coefficients count via their magnitude. *)
+  let neg = Affine.var ~coeff:(-3) "j" in
+  Alcotest.(check int) "negative coeff" 9
+    (Affine.extent neg ~trip ~free:(fun _ -> true))
+
+let test_affine_min_max () =
+  let trip = env_of [ ("i", 10) ] in
+  let e = Affine.add (Affine.var ~coeff:(-2) "i") (Affine.const 5) in
+  Alcotest.(check int) "min of -2i+5" (-13) (Affine.min_value e ~trip);
+  Alcotest.(check int) "max of -2i+5" 5 (Affine.max_value e ~trip)
+
+let test_affine_equal_compare () =
+  let a = Affine.add (Affine.var "i") (Affine.const 1) in
+  let b = Affine.offset 1 (Affine.var "i") in
+  Alcotest.(check bool) "structurally equal" true (Affine.equal a b);
+  Alcotest.(check int) "compare equal" 0 (Affine.compare a b)
+
+let affine_gen =
+  QCheck2.Gen.(
+    let term =
+      map2
+        (fun c v -> Affine.var ~coeff:c ("i" ^ string_of_int v))
+        (int_range (-5) 5) (int_range 0 3)
+    in
+    map2
+      (fun terms k -> List.fold_left Affine.add (Affine.const k) terms)
+      (list_size (int_range 0 5) term)
+      (int_range (-10) 10))
+
+let prop_eval_additive =
+  QCheck2.Test.make ~name:"affine: eval (a+b) = eval a + eval b" ~count:200
+    (QCheck2.Gen.pair affine_gen affine_gen) (fun (a, b) ->
+      let env name = (String.length name * 13) mod 7 in
+      Affine.eval (Affine.add a b) ~env
+      = Affine.eval a ~env + Affine.eval b ~env)
+
+let prop_eval_within_min_max =
+  QCheck2.Test.make ~name:"affine: min <= eval <= max over the domain"
+    ~count:200
+    (QCheck2.Gen.pair affine_gen (QCheck2.Gen.int_range 0 100))
+    (fun (e, salt) ->
+      let trip _ = 6 in
+      let env name = (salt + String.length name) mod 6 in
+      let v = Affine.eval e ~env in
+      Affine.min_value e ~trip <= v && v <= Affine.max_value e ~trip)
+
+let prop_extent_spans_min_max =
+  QCheck2.Test.make ~name:"affine: extent = max - min when all free"
+    ~count:200 affine_gen (fun e ->
+      let trip _ = 6 in
+      Affine.extent e ~trip ~free:(fun _ -> true)
+      = Affine.max_value e ~trip - Affine.min_value e ~trip)
+
+(* --- Array_decl / Access / Stmt -------------------------------------- *)
+
+let test_array_decl () =
+  let a = Array_decl.make ~name:"img" ~dims:[ 4; 6 ] ~element_bytes:2 in
+  Alcotest.(check int) "elements" 24 (Array_decl.elements a);
+  Alcotest.(check int) "bytes" 48 (Array_decl.size_bytes a);
+  Alcotest.(check int) "rank" 2 (Array_decl.rank a)
+
+let test_array_decl_validation () =
+  let mk name dims eb () =
+    ignore (Array_decl.make ~name ~dims ~element_bytes:eb)
+  in
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Array_decl.make: empty name")
+    (mk "" [ 1 ] 1);
+  Alcotest.check_raises "no dims"
+    (Invalid_argument "Array_decl.make: no dimensions")
+    (mk "a" [] 1);
+  Alcotest.check_raises "zero dim"
+    (Invalid_argument "Array_decl.make: non-positive dimension in a")
+    (mk "a" [ 4; 0 ] 1);
+  Alcotest.check_raises "zero elem"
+    (Invalid_argument "Array_decl.make: non-positive element size in a")
+    (mk "a" [ 4 ] 0)
+
+let test_access () =
+  let a = Access.read "img" [ Affine.var "i"; Affine.var "j" ] in
+  Alcotest.(check bool) "is read" true (Access.is_read a);
+  Alcotest.(check bool) "not write" false (Access.is_write a);
+  Alcotest.(check (list string)) "iterators" [ "i"; "j" ] (Access.iterators a);
+  Alcotest.check_raises "empty index"
+    (Invalid_argument "Access.make: empty index") (fun () ->
+      ignore (Access.read "img" []))
+
+let test_stmt () =
+  let s =
+    Stmt.make ~name:"s" ~work_cycles:3
+      ~accesses:
+        [ Access.read "a" [ Affine.var "i" ];
+          Access.write "b" [ Affine.var "i" ] ]
+  in
+  Alcotest.(check int) "reads" 1 (List.length (Stmt.reads s));
+  Alcotest.(check int) "writes" 1 (List.length (Stmt.writes s));
+  Alcotest.(check bool) "touches a" true (Stmt.touches_array s "a");
+  Alcotest.(check bool) "writes b" true (Stmt.writes_array s "b");
+  Alcotest.(check bool) "does not write a" false (Stmt.writes_array s "a");
+  Alcotest.check_raises "negative work"
+    (Invalid_argument "Stmt.make: negative work in s") (fun () ->
+      ignore (Stmt.make ~name:"s" ~work_cycles:(-1) ~accesses:[]))
+
+(* --- Program validation ---------------------------------------------- *)
+
+let simple_program () =
+  let open Build in
+  program "p"
+    ~arrays:[ array "a" [ 10 ]; array "b" [ 10 ] ]
+    [ loop "i" 10 [ stmt "s" ~work:2 [ rd "a" [ i "i" ]; wr "b" [ i "i" ] ] ] ]
+
+let expect_error pattern ~arrays ~body =
+  match Program.make ~name:"p" ~arrays ~body with
+  | Ok _ -> Alcotest.fail ("expected validation error for " ^ pattern)
+  | Error msg ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) (pattern ^ " in " ^ msg) true (contains msg pattern)
+
+let test_program_validation_errors () =
+  let open Build in
+  let a10 = array "a" [ 10 ] in
+  expect_error "duplicate array" ~arrays:[ a10; a10 ]
+    ~body:[ stmt "s" [ rd "a" [ c 0 ] ] ];
+  expect_error "duplicate iterator" ~arrays:[ a10 ]
+    ~body:
+      [ loop "i" 2 [ stmt "s1" [ rd "a" [ c 0 ] ] ];
+        loop "i" 2 [ stmt "s2" [ rd "a" [ c 0 ] ] ] ];
+  expect_error "duplicate statement" ~arrays:[ a10 ]
+    ~body:[ stmt "s" [ rd "a" [ c 0 ] ]; stmt "s" [ rd "a" [ c 0 ] ] ];
+  expect_error "undeclared array" ~arrays:[ a10 ]
+    ~body:[ stmt "s" [ rd "nope" [ c 0 ] ] ];
+  expect_error "rank" ~arrays:[ a10 ]
+    ~body:[ stmt "s" [ rd "a" [ c 0; c 0 ] ] ];
+  expect_error "not an enclosing loop" ~arrays:[ a10 ]
+    ~body:[ stmt "s" [ rd "a" [ i "ghost" ] ] ];
+  expect_error "has trip" ~arrays:[ a10 ]
+    ~body:[ loop "i" 0 [ stmt "s" [ rd "a" [ i "i" ] ] ] ];
+  expect_error "empty body" ~arrays:[ a10 ] ~body:[ loop "i" 2 [] ]
+
+let test_program_sibling_nests () =
+  let open Build in
+  match
+    Program.make ~name:"p"
+      ~arrays:[ array "a" [ 10 ] ]
+      ~body:
+        [ loop "i" 2 [ loop "j" 2 [ stmt "s1" [ rd "a" [ i "j" ] ] ] ];
+          loop "k" 2 [ stmt "s2" [ rd "a" [ i "k" ] ] ] ]
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_program_contexts () =
+  let p = simple_program () in
+  let ctxs = Program.contexts p in
+  Alcotest.(check int) "one statement" 1 (List.length ctxs);
+  let ctx = List.hd ctxs in
+  Alcotest.(check int) "executions" 10 (Program.executions ctx);
+  Alcotest.(check (list (pair string int)))
+    "loops outermost first"
+    [ ("i", 10) ]
+    ctx.Program.loops
+
+let test_program_context_order () =
+  let open Build in
+  let p =
+    program "p"
+      ~arrays:[ array "a" [ 4 ] ]
+      [ stmt "first" [ rd "a" [ c 0 ] ];
+        loop "i" 4
+          [ stmt "second" [ rd "a" [ i "i" ] ];
+            stmt "third" [ rd "a" [ i "i" ] ] ];
+        stmt "fourth" [ wr "a" [ c 1 ] ] ]
+  in
+  Alcotest.(check (list string))
+    "source order"
+    [ "first"; "second"; "third"; "fourth" ]
+    (Program.stmt_names p)
+
+let test_program_metrics () =
+  let open Build in
+  let p =
+    program "p"
+      ~arrays:[ array "a" [ 100 ]; array "b" [ 100 ] ]
+      [ loop "i" 10
+          [ loop "j" 5
+              [ stmt "s" ~work:3 [ rd "a" [ i "i" ]; wr "b" [ i "j" ] ] ] ];
+        stmt "t" ~work:7 [ rd "a" [ c 0 ] ] ]
+  in
+  Alcotest.(check int) "accesses to a" 51 (Program.total_accesses p ~array:"a");
+  Alcotest.(check int) "accesses to b" 50 (Program.total_accesses p ~array:"b");
+  Alcotest.(check int) "total work" 157 (Program.total_work_cycles p);
+  Alcotest.(check int) "total accesses" 101 (Program.total_access_count p);
+  Alcotest.(check (option int)) "trip of j" (Some 5)
+    (Program.iterator_trip p "j");
+  Alcotest.(check (option int)) "trip of ghost" None
+    (Program.iterator_trip p "ghost")
+
+let test_program_find () =
+  let p = simple_program () in
+  Alcotest.(check bool) "find_array" true (Program.find_array p "a" <> None);
+  Alcotest.(check bool) "find_array missing" true
+    (Program.find_array p "zzz" = None);
+  (match Program.find_context p ~stmt:"s" with
+  | Some ctx ->
+    Alcotest.(check string) "found stmt" "s" ctx.Program.stmt.Stmt.name
+  | None -> Alcotest.fail "statement not found");
+  Alcotest.(check bool) "missing stmt" true
+    (Program.find_context p ~stmt:"zzz" = None)
+
+let test_program_pp_smoke () =
+  let p = simple_program () in
+  let s = Fmt.str "%a" Program.pp p in
+  Alcotest.(check bool) "non-empty rendering" true (String.length s > 10)
+
+let prop_builder_nests_validate =
+  QCheck2.Test.make ~name:"ir: rectangular nests validate" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 3) (int_range 1 6))
+    (fun trips ->
+      let open Build in
+      let names = List.mapi (fun k _ -> Printf.sprintf "l%d" k) trips in
+      let subscript = List.map (fun n -> i n) names in
+      let body =
+        List.fold_right2
+          (fun name trip inner -> [ loop name trip inner ])
+          names trips
+          [ stmt "s" [ rd "a" subscript ] ]
+      in
+      match Program.make ~name:"p" ~arrays:[ array "a" trips ] ~body with
+      | Ok p ->
+        Program.total_accesses p ~array:"a" = List.fold_left ( * ) 1 trips
+      | Error _ -> false)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ir"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "eval" `Quick test_affine_eval;
+          Alcotest.test_case "cancellation" `Quick test_affine_cancellation;
+          Alcotest.test_case "scale" `Quick test_affine_scale;
+          Alcotest.test_case "var coeff 0" `Quick test_affine_var_zero_coeff;
+          Alcotest.test_case "iterators sorted" `Quick
+            test_affine_iterators_sorted;
+          Alcotest.test_case "extent" `Quick test_affine_extent;
+          Alcotest.test_case "min / max" `Quick test_affine_min_max;
+          Alcotest.test_case "equal / compare" `Quick
+            test_affine_equal_compare;
+          qc prop_eval_additive;
+          qc prop_eval_within_min_max;
+          qc prop_extent_spans_min_max;
+        ] );
+      ( "decls",
+        [
+          Alcotest.test_case "array decl" `Quick test_array_decl;
+          Alcotest.test_case "array validation" `Quick
+            test_array_decl_validation;
+          Alcotest.test_case "access" `Quick test_access;
+          Alcotest.test_case "stmt" `Quick test_stmt;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "validation errors" `Quick
+            test_program_validation_errors;
+          Alcotest.test_case "sibling nests" `Quick test_program_sibling_nests;
+          Alcotest.test_case "contexts" `Quick test_program_contexts;
+          Alcotest.test_case "context order" `Quick test_program_context_order;
+          Alcotest.test_case "metrics" `Quick test_program_metrics;
+          Alcotest.test_case "find" `Quick test_program_find;
+          Alcotest.test_case "pp smoke" `Quick test_program_pp_smoke;
+          qc prop_builder_nests_validate;
+        ] );
+    ]

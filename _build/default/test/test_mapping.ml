@@ -1,0 +1,291 @@
+(* Tests for mappings: placements, derived block transfers, shared
+   buffers and occupancy. *)
+
+module Build = Mhla_ir.Build
+module Analysis = Mhla_reuse.Analysis
+module Candidate = Mhla_reuse.Candidate
+module Mapping = Mhla_core.Mapping
+module Occupancy = Mhla_lifetime.Occupancy
+module Presets = Mhla_arch.Presets
+
+let conv () =
+  let open Build in
+  program "conv"
+    ~arrays:
+      [ array "image" [ 66; 66 ]; array "coeff" [ 3; 3 ];
+        array "out" [ 64; 64 ] ]
+    [ loop "y" 64
+        [ loop "x" 64
+            [ loop "ky" 3
+                [ loop "kx" 3
+                    [ stmt "mac" ~work:2
+                        [ rd "image" [ i "y" +$ i "ky"; i "x" +$ i "kx" ];
+                          rd "coeff" [ i "ky"; i "kx" ];
+                          wr "out" [ i "y"; i "x" ] ] ] ] ] ] ]
+
+let direct_conv () =
+  Mapping.direct (conv ()) (Presets.two_level ~onchip_bytes:1024 ())
+
+let ref_ idx = { Analysis.stmt = "mac"; index = idx }
+
+let info m idx =
+  match Analysis.find m.Mapping.infos (ref_ idx) with
+  | Some i -> i
+  | None -> Alcotest.fail "access not found"
+
+let candidate m idx level =
+  List.find
+    (fun (c : Candidate.t) -> c.Candidate.level = level)
+    (info m idx).Analysis.candidates
+
+let chain1 m idx level layer =
+  Mapping.Chain [ { Mapping.candidate = candidate m idx level; layer } ]
+
+(* --- direct ----------------------------------------------------------- *)
+
+let test_direct_shape () =
+  let m = direct_conv () in
+  Alcotest.(check int) "three placements" 3 (List.length m.Mapping.placements);
+  List.iter
+    (fun (r, _) ->
+      Alcotest.(check bool) "direct" true (Mapping.placement_of m r = Mapping.Direct);
+      Alcotest.(check int) "served off-chip" 1 (Mapping.serving_layer m r))
+    m.Mapping.placements;
+  Alcotest.(check int) "no transfers" 0
+    (List.length (Mapping.block_transfers m));
+  Alcotest.(check bool) "occupancy trivially ok" true (Mapping.occupancy_ok m)
+
+(* --- placements ------------------------------------------------------- *)
+
+let test_with_placement_and_serving_layer () =
+  let m = direct_conv () in
+  let m = Mapping.with_placement m (ref_ 0) (chain1 m 0 1 0) in
+  Alcotest.(check int) "served on-chip" 0 (Mapping.serving_layer m (ref_ 0));
+  Alcotest.(check int) "others untouched" 1 (Mapping.serving_layer m (ref_ 1));
+  (* Revert to direct. *)
+  let m = Mapping.with_placement m (ref_ 0) Mapping.Direct in
+  Alcotest.(check int) "reverted" 1 (Mapping.serving_layer m (ref_ 0))
+
+let test_placement_validation () =
+  let m = direct_conv () in
+  Alcotest.check_raises "empty chain"
+    (Invalid_argument "Mapping: empty chain") (fun () ->
+      ignore (Mapping.with_placement m (ref_ 0) (Mapping.Chain [])));
+  (* Candidate of access 1 attached to access 0. *)
+  (try
+     ignore (Mapping.with_placement m (ref_ 0) (chain1 m 1 0 0));
+     Alcotest.fail "expected owner check to fail"
+   with Invalid_argument _ -> ());
+  (* Off-chip layer in a chain. *)
+  (try
+     ignore (Mapping.with_placement m (ref_ 0) (chain1 m 0 1 1));
+     Alcotest.fail "expected on-chip check to fail"
+   with Invalid_argument _ -> ());
+  (* Unknown access. *)
+  try
+    ignore
+      (Mapping.with_placement m { Analysis.stmt = "zzz"; index = 0 }
+         Mapping.Direct);
+    Alcotest.fail "expected unknown-access failure"
+  with Invalid_argument _ -> ()
+
+let test_chain_monotonicity_enforced () =
+  (* A 3-level platform so a 2-link chain is expressible. *)
+  let p = conv () in
+  let h = Presets.three_level ~l1_bytes:512 ~l2_bytes:8192 () in
+  let m = Mapping.direct p h in
+  let link level layer = { Mapping.candidate = candidate m 0 level; layer } in
+  (* Valid: deeper level on the closer layer. *)
+  ignore
+    (Mapping.with_placement m (ref_ 0)
+       (Mapping.Chain [ link 2 0; link 1 1 ]));
+  (* Levels must strictly decrease. *)
+  Alcotest.check_raises "equal levels"
+    (Invalid_argument "Mapping: chain levels must strictly decrease")
+    (fun () ->
+      ignore
+        (Mapping.with_placement m (ref_ 0)
+           (Mapping.Chain [ link 1 0; link 1 1 ])));
+  (* Layers must strictly increase. *)
+  Alcotest.check_raises "equal layers"
+    (Invalid_argument "Mapping: chain layers must strictly increase")
+    (fun () ->
+      ignore
+        (Mapping.with_placement m (ref_ 0)
+           (Mapping.Chain [ link 2 0; link 1 0 ])))
+
+(* --- array promotion -------------------------------------------------- *)
+
+let test_array_promotion () =
+  let m = direct_conv () in
+  let m = Mapping.with_array_layer m ~array:"coeff" ~layer:(Some 0) in
+  Alcotest.(check int) "array layer" 0 (Mapping.array_layer m "coeff");
+  Alcotest.(check int) "direct access served there" 0
+    (Mapping.serving_layer m (ref_ 1));
+  let bts = Mapping.block_transfers m in
+  Alcotest.(check int) "one initial fill" 1 (List.length bts);
+  let bt = List.hd bts in
+  Alcotest.(check string) "fill id" "coeff:fill" bt.Mapping.bt_id;
+  Alcotest.(check int) "fill bytes" 9 bt.Mapping.total_bytes;
+  Alcotest.(check bool) "not writeback" false bt.Mapping.is_writeback;
+  let m = Mapping.with_array_layer m ~array:"coeff" ~layer:None in
+  Alcotest.(check int) "demoted" 1 (Mapping.array_layer m "coeff")
+
+let test_written_array_promotion_drains () =
+  let m = direct_conv () in
+  let m = Mapping.with_array_layer m ~array:"out" ~layer:(Some 0) in
+  let ids =
+    List.map (fun bt -> bt.Mapping.bt_id) (Mapping.block_transfers m)
+  in
+  Alcotest.(check (list string)) "write-only array only drains"
+    [ "out:drain" ] ids
+
+let test_array_promotion_validation () =
+  let m = direct_conv () in
+  Alcotest.check_raises "unknown array"
+    (Invalid_argument "Mapping: unknown array zzz") (fun () ->
+      ignore (Mapping.with_array_layer m ~array:"zzz" ~layer:(Some 0)));
+  Alcotest.check_raises "off-chip level"
+    (Invalid_argument "Mapping: level 1 is not on-chip") (fun () ->
+      ignore (Mapping.with_array_layer m ~array:"coeff" ~layer:(Some 1)))
+
+(* --- block transfers -------------------------------------------------- *)
+
+let test_chain_block_transfer_fields () =
+  let m = direct_conv () in
+  let m = Mapping.with_placement m (ref_ 0) (chain1 m 0 1 0) in
+  match Mapping.block_transfers m with
+  | [ bt ] ->
+    Alcotest.(check int) "src is main memory" 1 bt.Mapping.src_layer;
+    Alcotest.(check int) "dst is scratchpad" 0 bt.Mapping.dst_layer;
+    Alcotest.(check int) "issues = trip y" 64 bt.Mapping.issues;
+    Alcotest.(check int) "total = issues x window (Full mode)" (64 * 198)
+      bt.Mapping.total_bytes;
+    Alcotest.(check bool) "fetch" false bt.Mapping.is_writeback
+  | bts -> Alcotest.fail (Printf.sprintf "expected 1 BT, got %d" (List.length bts))
+
+let test_writeback_direction () =
+  let m = direct_conv () in
+  let m = Mapping.with_placement m (ref_ 2) (chain1 m 2 1 0) in
+  match Mapping.block_transfers m with
+  | [ bt ] -> Alcotest.(check bool) "writeback" true bt.Mapping.is_writeback
+  | _ -> Alcotest.fail "expected 1 BT"
+
+let test_delta_mode_traffic () =
+  let p = conv () in
+  let h = Presets.two_level ~onchip_bytes:1024 () in
+  let m = Mapping.direct ~transfer_mode:Candidate.Delta p h in
+  let m = Mapping.with_placement m (ref_ 0) (chain1 m 0 1 0) in
+  match Mapping.block_transfers m with
+  | [ bt ] ->
+    (* First issue 198, then 63 deltas of one 66-byte line. *)
+    Alcotest.(check int) "delta traffic" (198 + (63 * 66))
+      bt.Mapping.total_bytes
+  | _ -> Alcotest.fail "expected 1 BT"
+
+(* Two accesses reading the same table share one buffer and one
+   transfer stream. *)
+let shared_table_program () =
+  let open Build in
+  program "shared"
+    ~arrays:[ array "tab" [ 32 ]; array "img" [ 32; 32 ] ]
+    [ loop "r" 32
+        [ loop "q" 32
+            [ stmt "s" ~work:1
+                [ rd "tab" [ i "q" ];
+                  rd "tab" [ i "q" ];
+                  rd "img" [ i "r"; i "q" ] ] ] ] ]
+
+let test_shared_candidates_dedupe () =
+  let p = shared_table_program () in
+  let m = Mapping.direct p (Presets.two_level ~onchip_bytes:256 ()) in
+  let r0 = { Analysis.stmt = "s"; index = 0 } in
+  let r1 = { Analysis.stmt = "s"; index = 1 } in
+  let cand idx =
+    List.find
+      (fun (c : Candidate.t) -> c.Candidate.level = 0)
+      (match Analysis.find m.Mapping.infos { Analysis.stmt = "s"; index = idx } with
+      | Some i -> i.Analysis.candidates
+      | None -> Alcotest.fail "access")
+  in
+  let m =
+    Mapping.with_placement m r0
+      (Mapping.Chain [ { Mapping.candidate = cand 0; layer = 0 } ])
+  in
+  let m =
+    Mapping.with_placement m r1
+      (Mapping.Chain [ { Mapping.candidate = cand 1; layer = 0 } ])
+  in
+  Alcotest.(check int) "one shared transfer stream" 1
+    (List.length (Mapping.block_transfers m));
+  let blocks = Mapping.layer_blocks m ~level:0 in
+  Alcotest.(check int) "one shared buffer" 1 (List.length blocks);
+  Alcotest.(check int) "buffer is the whole table" 32
+    (List.hd blocks).Occupancy.bytes
+
+(* --- occupancy -------------------------------------------------------- *)
+
+let test_occupancy_with_extra () =
+  let p = shared_table_program () in
+  let m = Mapping.direct p (Presets.two_level ~onchip_bytes:100 ()) in
+  let extra bytes =
+    ( 0,
+      {
+        Occupancy.label = "te";
+        interval = Mhla_util.Interval.make ~lo:0 ~hi:1;
+        bytes;
+      } )
+  in
+  Alcotest.(check bool) "fits with small extra" true
+    (Mapping.occupancy_ok ~extra:[ extra 100 ] m);
+  Alcotest.(check bool) "overflows with large extra" false
+    (Mapping.occupancy_ok ~extra:[ extra 101 ] m)
+
+let test_with_hierarchy () =
+  let m = direct_conv () in
+  let tight = Presets.two_level ~onchip_bytes:64 () in
+  let m2 = Mapping.with_hierarchy m tight in
+  Alcotest.(check (option int)) "capacity replaced" (Some 64)
+    (Mhla_arch.Hierarchy.layer m2.Mapping.hierarchy 0)
+      .Mhla_arch.Layer.capacity_bytes;
+  let three = Presets.three_level ~l1_bytes:64 ~l2_bytes:128 () in
+  Alcotest.check_raises "level mismatch"
+    (Invalid_argument "Mapping.with_hierarchy: level counts differ")
+    (fun () -> ignore (Mapping.with_hierarchy m three))
+
+let () =
+  Alcotest.run "mapping"
+    [
+      ( "direct",
+        [ Alcotest.test_case "shape" `Quick test_direct_shape ] );
+      ( "placements",
+        [
+          Alcotest.test_case "set and serve" `Quick
+            test_with_placement_and_serving_layer;
+          Alcotest.test_case "validation" `Quick test_placement_validation;
+          Alcotest.test_case "chain monotonicity" `Quick
+            test_chain_monotonicity_enforced;
+        ] );
+      ( "arrays",
+        [
+          Alcotest.test_case "promotion" `Quick test_array_promotion;
+          Alcotest.test_case "written arrays drain" `Quick
+            test_written_array_promotion_drains;
+          Alcotest.test_case "validation" `Quick
+            test_array_promotion_validation;
+        ] );
+      ( "transfers",
+        [
+          Alcotest.test_case "chain BT fields" `Quick
+            test_chain_block_transfer_fields;
+          Alcotest.test_case "writeback" `Quick test_writeback_direction;
+          Alcotest.test_case "delta traffic" `Quick test_delta_mode_traffic;
+          Alcotest.test_case "shared dedupe" `Quick
+            test_shared_candidates_dedupe;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "extra blocks" `Quick test_occupancy_with_extra;
+          Alcotest.test_case "with_hierarchy" `Quick test_with_hierarchy;
+        ] );
+    ]

@@ -1,0 +1,241 @@
+(* Tests for the event-driven pipeline simulator and the analytic
+   cross-check. *)
+
+module Pipeline = Mhla_sim.Pipeline
+module Crosscheck = Mhla_sim.Crosscheck
+module Assign = Mhla_core.Assign
+module Explore = Mhla_core.Explore
+module Prefetch = Mhla_core.Prefetch
+module Build = Mhla_ir.Build
+module Presets = Mhla_arch.Presets
+
+let params ?(issues = 10) ?(transfer = 20) ?(compute = 30) ?(lookahead = 0)
+    ?(setup = 0) ?(channels = 1) () =
+  {
+    Pipeline.issues;
+    transfer_cycles = transfer;
+    compute_cycles = compute;
+    lookahead;
+    setup_cycles = setup;
+    channels;
+  }
+
+let test_synchronous_stalls_fully () =
+  let p = params ~issues:10 ~transfer:20 ~compute:30 ~lookahead:0 () in
+  let o = Pipeline.run p in
+  Alcotest.(check int) "every issue stalls" 200 o.Pipeline.stall_cycles;
+  Alcotest.(check int) "analytic agrees exactly" 200 (Pipeline.analytic_stall p);
+  Alcotest.(check int) "makespan" (10 * (20 + 30)) o.Pipeline.total_cycles
+
+let test_single_buffer_hides_when_compute_dominates () =
+  let p = params ~issues:50 ~transfer:20 ~compute:30 ~lookahead:1 () in
+  let o = Pipeline.run p in
+  Alcotest.(check int) "analytic says zero" 0 (Pipeline.analytic_stall p);
+  (* Only the cold start (first transfer) can stall. *)
+  Alcotest.(check bool) "only cold-start stall" true
+    (o.Pipeline.stall_cycles <= 20)
+
+let test_transfer_dominates_compute () =
+  let p = params ~issues:50 ~transfer:50 ~compute:30 ~lookahead:1 () in
+  let o = Pipeline.run p in
+  (* Steady state: each iteration waits transfer - compute = 20. *)
+  Alcotest.(check int) "analytic residual" (50 * 20) (Pipeline.analytic_stall p);
+  Alcotest.(check bool) "simulated close to analytic" true
+    (abs (o.Pipeline.stall_cycles - 1000) <= 2 * 50)
+
+let test_deep_lookahead () =
+  let p = params ~issues:40 ~transfer:100 ~compute:30 ~lookahead:3 () in
+  (* The tool's arithmetic assumes the channel keeps up... *)
+  Alcotest.(check int) "tool arithmetic: 100 - 90 per issue" (40 * 10)
+    (Pipeline.analytic_stall p);
+  (* ...but a single serial channel saturates: the period is the
+     transfer time and each issue still waits transfer - compute. *)
+  Alcotest.(check int) "steady state: 100 - 30 per issue" (40 * 70)
+    (Pipeline.steady_state_stall p);
+  let o = Pipeline.run p in
+  Alcotest.(check bool) "simulated matches steady state within slack" true
+    (abs (o.Pipeline.stall_cycles - Pipeline.steady_state_stall p)
+    <= 4 * 100)
+
+let test_zero_transfer () =
+  let p = params ~transfer:0 () in
+  let o = Pipeline.run p in
+  Alcotest.(check int) "no stalls" 0 o.Pipeline.stall_cycles;
+  Alcotest.(check int) "pure compute" 300 o.Pipeline.total_cycles
+
+let test_setup_charged_to_cpu () =
+  let p = params ~issues:10 ~transfer:0 ~compute:10 ~setup:5 () in
+  let o = Pipeline.run p in
+  Alcotest.(check int) "setup adds to the makespan" (10 * 15)
+    o.Pipeline.total_cycles
+
+let test_dma_busy_accounting () =
+  let p = params ~issues:7 ~transfer:13 () in
+  let o = Pipeline.run p in
+  Alcotest.(check int) "dma busy = issues x transfer" (7 * 13)
+    o.Pipeline.dma_busy_cycles
+
+let test_multi_channel_recovers_deep_lookahead () =
+  (* With as many channels as lookahead buffers, deep prefetch works:
+     three 100-cycle transfers overlap. The work-conservation bound is
+     ceil(100/3) - 30 = 4 per issue; the single-channel pipeline would
+     stall 70 per issue. The simulation must land in between and far
+     below the single-channel case. *)
+  let p =
+    params ~issues:40 ~transfer:100 ~compute:30 ~lookahead:3 ~channels:3 ()
+  in
+  (* overlap = min (3+1) 3 = 3: floor(100/3) - 30 = 3 per issue. *)
+  Alcotest.(check int) "lower bound: floor(100/3) - 30 = 3 per issue"
+    (40 * 3) (Pipeline.steady_state_stall p);
+  let single = Pipeline.steady_state_stall { p with Pipeline.channels = 1 } in
+  let o = Pipeline.run p in
+  Alcotest.(check bool) "above the work-conservation bound" true
+    (o.Pipeline.stall_cycles + 400 >= Pipeline.steady_state_stall p);
+  Alcotest.(check bool) "well below the single-channel stall" true
+    (o.Pipeline.stall_cycles < single / 2)
+
+let test_channels_never_hurt () =
+  let stall ch =
+    (Pipeline.run
+       (params ~issues:50 ~transfer:80 ~compute:30 ~lookahead:2 ~channels:ch ()))
+      .Pipeline.stall_cycles
+  in
+  Alcotest.(check bool) "2 channels <= 1" true (stall 2 <= stall 1);
+  Alcotest.(check bool) "3 channels <= 2" true (stall 3 <= stall 2)
+
+let test_param_validation () =
+  Alcotest.check_raises "issues 0"
+    (Invalid_argument "Pipeline.run: issues must be positive") (fun () ->
+      ignore (Pipeline.run (params ~issues:0 ())));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Pipeline.run: negative parameter") (fun () ->
+      ignore (Pipeline.run (params ~transfer:(-1) ())));
+  Alcotest.check_raises "zero channels"
+    (Invalid_argument "Pipeline.run: channels must be >= 1") (fun () ->
+      ignore (Pipeline.run (params ~channels:0 ())))
+
+let prop_simulated_within_cold_start_bound =
+  QCheck2.Test.make
+    ~name:"pipeline: simulated stalls within the steady-state bracket"
+    ~count:400
+    QCheck2.Gen.(
+      let p =
+        map3
+          (fun issues transfer (compute, lookahead, setup) ->
+            params ~issues ~transfer ~compute ~lookahead ~setup ())
+          (int_range 1 60) (int_range 0 80)
+          (triple (int_range 0 80) (int_range 0 4) (int_range 0 10))
+      in
+      let p =
+        map2
+          (fun p channels -> { p with Pipeline.channels })
+          p (int_range 1 4)
+      in
+      p)
+    (fun p ->
+      let o = Pipeline.run p in
+      let bound =
+        (p.Pipeline.lookahead + 1)
+        * (p.Pipeline.transfer_cycles + p.Pipeline.setup_cycles)
+      in
+      if p.Pipeline.channels = 1 then
+        abs (o.Pipeline.stall_cycles - Pipeline.steady_state_stall p) <= bound
+      else begin
+        (* Multi-channel: bracket between the work-conservation lower
+           bound and the single-channel upper bound. *)
+        let lower = Pipeline.steady_state_stall p in
+        let upper =
+          Pipeline.steady_state_stall { p with Pipeline.channels = 1 }
+        in
+        o.Pipeline.stall_cycles + bound >= lower
+        && o.Pipeline.stall_cycles <= upper + bound
+      end)
+
+let prop_lookahead_monotone =
+  QCheck2.Test.make ~name:"pipeline: more lookahead never adds stalls"
+    ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 40)
+        (pair (int_range 0 60) (int_range 0 60)))
+    (fun (issues, (transfer, compute)) ->
+      let stall k =
+        (Pipeline.run (params ~issues ~transfer ~compute ~lookahead:k ()))
+          .Pipeline.stall_cycles
+      in
+      stall 1 <= stall 0 && stall 2 <= stall 1 && stall 3 <= stall 2)
+
+(* --- crosscheck against the real tool --------------------------------- *)
+
+let kernel () =
+  let open Build in
+  program "kernel"
+    ~arrays:
+      [ array "image" [ 34; 34 ]; array "coeff" [ 3; 3 ];
+        array "out" [ 32; 32 ] ]
+    [ loop "y" 32
+        [ loop "x" 32
+            [ loop "ky" 3
+                [ loop "kx" 3
+                    [ stmt "mac" ~work:4
+                        [ rd "image" [ i "y" +$ i "ky"; i "x" +$ i "kx" ];
+                          rd "coeff" [ i "ky"; i "kx" ];
+                          wr "out" [ i "y"; i "x" ] ] ] ] ] ] ]
+
+let test_crosscheck_agrees () =
+  let r = Explore.run (kernel ()) (Presets.two_level ~onchip_bytes:512 ()) in
+  let report =
+    Crosscheck.crosscheck r.Explore.assign.Assign.mapping r.Explore.te
+  in
+  Alcotest.(check bool) "some BTs checked" true
+    (List.length report.Crosscheck.checks > 0);
+  Alcotest.(check int) "no disagreements" 0
+    (List.length report.Crosscheck.disagreements);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "within bound" true (Crosscheck.within_bound c))
+    report.Crosscheck.checks
+
+let test_crosscheck_all_apps () =
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let program = Lazy.force app.Mhla_apps.Defs.small in
+      let h = Presets.two_level ~onchip_bytes:256 () in
+      let r = Explore.run program h in
+      let report =
+        Crosscheck.crosscheck r.Explore.assign.Assign.mapping r.Explore.te
+      in
+      Alcotest.(check int)
+        (app.Mhla_apps.Defs.name ^ ": agreement")
+        0
+        (List.length report.Crosscheck.disagreements))
+    Mhla_apps.Registry.all
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "synchronous" `Quick test_synchronous_stalls_fully;
+          Alcotest.test_case "hidden by compute" `Quick
+            test_single_buffer_hides_when_compute_dominates;
+          Alcotest.test_case "transfer bound" `Quick
+            test_transfer_dominates_compute;
+          Alcotest.test_case "deep lookahead" `Quick test_deep_lookahead;
+          Alcotest.test_case "zero transfer" `Quick test_zero_transfer;
+          Alcotest.test_case "setup cost" `Quick test_setup_charged_to_cpu;
+          Alcotest.test_case "dma busy" `Quick test_dma_busy_accounting;
+          Alcotest.test_case "multi-channel lookahead" `Quick
+            test_multi_channel_recovers_deep_lookahead;
+          Alcotest.test_case "channels never hurt" `Quick
+            test_channels_never_hurt;
+          Alcotest.test_case "validation" `Quick test_param_validation;
+          qc prop_simulated_within_cold_start_bound;
+          qc prop_lookahead_monotone;
+        ] );
+      ( "crosscheck",
+        [
+          Alcotest.test_case "kernel agrees" `Quick test_crosscheck_agrees;
+          Alcotest.test_case "all apps agree" `Quick test_crosscheck_all_apps;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Tests for loop transformations (tiling, interchange) and their
+   interaction with the reuse analysis. *)
+
+module Affine = Mhla_ir.Affine
+module Build = Mhla_ir.Build
+module Program = Mhla_ir.Program
+module Transform = Mhla_ir.Transform
+module Interp = Mhla_trace.Interp
+module Assign = Mhla_core.Assign
+module Cost = Mhla_core.Cost
+module Presets = Mhla_arch.Presets
+
+let matmul ?(n = 12) () =
+  let open Build in
+  program "matmul"
+    ~arrays:
+      [ array "a" [ n; n ]; array "b" [ n; n ]; array "c" [ n; n ] ]
+    [ loop "i" n
+        [ loop "j" n
+            [ loop "k" n
+                [ stmt "mac" ~work:4
+                    [ rd "a" [ i "i"; i "k" ];
+                      rd "b" [ i "k"; i "j" ];
+                      wr "c" [ i "i"; i "j" ] ] ] ] ] ]
+
+(* --- subst -------------------------------------------------------------- *)
+
+let test_affine_subst () =
+  let e = Affine.add (Affine.var ~coeff:3 "i") (Affine.const 2) in
+  let replacement = Affine.add (Affine.var ~coeff:4 "o") (Affine.var "t") in
+  let e' = Affine.subst ~iter:"i" ~replacement e in
+  (* 3*(4o + t) + 2 = 12o + 3t + 2 *)
+  Alcotest.(check int) "outer coeff" 12 (Affine.coeff e' "o");
+  Alcotest.(check int) "inner coeff" 3 (Affine.coeff e' "t");
+  Alcotest.(check int) "const" 2 (Affine.constant_part e');
+  Alcotest.(check int) "old iterator gone" 0 (Affine.coeff e' "i");
+  (* Substituting an absent iterator is the identity. *)
+  Alcotest.(check bool) "identity" true
+    (Affine.equal e (Affine.subst ~iter:"zzz" ~replacement e))
+
+(* --- tile --------------------------------------------------------------- *)
+
+let test_tile_structure () =
+  let p = matmul () in
+  match Transform.tile ~iter:"j" ~factor:4 p with
+  | Error msg -> Alcotest.fail msg
+  | Ok tiled ->
+    Alcotest.(check (option int)) "outer trip" (Some 3)
+      (Program.iterator_trip tiled "j_o");
+    Alcotest.(check (option int)) "inner trip" (Some 4)
+      (Program.iterator_trip tiled "j_i");
+    Alcotest.(check (option int)) "original gone" None
+      (Program.iterator_trip tiled "j");
+    (* Same dynamic behaviour. *)
+    Alcotest.(check int) "same access count"
+      (Program.total_access_count p)
+      (Program.total_access_count tiled);
+    Alcotest.(check int) "same work"
+      (Program.total_work_cycles p)
+      (Program.total_work_cycles tiled)
+
+let test_tile_preserves_trace () =
+  (* The strongest possible check: the multiset of addresses is
+     identical before and after tiling (order differs). *)
+  let p = matmul ~n:6 () in
+  let tiled = Transform.tile_exn ~iter:"k" ~factor:3 p in
+  let histogram program =
+    Interp.fold program
+      ~init:(Hashtbl.create 64)
+      ~f:(fun h (e : Interp.event) ->
+        Hashtbl.replace h e.Interp.address
+          (1 + Option.value ~default:0 (Hashtbl.find_opt h e.Interp.address));
+        h)
+  in
+  let to_sorted h =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+  in
+  Alcotest.(check (list (pair int int)))
+    "address histogram preserved"
+    (to_sorted (histogram p))
+    (to_sorted (histogram tiled))
+
+let test_tile_errors () =
+  let p = matmul () in
+  let err f = match f with Error _ -> () | Ok _ -> Alcotest.fail "expected error" in
+  err (Transform.tile ~iter:"zzz" ~factor:2 p);
+  err (Transform.tile ~iter:"j" ~factor:5 p);
+  (* 5 does not divide 12 *)
+  err (Transform.tile ~iter:"j" ~factor:1 p);
+  err (Transform.tile ~iter:"j" ~factor:12 p)
+
+let test_tile_twice () =
+  let p = matmul () in
+  let tiled =
+    Transform.tile_exn ~iter:"j" ~factor:4
+      (Transform.tile_exn ~iter:"k" ~factor:4 p)
+  in
+  Alcotest.(check int) "same access count"
+    (Program.total_access_count p)
+    (Program.total_access_count tiled)
+
+let test_tile_creates_better_candidates () =
+  (* At a tight budget, tiling must not hurt and usually helps: the
+     tiled nest has smaller-footprint candidates available. *)
+  let p = matmul ~n:24 () in
+  let tiled =
+    Transform.tile_exn ~iter:"j" ~factor:8
+      (Transform.tile_exn ~iter:"k" ~factor:8 p)
+  in
+  let h = Presets.two_level ~onchip_bytes:160 () in
+  let config = { Assign.default_config with Assign.objective = Cost.Cycles } in
+  let flat = (Assign.greedy ~config p h).Assign.breakdown.Cost.total_cycles in
+  let blocked =
+    (Assign.greedy ~config tiled h).Assign.breakdown.Cost.total_cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiled (%d) <= flat (%d)" blocked flat)
+    true (blocked <= flat)
+
+(* --- interchange -------------------------------------------------------- *)
+
+let test_interchange_swaps () =
+  let p = matmul () in
+  match Transform.interchange ~outer:"j" ~inner:"k" p with
+  | Error msg -> Alcotest.fail msg
+  | Ok swapped ->
+    (* The j loop is now innermost: the first statement context lists
+       loops outermost-first as i, k, j. *)
+    let ctx = List.hd (Program.contexts swapped) in
+    Alcotest.(check (list string)) "new order" [ "i"; "k"; "j" ]
+      (List.map fst ctx.Program.loops);
+    Alcotest.(check int) "same accesses"
+      (Program.total_access_count p)
+      (Program.total_access_count swapped)
+
+let test_interchange_preserves_trace () =
+  let p = matmul ~n:6 () in
+  match Transform.interchange ~outer:"i" ~inner:"j" p with
+  | Error msg -> Alcotest.fail msg
+  | Ok swapped ->
+    Alcotest.(check int) "same dynamic count"
+      (Interp.count_events p)
+      (Interp.count_events swapped)
+
+let test_interchange_requires_perfect_nest () =
+  let open Build in
+  let p =
+    program "imperfect"
+      ~arrays:[ array "a" [ 8 ] ]
+      [ loop "o" 4
+          [ stmt "pre" [ rd "a" [ i "o" ] ];
+            loop "n" 2 [ stmt "s" [ rd "a" [ i "n" ] ] ] ] ]
+  in
+  match Transform.interchange ~outer:"o" ~inner:"n" p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error on the imperfect nest"
+
+let () =
+  Alcotest.run "transform"
+    [
+      ("subst", [ Alcotest.test_case "affine subst" `Quick test_affine_subst ]);
+      ( "tile",
+        [
+          Alcotest.test_case "structure" `Quick test_tile_structure;
+          Alcotest.test_case "preserves trace" `Quick test_tile_preserves_trace;
+          Alcotest.test_case "errors" `Quick test_tile_errors;
+          Alcotest.test_case "twice" `Quick test_tile_twice;
+          Alcotest.test_case "better candidates" `Quick
+            test_tile_creates_better_candidates;
+        ] );
+      ( "interchange",
+        [
+          Alcotest.test_case "swaps" `Quick test_interchange_swaps;
+          Alcotest.test_case "preserves trace" `Quick
+            test_interchange_preserves_trace;
+          Alcotest.test_case "perfect nest required" `Quick
+            test_interchange_requires_perfect_nest;
+        ] );
+    ]

@@ -1,0 +1,402 @@
+(* Unit and property tests for Mhla_util. *)
+
+module Pareto = Mhla_util.Pareto
+module Interval = Mhla_util.Interval
+module Prng = Mhla_util.Prng
+module Stats = Mhla_util.Stats
+module Table = Mhla_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Pareto ----------------------------------------------------------- *)
+
+let test_pareto_dominates () =
+  let p = Pareto.point ~x:1. ~y:2. () in
+  let q = Pareto.point ~x:2. ~y:3. () in
+  Alcotest.(check bool) "p dominates q" true (Pareto.dominates p q);
+  Alcotest.(check bool) "q does not dominate p" false (Pareto.dominates q p);
+  Alcotest.(check bool) "no self domination" false (Pareto.dominates p p)
+
+let test_pareto_add_keeps_non_dominated () =
+  let front =
+    Pareto.of_list
+      [ Pareto.point ~x:1. ~y:10. "a";
+        Pareto.point ~x:2. ~y:5. "b";
+        Pareto.point ~x:3. ~y:1. "c" ]
+  in
+  Alcotest.(check int) "all three kept" 3 (Pareto.size front);
+  let front = Pareto.add (Pareto.point ~x:2. ~y:0.5 "d") front in
+  (* d dominates b and c *)
+  Alcotest.(check int) "dominated points dropped" 2 (Pareto.size front)
+
+let test_pareto_sorted_by_x () =
+  let front =
+    Pareto.of_list
+      [ Pareto.point ~x:3. ~y:1. "c";
+        Pareto.point ~x:1. ~y:10. "a";
+        Pareto.point ~x:2. ~y:5. "b" ]
+  in
+  let xs = List.map (fun (p : _ Pareto.point) -> p.Pareto.x) (Pareto.to_list front) in
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3. ] xs
+
+let test_pareto_min_y_and_best_under () =
+  let front =
+    Pareto.of_list
+      [ Pareto.point ~x:1. ~y:10. "a";
+        Pareto.point ~x:2. ~y:5. "b";
+        Pareto.point ~x:4. ~y:1. "c" ]
+  in
+  (match Pareto.min_y front with
+  | Some p -> Alcotest.(check string) "global min" "c" p.Pareto.payload
+  | None -> Alcotest.fail "expected a point");
+  (match Pareto.best_under ~x_max:2.5 front with
+  | Some p -> Alcotest.(check string) "best under budget" "b" p.Pareto.payload
+  | None -> Alcotest.fail "expected a point");
+  Alcotest.(check bool)
+    "nothing under tiny budget" true
+    (Pareto.best_under ~x_max:0.5 front = None)
+
+let test_pareto_empty () =
+  Alcotest.(check bool) "empty" true (Pareto.is_empty Pareto.empty);
+  Alcotest.(check bool) "min_y none" true (Pareto.min_y Pareto.empty = None)
+
+let pareto_points_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 40)
+      (map2
+         (fun x y -> Pareto.point ~x:(float_of_int x) ~y:(float_of_int y) ())
+         (int_range 0 20) (int_range 0 20)))
+
+let prop_pareto_no_internal_domination =
+  QCheck2.Test.make ~name:"pareto: no frontier point dominates another"
+    ~count:200 pareto_points_gen (fun points ->
+      let front = Pareto.to_list (Pareto.of_list points) in
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun q -> p == q || not (Pareto.dominates p q))
+            front)
+        front)
+
+let prop_pareto_covers_inputs =
+  QCheck2.Test.make
+    ~name:"pareto: every input is on the frontier or dominated" ~count:200
+    pareto_points_gen (fun points ->
+      let front = Pareto.of_list points in
+      let on_front p =
+        List.exists
+          (fun (q : _ Pareto.point) ->
+            q.Pareto.x = p.Pareto.x && q.Pareto.y = p.Pareto.y)
+          (Pareto.to_list front)
+      in
+      List.for_all
+        (fun p -> on_front p || Pareto.mem_dominated p front)
+        points)
+
+(* --- Interval --------------------------------------------------------- *)
+
+let test_interval_make_rejects_reversed () =
+  Alcotest.check_raises "hi < lo"
+    (Invalid_argument "Interval.make: hi (1) < lo (2)") (fun () ->
+      ignore (Interval.make ~lo:2 ~hi:1))
+
+let test_interval_basics () =
+  let a = Interval.make ~lo:0 ~hi:4 in
+  let b = Interval.make ~lo:4 ~hi:8 in
+  Alcotest.(check bool) "half open: adjacent do not overlap" false
+    (Interval.overlaps a b);
+  Alcotest.(check bool) "overlap" true
+    (Interval.overlaps a (Interval.make ~lo:3 ~hi:5));
+  Alcotest.(check int) "length" 4 (Interval.length a);
+  Alcotest.(check bool) "contains lo" true (Interval.contains a 0);
+  Alcotest.(check bool) "excludes hi" false (Interval.contains a 4);
+  let h = Interval.hull a b in
+  Alcotest.(check int) "hull lo" 0 h.Interval.lo;
+  Alcotest.(check int) "hull hi" 8 h.Interval.hi
+
+let test_interval_hull_with_empty () =
+  let e = Interval.make ~lo:5 ~hi:5 in
+  let a = Interval.make ~lo:0 ~hi:2 in
+  let h = Interval.hull e a in
+  Alcotest.(check int) "empty hull lo" 0 h.Interval.lo;
+  Alcotest.(check int) "empty hull hi" 2 h.Interval.hi
+
+let test_peak_weight_hand () =
+  let iv lo hi = Interval.make ~lo ~hi in
+  Alcotest.(check int) "empty set" 0 (Interval.peak_weight []);
+  Alcotest.(check int) "single" 7 (Interval.peak_weight [ (iv 0 3, 7) ]);
+  (* Two disjoint blocks never stack. *)
+  Alcotest.(check int) "disjoint" 5
+    (Interval.peak_weight [ (iv 0 2, 5); (iv 2 4, 3) ]);
+  (* Overlap stacks. *)
+  Alcotest.(check int) "stacked" 8
+    (Interval.peak_weight [ (iv 0 3, 5); (iv 2 4, 3) ]);
+  Alcotest.(check int) "empty interval ignored" 5
+    (Interval.peak_weight [ (iv 0 2, 5); (iv 1 1, 100) ])
+
+let test_peak_weight_instant () =
+  let iv lo hi = Interval.make ~lo ~hi in
+  let peak, at =
+    Interval.peak_weight_instant [ (iv 0 4, 1); (iv 2 6, 2); (iv 3 5, 4) ]
+  in
+  Alcotest.(check int) "peak" 7 peak;
+  Alcotest.(check int) "at" 3 at
+
+let interval_blocks_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 20)
+      (map3
+         (fun lo len w -> (Interval.make ~lo ~hi:(lo + len), w))
+         (int_range 0 30) (int_range 0 10) (int_range 0 50)))
+
+let brute_force_peak blocks =
+  let peak = ref 0 in
+  for t = 0 to 45 do
+    let here =
+      List.fold_left
+        (fun acc (iv, w) -> if Interval.contains iv t then acc + w else acc)
+        0 blocks
+    in
+    if here > !peak then peak := here
+  done;
+  !peak
+
+let prop_peak_weight_matches_brute_force =
+  QCheck2.Test.make ~name:"interval: sweep peak equals brute force"
+    ~count:300 interval_blocks_gen (fun blocks ->
+      Interval.peak_weight blocks = brute_force_peak blocks)
+
+(* --- Prng ------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42L in
+  let b = Prng.create ~seed:42L in
+  let seq g = List.init 20 (fun _ -> Prng.int g ~bound:1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b)
+
+let test_prng_copy_is_independent () =
+  let a = Prng.create ~seed:7L in
+  let b = Prng.copy a in
+  ignore (Prng.next_int64 a);
+  ignore (Prng.next_int64 a);
+  let va = Prng.next_int64 a in
+  let v1 = Prng.next_int64 b in
+  Alcotest.(check bool) "copy starts at the copied state" false (va = v1)
+
+let test_prng_bounds () =
+  let g = Prng.create ~seed:1L in
+  for _ = 1 to 1000 do
+    let v = Prng.int g ~bound:17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in g ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.float g in
+    Alcotest.(check bool) "unit float" true (v >= 0. && v < 1.)
+  done
+
+let test_prng_errors () =
+  let g = Prng.create ~seed:1L in
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g ~bound:0));
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Prng.int_in: hi < lo")
+    (fun () -> ignore (Prng.int_in g ~lo:3 ~hi:2));
+  Alcotest.check_raises "empty pick"
+    (Invalid_argument "Prng.pick: empty list") (fun () ->
+      ignore (Prng.pick g []))
+
+let test_prng_shuffle_is_permutation () =
+  let g = Prng.create ~seed:99L in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let test_stats_mean_geomean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check_float "geomean" 4. (Stats.geomean [ 2.; 8. ]);
+  Alcotest.check_raises "geomean rejects non-positive"
+    (Invalid_argument "Stats.geomean: non-positive sample") (fun () ->
+      ignore (Stats.geomean [ 1.; 0. ]))
+
+let test_stats_stdev () =
+  check_float "stdev of constant" 0. (Stats.stdev [ 5.; 5.; 5. ]);
+  check_float "stdev" 2. (Stats.stdev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_stats_min_max_percentile () =
+  let lo, hi = Stats.min_max [ 3.; 1.; 2. ] in
+  check_float "min" 1. lo;
+  check_float "max" 3. hi;
+  check_float "median" 2. (Stats.percentile [ 1.; 2.; 3. ] ~p:50.);
+  check_float "p0" 1. (Stats.percentile [ 1.; 2.; 3. ] ~p:0.);
+  check_float "p100" 3. (Stats.percentile [ 1.; 2.; 3. ] ~p:100.);
+  check_float "interpolated" 1.5 (Stats.percentile [ 1.; 2. ] ~p:50.)
+
+let test_stats_gain () =
+  check_float "60% gain" 60. (Stats.percent_gain ~baseline:100. ~improved:40.);
+  check_float "negative gain" (-50.)
+    (Stats.percent_gain ~baseline:100. ~improved:150.);
+  Alcotest.check_raises "zero baseline"
+    (Invalid_argument "Stats.percent_gain: zero baseline") (fun () ->
+      ignore (Stats.percent_gain ~baseline:0. ~improved:1.))
+
+let test_stats_empty_rejected () =
+  Alcotest.check_raises "mean of empty"
+    (Invalid_argument "Stats.mean: empty list") (fun () ->
+      ignore (Stats.mean []))
+
+(* --- Json ------------------------------------------------------------- *)
+
+module Json = Mhla_util.Json
+
+let test_json_compact () =
+  let v =
+    Json.obj
+      [ ("name", Json.str "a\"b");
+        ("n", Json.int 42);
+        ("x", Json.float 1.5);
+        ("ok", Json.bool true);
+        ("none", Json.null);
+        ("list", Json.arr [ Json.int 1; Json.int 2 ]) ]
+  in
+  Alcotest.(check string) "compact rendering"
+    "{\"name\":\"a\\\"b\",\"n\":42,\"x\":1.5,\"ok\":true,\"none\":null,\"list\":[1,2]}"
+    (Json.to_string v)
+
+let test_json_escapes_control_chars () =
+  let rendered = Json.to_string (Json.str "line1\nline2\ttab\x01") in
+  Alcotest.(check string) "escaped"
+    "\"line1\\nline2\\ttab\\u0001\"" rendered
+
+let test_json_empty_containers () =
+  Alcotest.(check string) "empty obj" "{}" (Json.to_string (Json.obj []));
+  Alcotest.(check string) "empty arr" "[]" (Json.to_string (Json.arr []))
+
+let test_json_rejects_nan () =
+  Alcotest.check_raises "nan" (Invalid_argument "Json.float: not representable")
+    (fun () -> ignore (Json.float Float.nan));
+  Alcotest.check_raises "inf" (Invalid_argument "Json.float: not representable")
+    (fun () -> ignore (Json.float Float.infinity))
+
+let test_json_pretty_indents () =
+  let v = Json.obj [ ("a", Json.arr [ Json.int 1 ]) ] in
+  let pretty = Json.to_string ~indent:2 v in
+  Alcotest.(check bool) "has newlines" true (String.contains pretty '\n');
+  Alcotest.(check bool) "longer than compact" true
+    (String.length pretty > String.length (Json.to_string v))
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.float f) in
+      Alcotest.(check (float 0.)) ("roundtrip " ^ s) f (float_of_string s))
+    [ 0.1; 1e300; -3.25; 1. /. 3. ]
+
+(* --- Table ------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t =
+    Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "10000" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | header :: rule :: row1 :: _ ->
+    Alcotest.(check int) "aligned widths" (String.length header)
+      (String.length rule);
+    Alcotest.(check int) "rows aligned" (String.length header)
+      (String.length row1)
+  | _ -> Alcotest.fail "expected at least three lines");
+  Alcotest.(check bool) "right aligned value" true
+    (let last = List.nth lines 2 in
+     String.length last > 0
+     && last.[String.length last - 1] = '1')
+
+let test_table_rejects_bad_row () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "row width"
+    (Invalid_argument "Table.add_row: 2 cells for 1 columns") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "1.50" (Table.cell_float 1.5);
+  Alcotest.(check string) "float decimals" "1.5"
+    (Table.cell_float ~decimals:1 1.5);
+  Alcotest.(check string) "percent" "42.0%" (Table.cell_percent 42.);
+  Alcotest.(check string) "int" "7" (Table.cell_int 7)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "pareto",
+        [
+          Alcotest.test_case "dominates" `Quick test_pareto_dominates;
+          Alcotest.test_case "add drops dominated" `Quick
+            test_pareto_add_keeps_non_dominated;
+          Alcotest.test_case "sorted by x" `Quick test_pareto_sorted_by_x;
+          Alcotest.test_case "min_y / best_under" `Quick
+            test_pareto_min_y_and_best_under;
+          Alcotest.test_case "empty" `Quick test_pareto_empty;
+          qc prop_pareto_no_internal_domination;
+          qc prop_pareto_covers_inputs;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "make rejects reversed" `Quick
+            test_interval_make_rejects_reversed;
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "hull with empty" `Quick
+            test_interval_hull_with_empty;
+          Alcotest.test_case "peak weight hand cases" `Quick
+            test_peak_weight_hand;
+          Alcotest.test_case "peak instant" `Quick test_peak_weight_instant;
+          qc prop_peak_weight_matches_brute_force;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "copy" `Quick test_prng_copy_is_independent;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "errors" `Quick test_prng_errors;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_prng_shuffle_is_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean / geomean" `Quick test_stats_mean_geomean;
+          Alcotest.test_case "stdev" `Quick test_stats_stdev;
+          Alcotest.test_case "min max percentile" `Quick
+            test_stats_min_max_percentile;
+          Alcotest.test_case "percent gain" `Quick test_stats_gain;
+          Alcotest.test_case "empty rejected" `Quick
+            test_stats_empty_rejected;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "compact" `Quick test_json_compact;
+          Alcotest.test_case "control chars" `Quick
+            test_json_escapes_control_chars;
+          Alcotest.test_case "empty containers" `Quick
+            test_json_empty_containers;
+          Alcotest.test_case "rejects nan" `Quick test_json_rejects_nan;
+          Alcotest.test_case "pretty" `Quick test_json_pretty_indents;
+          Alcotest.test_case "float roundtrip" `Quick
+            test_json_float_roundtrip;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "bad row" `Quick test_table_rejects_bad_row;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+    ]
