@@ -6,23 +6,46 @@
      run APP [--onchip N] ...  the full two-step flow with a report
      emit APP                  pseudo-C of the transformed program
      sweep APP [--min/--max]   trade-off exploration over on-chip sizes
-     figures                   regenerate the paper's Figures 2 and 3 *)
+     figures                   regenerate the paper's Figures 2 and 3
+     robustness APP [--seed]   fault-injected TE stall inflation (EXT-FAULT)
+
+   Exit codes: 0 success, 2 invalid input, 3 unsupported request,
+   4 capacity exceeded, 70 internal error (see Mhla_util.Error). *)
 
 module Apps = Mhla_apps.Registry
 module Assign = Mhla_core.Assign
 module Cost = Mhla_core.Cost
+module Error = Mhla_util.Error
 module Explore = Mhla_core.Explore
 module Prefetch = Mhla_core.Prefetch
 module Report = Mhla_core.Report
 module Table = Mhla_util.Table
 
+(* Every subcommand body runs under [guarded]: a structured error is
+   rendered with its context and hint on stderr and mapped to its
+   kind's exit code, instead of escaping as an exception trace. *)
+let guarded f =
+  match Error.catch f with
+  | Ok () -> ()
+  | Result.Error e ->
+    prerr_endline (Error.to_string e);
+    exit (Error.exit_code e)
+
 let find_app name =
   match Apps.find name with
-  | Some app -> Ok app
+  | Some app -> app
   | None ->
-    Error
-      (Printf.sprintf "unknown application %S (try: %s)" name
-         (String.concat ", " Apps.names))
+    Error.invalidf ~context:"mhla"
+      ~hint:("available: " ^ String.concat ", " Apps.names)
+      "unknown application %S" name
+
+let validate_onchip onchip =
+  match onchip with
+  | Some b when b <= 0 ->
+    Error.invalidf ~context:"mhla"
+      ~hint:"pass a positive byte count to --onchip"
+      "on-chip budget must be positive (got %d)" b
+  | _ -> ()
 
 (* --- shared options ---------------------------------------------------- *)
 
@@ -133,12 +156,11 @@ let list_cmd =
 
 let show_cmd =
   let run name =
-    match find_app name with
-    | Error msg -> prerr_endline msg; exit 2
-    | Ok app ->
-      let program = Lazy.force app.Mhla_apps.Defs.program in
-      Fmt.pr "%a@." Mhla_ir.Program.pp program;
-      Fmt.pr "notes: %s@." app.Mhla_apps.Defs.notes
+    guarded @@ fun () ->
+    let app = find_app name in
+    let program = Lazy.force app.Mhla_apps.Defs.program in
+    Fmt.pr "%a@." Mhla_ir.Program.pp program;
+    Fmt.pr "notes: %s@." app.Mhla_apps.Defs.notes
   in
   let doc = "Print an application's loop-nest model and provenance." in
   Cmd.v (Cmd.info "show" ~doc) Term.(const run $ app_arg)
@@ -149,20 +171,20 @@ let json_arg =
 
 let run_cmd =
   let run name onchip dma objective mode search verbose json debug =
+    guarded @@ fun () ->
     setup_logs debug;
-    match find_app name with
-    | Error msg -> prerr_endline msg; exit 2
-    | Ok app ->
-      let program = Lazy.force app.Mhla_apps.Defs.program in
-      let hierarchy = hierarchy_of app ~onchip ~dma in
-      let config = config_of objective mode in
-      let result = Explore.run ~config ~search program hierarchy in
-      if json then
-        print_endline
-          (Mhla_util.Json.to_string ~indent:2
-             (Report.result_to_json ~name result))
-      else if verbose then print_endline (Report.detailed ~name result)
-      else print_endline (Report.summary ~name result)
+    let app = find_app name in
+    validate_onchip onchip;
+    let program = Lazy.force app.Mhla_apps.Defs.program in
+    let hierarchy = hierarchy_of app ~onchip ~dma in
+    let config = config_of objective mode in
+    let result = Explore.run ~config ~search program hierarchy in
+    if json then
+      print_endline
+        (Mhla_util.Json.to_string ~indent:2
+           (Report.result_to_json ~name result))
+    else if verbose then print_endline (Report.detailed ~name result)
+    else print_endline (Report.summary ~name result)
   in
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full report.")
@@ -175,16 +197,16 @@ let run_cmd =
 
 let emit_cmd =
   let run name onchip dma objective mode =
-    match find_app name with
-    | Error msg -> prerr_endline msg; exit 2
-    | Ok app ->
-      let program = Lazy.force app.Mhla_apps.Defs.program in
-      let hierarchy = hierarchy_of app ~onchip ~dma in
-      let config = config_of objective mode in
-      let result = Explore.run ~config program hierarchy in
-      print_string
-        (Mhla_codegen.Emit.emit ~schedule:result.Explore.te
-           result.Explore.assign.Assign.mapping)
+    guarded @@ fun () ->
+    let app = find_app name in
+    validate_onchip onchip;
+    let program = Lazy.force app.Mhla_apps.Defs.program in
+    let hierarchy = hierarchy_of app ~onchip ~dma in
+    let config = config_of objective mode in
+    let result = Explore.run ~config program hierarchy in
+    print_string
+      (Mhla_codegen.Emit.emit ~schedule:result.Explore.te
+         result.Explore.assign.Assign.mapping)
   in
   let doc =
     "Emit the MHLA+TE-transformed program as pseudo-C (buffers, DMA \
@@ -196,17 +218,16 @@ let emit_cmd =
 
 let sweep_cmd =
   let run name min_bytes max_bytes dma objective mode json =
-    match find_app name with
-    | Error msg -> prerr_endline msg; exit 2
-    | Ok app ->
-      let program = Lazy.force app.Mhla_apps.Defs.program in
-      let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes ~max_bytes in
-      let config = config_of objective mode in
-      let points = Explore.sweep ~config ~dma ~sizes program in
-      if json then
-        print_endline
-          (Mhla_util.Json.to_string ~indent:2 (Report.sweep_to_json points))
-      else Table.print (Report.sweep_table points)
+    guarded @@ fun () ->
+    let app = find_app name in
+    let program = Lazy.force app.Mhla_apps.Defs.program in
+    let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes ~max_bytes in
+    let config = config_of objective mode in
+    let points = Explore.sweep ~config ~dma ~sizes program in
+    if json then
+      print_endline
+        (Mhla_util.Json.to_string ~indent:2 (Report.sweep_to_json points))
+    else Table.print (Report.sweep_table points)
   in
   let min_arg =
     Arg.(value & opt int 128 & info [ "min" ] ~docv:"BYTES"
@@ -224,6 +245,7 @@ let sweep_cmd =
 
 let figures_cmd =
   let run json =
+    guarded @@ fun () ->
     let results =
       List.map
         (fun (app : Mhla_apps.Defs.t) ->
@@ -249,6 +271,88 @@ let figures_cmd =
   let doc = "Regenerate the paper's Figure 2 and Figure 3 data." in
   Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ json_arg)
 
+let robustness_cmd =
+  let run name onchip dma objective mode seed trials jitter failure retries
+      patience json =
+    guarded @@ fun () ->
+    let app = find_app name in
+    validate_onchip onchip;
+    let faults =
+      Mhla_sim.Faults.make
+        ~jitter:
+          (if jitter = 0 then Mhla_sim.Faults.No_jitter
+           else Mhla_sim.Faults.Uniform { max_extra_cycles = jitter })
+        ~failure_permille:failure ~max_retries:retries
+        ?deadline_patience:patience ~seed:(Int64.of_int seed) ()
+    in
+    let program = Lazy.force app.Mhla_apps.Defs.program in
+    let hierarchy = hierarchy_of app ~onchip ~dma in
+    let config = config_of objective mode in
+    let result = Explore.run ~config program hierarchy in
+    let report =
+      Mhla_sim.Robustness.analyze ~trials ~faults
+        result.Explore.assign.Assign.mapping result.Explore.te
+    in
+    if json then
+      print_endline
+        (Mhla_util.Json.to_string ~indent:2
+           (Mhla_sim.Robustness.to_json report))
+    else if report.Mhla_sim.Robustness.plans = [] then
+      print_endline
+        "no prefetch streams to stress (TE planned no block transfers)"
+    else begin
+      Fmt.pr "%a@." Mhla_sim.Robustness.pp report;
+      if not report.Mhla_sim.Robustness.all_zero_fault_consistent then begin
+        prerr_endline "mhla: zero-fault simulation drifted from Pipeline.run";
+        exit (Error.exit_code
+                (Error.make Error.Internal ~context:"mhla robustness"
+                   "zero-fault drift"))
+      end
+    end
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"INT"
+             ~doc:"Root seed of the deterministic fault trace.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 16
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Independently reseeded fault trials per stream.")
+  in
+  let jitter_arg =
+    Arg.(value & opt int 8
+         & info [ "jitter" ] ~docv:"CYCLES"
+             ~doc:"Uniform extra transfer latency in 0..$(docv); 0 disables.")
+  in
+  let failure_arg =
+    Arg.(value & opt int 20
+         & info [ "failure" ] ~docv:"PERMILLE"
+             ~doc:"Per-attempt corrupt-transfer probability in 1/1000.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 3
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retries after a corrupt transfer before the consumer \
+                   falls back to a synchronous refetch.")
+  in
+  let patience_arg =
+    Arg.(value & opt (some int) None
+         & info [ "patience" ] ~docv:"CYCLES"
+             ~doc:"Deadline: a consumer stalling longer than $(docv) on a \
+                   pending transfer refetches synchronously instead.")
+  in
+  let doc =
+    "Stress an application's TE schedule under injected DMA faults \
+     (latency jitter, corrupt transfers with retry/backoff) and report \
+     per-stream stall inflation and degradation activity (EXT-FAULT)."
+  in
+  Cmd.v (Cmd.info "robustness" ~doc)
+    Term.(
+      const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
+      $ seed_arg $ trials_arg $ jitter_arg $ failure_arg $ retries_arg
+      $ patience_arg $ json_arg)
+
 let () =
   let doc =
     "memory hierarchy layer assignment and prefetching (MHLA with Time \
@@ -258,4 +362,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; figures_cmd ]))
+          [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; figures_cmd;
+            robustness_cmd ]))

@@ -16,6 +16,9 @@ let find name = List.find_opt (fun (a : Defs.t) -> a.Defs.name = name) all
 let find_exn name =
   match find name with
   | Some app -> app
-  | None -> invalid_arg ("Registry.find_exn: unknown application " ^ name)
+  | None ->
+    Mhla_util.Error.invalidf ~context:"Registry.find_exn"
+      ~hint:"run `mhla list` for the available names"
+      "unknown application %s" name
 
 let names = List.map (fun (a : Defs.t) -> a.Defs.name) all

@@ -6,6 +6,6 @@ val all : Defs.t list
 val find : string -> Defs.t option
 
 val find_exn : string -> Defs.t
-(** @raise Invalid_argument for an unknown application name. *)
+(** @raise Mhla_util.Error.Error for an unknown application name. *)
 
 val names : string list

@@ -1,9 +1,10 @@
 type t = { setup_cycles : int; setup_energy_pj : float; channels : int }
 
 let make ~setup_cycles ~setup_energy_pj ~channels =
-  if setup_cycles < 0 then invalid_arg "Dma.make: negative setup cycles";
-  if setup_energy_pj < 0. then invalid_arg "Dma.make: negative setup energy";
-  if channels <= 0 then invalid_arg "Dma.make: non-positive channel count";
+  let reject fmt = Mhla_util.Error.invalidf ~context:"Dma.make" fmt in
+  if setup_cycles < 0 then reject "negative setup cycles";
+  if setup_energy_pj < 0. then reject "negative setup energy";
+  if channels <= 0 then reject "non-positive channel count";
   { setup_cycles; setup_energy_pj; channels }
 
 let pp ppf t =

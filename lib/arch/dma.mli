@@ -13,7 +13,7 @@ type t = private {
 }
 
 val make : setup_cycles:int -> setup_energy_pj:float -> channels:int -> t
-(** @raise Invalid_argument on negative setup cost or non-positive
+(** @raise Mhla_util.Error.Error on negative setup cost or non-positive
     channel count. *)
 
 val pp : t Fmt.t

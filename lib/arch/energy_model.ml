@@ -23,7 +23,8 @@ let default_params =
 
 let sram_read_energy_pj ?(params = default_params) ~capacity_bytes () =
   if capacity_bytes <= 0 then
-    invalid_arg "Energy_model.sram_read_energy_pj: non-positive capacity";
+    Mhla_util.Error.invalidf ~context:"Energy_model.sram_read_energy_pj"
+      "non-positive capacity";
   params.sram_base_pj
   +. (params.sram_slope_pj *. sqrt (float_of_int capacity_bytes /. 1024.))
 
@@ -35,7 +36,8 @@ let sram_read_energy_pj ?(params = default_params) ~capacity_bytes () =
 let sram_latency_cycles ?(params = default_params) ~capacity_bytes () =
   ignore params;
   if capacity_bytes <= 0 then
-    invalid_arg "Energy_model.sram_latency_cycles: non-positive capacity";
+    Mhla_util.Error.invalidf ~context:"Energy_model.sram_latency_cycles"
+      "non-positive capacity";
   let rec grow latency threshold =
     if capacity_bytes <= threshold then latency
     else grow (latency + 1) (threshold * 4)

@@ -27,7 +27,7 @@ val sram_layer :
   ?params:params -> name:string -> capacity_bytes:int -> unit -> Layer.t
 (** An on-chip scratchpad layer of the given capacity, with energy and
     latency derived from [params].
-    @raise Invalid_argument on a non-positive capacity. *)
+    @raise Mhla_util.Error.Error on a non-positive capacity. *)
 
 val sdram_layer : ?params:params -> name:string -> unit -> Layer.t
 (** The unbounded off-chip layer. *)

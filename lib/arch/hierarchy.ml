@@ -1,27 +1,24 @@
+module Error = Mhla_util.Error
+
 type t = { layers : Layer.t list; dma : Dma.t option }
 
 let make ?dma layers =
+  let reject fmt = Error.invalidf ~context:"Hierarchy.make" fmt in
   (match layers with
-  | [] -> invalid_arg "Hierarchy.make: no layers"
+  | [] -> reject "no layers"
   | layers ->
     let n = List.length layers in
     let check level (l : Layer.t) =
       let last = level = n - 1 in
       match (last, l.capacity_bytes, l.location) with
       | true, None, Layer.Off_chip -> ()
-      | true, Some _, _ ->
-        invalid_arg
-          ("Hierarchy.make: last layer " ^ l.name ^ " must be unbounded")
+      | true, Some _, _ -> reject "last layer %s must be unbounded" l.name
       | true, None, Layer.On_chip ->
-        invalid_arg
-          ("Hierarchy.make: last layer " ^ l.name ^ " must be off-chip")
+        reject "last layer %s must be off-chip" l.name
       | false, Some _, Layer.On_chip -> ()
-      | false, None, _ ->
-        invalid_arg
-          ("Hierarchy.make: inner layer " ^ l.name ^ " must be bounded")
+      | false, None, _ -> reject "inner layer %s must be bounded" l.name
       | false, Some _, Layer.Off_chip ->
-        invalid_arg
-          ("Hierarchy.make: inner layer " ^ l.name ^ " must be on-chip")
+        reject "inner layer %s must be on-chip" l.name
     in
     List.iteri check layers);
   { layers; dma }
@@ -31,8 +28,7 @@ let levels t = List.length t.layers
 let layer t level =
   match List.nth_opt t.layers level with
   | Some l -> l
-  | None ->
-    invalid_arg (Printf.sprintf "Hierarchy.layer: no level %d" level)
+  | None -> Error.invalidf ~context:"Hierarchy.layer" "no level %d" level
 
 let main_memory_level t = levels t - 1
 
@@ -51,7 +47,10 @@ let has_dma t = t.dma <> None
 let dma_exn t =
   match t.dma with
   | Some d -> d
-  | None -> invalid_arg "Hierarchy.dma_exn: platform has no DMA engine"
+  | None ->
+    Error.invalidf ~context:"Hierarchy.dma_exn"
+      ~hint:"build the platform with a DMA engine or guard with has_dma"
+      "platform has no DMA engine"
 
 let with_dma dma t = { t with dma = Some dma }
 

@@ -11,12 +11,12 @@ val make : ?dma:Dma.t -> Layer.t list -> t
 (** Layers ordered from closest (level 0) to farthest. Validated:
     non-empty; exactly the last layer unbounded and off-chip; all other
     layers bounded and on-chip.
-    @raise Invalid_argument when the shape is wrong. *)
+    @raise Mhla_util.Error.Error when the shape is wrong. *)
 
 val levels : t -> int
 
 val layer : t -> int -> Layer.t
-(** @raise Invalid_argument on an out-of-range level. *)
+(** @raise Mhla_util.Error.Error on an out-of-range level. *)
 
 val main_memory_level : t -> int
 (** The index of the off-chip layer ([levels t - 1]). *)
@@ -33,7 +33,7 @@ val on_chip_capacity_bytes : t -> int
 val has_dma : t -> bool
 
 val dma_exn : t -> Dma.t
-(** @raise Invalid_argument when the platform has no transfer engine. *)
+(** @raise Mhla_util.Error.Error when the platform has no transfer engine. *)
 
 val with_dma : Dma.t -> t -> t
 

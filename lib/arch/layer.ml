@@ -1,3 +1,5 @@
+module Error = Mhla_util.Error
+
 type location = On_chip | Off_chip
 
 type t = {
@@ -14,19 +16,18 @@ type t = {
 let make ~burst_energy_factor ~name ~location ~capacity_bytes
     ~read_energy_pj ~write_energy_pj ~latency_cycles
     ~bandwidth_bytes_per_cycle =
-  if name = "" then invalid_arg "Layer.make: empty name";
+  let reject fmt = Error.invalidf ~context:"Layer.make" fmt in
+  if name = "" then reject "empty name";
   (match capacity_bytes with
-  | Some c when c <= 0 ->
-    invalid_arg ("Layer.make: non-positive capacity in " ^ name)
+  | Some c when c <= 0 -> reject "non-positive capacity in %s" name
   | Some _ | None -> ());
   if read_energy_pj <= 0. || write_energy_pj <= 0. then
-    invalid_arg ("Layer.make: non-positive energy in " ^ name);
-  if latency_cycles <= 0 then
-    invalid_arg ("Layer.make: non-positive latency in " ^ name);
+    reject "non-positive energy in %s" name;
+  if latency_cycles <= 0 then reject "non-positive latency in %s" name;
   if bandwidth_bytes_per_cycle <= 0 then
-    invalid_arg ("Layer.make: non-positive bandwidth in " ^ name);
+    reject "non-positive bandwidth in %s" name;
   if burst_energy_factor <= 0. || burst_energy_factor > 1. then
-    invalid_arg ("Layer.make: burst energy factor out of (0,1] in " ^ name);
+    reject "burst energy factor out of (0,1] in %s" name;
   { name; location; capacity_bytes; read_energy_pj; write_energy_pj;
     latency_cycles; bandwidth_bytes_per_cycle; burst_energy_factor }
 

@@ -33,7 +33,7 @@ val make :
   latency_cycles:int ->
   bandwidth_bytes_per_cycle:int ->
   t
-(** @raise Invalid_argument on a non-positive capacity, energy,
+(** @raise Mhla_util.Error.Error on a non-positive capacity, energy,
     latency or bandwidth. *)
 
 val is_on_chip : t -> bool

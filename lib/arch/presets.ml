@@ -19,7 +19,9 @@ let three_level ?(dma = true) ~l1_bytes ~l2_bytes () =
 
 let sweep_sizes ~min_bytes ~max_bytes =
   if min_bytes <= 0 || max_bytes < min_bytes then
-    invalid_arg "Presets.sweep_sizes: bad bounds";
+    Mhla_util.Error.invalidf ~context:"Presets.sweep_sizes"
+      ~hint:"need 0 < min_bytes <= max_bytes" "bad bounds (min %d, max %d)"
+      min_bytes max_bytes;
   let rec up acc size =
     if size > max_bytes then List.rev acc else up (size :: acc) (size * 2)
   in

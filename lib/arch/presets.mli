@@ -16,5 +16,5 @@ val three_level :
 val sweep_sizes : min_bytes:int -> max_bytes:int -> int list
 (** Power-of-two on-chip sizes from [min_bytes] to [max_bytes]
     inclusive, for trade-off exploration sweeps.
-    @raise Invalid_argument if the bounds are non-positive or out of
+    @raise Mhla_util.Error.Error if the bounds are non-positive or out of
     order. *)

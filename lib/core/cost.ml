@@ -117,7 +117,8 @@ let pp_objective ppf = function
 
 let loop_iteration_cycles (m : Mapping.t) ~iter =
   if Mhla_ir.Program.iterator_trip m.Mapping.program iter = None then
-    invalid_arg ("Cost.loop_iteration_cycles: unknown iterator " ^ iter);
+    Mhla_util.Error.invalidf ~context:"Cost.loop_iteration_cycles"
+      "unknown iterator %s" iter;
   let per_stmt acc (ctx : Mhla_ir.Program.context) =
     let rec inner_trip = function
       | [] -> None (* stmt not inside [iter] *)

@@ -46,6 +46,6 @@ val loop_iteration_cycles : Mapping.t -> iter:string -> int
     with iterator [iter] (block-transfer stalls excluded): the CPU work
     available to hide a prefetch extended across that loop, Figure 1's
     [compute_loop_cycles].
-    @raise Invalid_argument for an unknown iterator. *)
+    @raise Mhla_util.Error.Error for an unknown iterator. *)
 
 val pp_breakdown : breakdown Fmt.t

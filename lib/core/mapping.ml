@@ -1,5 +1,6 @@
 module Analysis = Mhla_reuse.Analysis
 module Candidate = Mhla_reuse.Candidate
+module Error = Mhla_util.Error
 module Hierarchy = Mhla_arch.Hierarchy
 module Occupancy = Mhla_lifetime.Occupancy
 module Schedule = Mhla_lifetime.Schedule
@@ -34,32 +35,30 @@ let find_info t ref_ =
   match Analysis.find t.infos ref_ with
   | Some info -> info
   | None ->
-    invalid_arg
-      (Fmt.str "Mapping: unknown access %a" Analysis.pp_access_ref ref_)
+    Error.invalidf ~context:"Mapping" "unknown access %s"
+      (Fmt.str "%a" Analysis.pp_access_ref ref_)
 
 let validate_chain t info links =
+  let reject fmt = Error.invalidf ~context:"Mapping" fmt in
   let main = Hierarchy.main_memory_level t.hierarchy in
-  if links = [] then invalid_arg "Mapping: empty chain";
+  if links = [] then reject "empty chain";
   let check_link { candidate; layer } =
     if layer < 0 || layer >= main then
-      invalid_arg
-        (Printf.sprintf "Mapping: chain layer %d not on-chip" layer);
+      reject "chain layer %d not on-chip" layer;
     let belongs =
       candidate.Candidate.stmt = info.Analysis.ref_.Analysis.stmt
       && candidate.Candidate.access_index = info.Analysis.ref_.Analysis.index
     in
     if not belongs then
-      invalid_arg
-        ("Mapping: candidate " ^ candidate.Candidate.id
-       ^ " does not belong to the access")
+      reject "candidate %s does not belong to the access"
+        candidate.Candidate.id
   in
   List.iter check_link links;
   let rec check_order = function
     | a :: (b :: _ as rest) ->
       if a.candidate.Candidate.level <= b.candidate.Candidate.level then
-        invalid_arg "Mapping: chain levels must strictly decrease";
-      if a.layer >= b.layer then
-        invalid_arg "Mapping: chain layers must strictly increase";
+        reject "chain levels must strictly decrease";
+      if a.layer >= b.layer then reject "chain layers must strictly increase";
       check_order rest
     | [ _ ] | [] -> ()
   in
@@ -77,14 +76,14 @@ let with_placement t ref_ placement =
 
 let with_array_layer t ~array ~layer =
   if Mhla_ir.Program.find_array t.program array = None then
-    invalid_arg ("Mapping: unknown array " ^ array);
+    Error.invalidf ~context:"Mapping" "unknown array %s" array;
   let main = Hierarchy.main_memory_level t.hierarchy in
   let array_layers = List.remove_assoc array t.array_layers in
   match layer with
   | None -> { t with array_layers }
   | Some level ->
     if level < 0 || level >= main then
-      invalid_arg (Printf.sprintf "Mapping: level %d is not on-chip" level);
+      Error.invalidf ~context:"Mapping" "level %d is not on-chip" level;
     { t with array_layers = (array, level) :: array_layers }
 
 let placement_of t ref_ =
@@ -95,8 +94,8 @@ let placement_of t ref_ =
   with
   | Some (_, p) -> p
   | None ->
-    invalid_arg
-      (Fmt.str "Mapping: unknown access %a" Analysis.pp_access_ref ref_)
+    Error.invalidf ~context:"Mapping" "unknown access %s"
+      (Fmt.str "%a" Analysis.pp_access_ref ref_)
 
 let array_layer t array =
   match List.assoc_opt array t.array_layers with
@@ -310,7 +309,7 @@ let occupancy_ok ?(policy = Occupancy.In_place) ?(extra = []) t =
 
 let with_hierarchy t hierarchy =
   if Hierarchy.levels hierarchy <> Hierarchy.levels t.hierarchy then
-    invalid_arg "Mapping.with_hierarchy: level counts differ";
+    Error.invalidf ~context:"Mapping.with_hierarchy" "level counts differ";
   { t with hierarchy }
 
 let pp ppf t =

@@ -42,12 +42,12 @@ val direct :
 
 val with_placement : t -> Mhla_reuse.Analysis.access_ref -> placement -> t
 (** Functional update; validates the chain shape.
-    @raise Invalid_argument for an unknown access or malformed chain. *)
+    @raise Mhla_util.Error.Error for an unknown access or malformed chain. *)
 
 val with_array_layer : t -> array:string -> layer:int option -> t
 (** Promote an array to an on-chip layer ([Some level]) or demote it
     back off-chip ([None]).
-    @raise Invalid_argument for an unknown array or the off-chip
+    @raise Mhla_util.Error.Error for an unknown array or the off-chip
     level. *)
 
 val placement_of : t -> Mhla_reuse.Analysis.access_ref -> placement
@@ -92,6 +92,6 @@ val with_hierarchy : t -> Mhla_arch.Hierarchy.t -> t
 (** The same placements evaluated against another platform with the
     same number of levels — used to stress TE under a tighter size
     constraint than the assignment used.
-    @raise Invalid_argument when the level counts differ. *)
+    @raise Mhla_util.Error.Error when the level counts differ. *)
 
 val pp : t Fmt.t

@@ -3,8 +3,10 @@ type direction = Read | Write
 type t = { array : string; direction : direction; index : Affine.t list }
 
 let make ~array ~direction ~index =
-  if array = "" then invalid_arg "Access.make: empty array name";
-  if index = [] then invalid_arg "Access.make: empty index";
+  if array = "" then
+    Mhla_util.Error.invalidf ~context:"Access.make" "empty array name";
+  if index = [] then
+    Mhla_util.Error.invalidf ~context:"Access.make" "empty index";
   { array; direction; index }
 
 let read array index = make ~array ~direction:Read ~index

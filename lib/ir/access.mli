@@ -9,7 +9,7 @@ type t = private {
 }
 
 val make : array:string -> direction:direction -> index:Affine.t list -> t
-(** @raise Invalid_argument on an empty array name or empty index. *)
+(** @raise Mhla_util.Error.Error on an empty array name or empty index. *)
 
 val read : string -> Affine.t list -> t
 

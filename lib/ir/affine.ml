@@ -45,8 +45,8 @@ let extent e ~trip ~free =
     else begin
       let n = trip name in
       if n <= 0 then
-        invalid_arg
-          (Printf.sprintf "Affine.extent: iterator %s has trip %d" name n);
+        Mhla_util.Error.invalidf ~context:"Affine.extent"
+          "iterator %s has trip %d" name n;
       acc + (abs c * (n - 1))
     end
   in

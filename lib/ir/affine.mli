@@ -41,7 +41,7 @@ val extent : t -> trip:(string -> int) -> free:(string -> bool) -> int
     others are held fixed: [sum over free i of |coeff i| * (trip i - 1)].
     The number of distinct array elements touched along a dimension is
     at most [extent + 1].
-    @raise Invalid_argument if a free iterator has [trip i <= 0]. *)
+    @raise Mhla_util.Error.Error if a free iterator has [trip i <= 0]. *)
 
 val min_value : t -> trip:(string -> int) -> int
 (** Smallest value when {e all} iterators sweep their full range. *)

@@ -1,12 +1,12 @@
 type t = { name : string; dims : int list; element_bytes : int }
 
 let make ~name ~dims ~element_bytes =
-  if name = "" then invalid_arg "Array_decl.make: empty name";
-  if dims = [] then invalid_arg "Array_decl.make: no dimensions";
+  let reject fmt = Mhla_util.Error.invalidf ~context:"Array_decl.make" fmt in
+  if name = "" then reject "empty name";
+  if dims = [] then reject "no dimensions";
   if List.exists (fun d -> d <= 0) dims then
-    invalid_arg ("Array_decl.make: non-positive dimension in " ^ name);
-  if element_bytes <= 0 then
-    invalid_arg ("Array_decl.make: non-positive element size in " ^ name);
+    reject "non-positive dimension in %s" name;
+  if element_bytes <= 0 then reject "non-positive element size in %s" name;
   { name; dims; element_bytes }
 
 let elements t = List.fold_left ( * ) 1 t.dims

@@ -7,7 +7,7 @@ type t = private {
 }
 
 val make : name:string -> dims:int list -> element_bytes:int -> t
-(** @raise Invalid_argument on an empty name, empty or non-positive
+(** @raise Mhla_util.Error.Error on an empty name, empty or non-positive
     dimension list, or non-positive element size. *)
 
 val elements : t -> int

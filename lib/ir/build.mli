@@ -40,4 +40,4 @@ val loop : string -> int -> Program.node list -> Program.node
 
 val program :
   string -> arrays:Array_decl.t list -> Program.node list -> Program.t
-(** @raise Invalid_argument when validation fails. *)
+(** @raise Mhla_util.Error.Error when validation fails. *)

@@ -29,7 +29,8 @@ let prefix_names ~prefix (p : Program.t) =
     ~body:(List.map rename_node p.Program.body)
 
 let sequence ~name tasks =
-  if tasks = [] then invalid_arg "Compose.sequence: no tasks";
+  if tasks = [] then
+    Mhla_util.Error.invalidf ~context:"Compose.sequence" "no tasks";
   let renamed =
     List.mapi
       (fun k task -> prefix_names ~prefix:(Printf.sprintf "t%d_" k) task)

@@ -13,7 +13,7 @@ val sequence : name:string -> Program.t list -> Program.t
     array, iterator and statement of task [k] is prefixed with
     ["tk_"], so the result always validates regardless of name clashes
     between tasks.
-    @raise Invalid_argument on an empty task list. *)
+    @raise Mhla_util.Error.Error on an empty task list. *)
 
 val prefix_names : prefix:string -> Program.t -> Program.t
 (** The renaming used by {!sequence}, exposed for tests: prefix every

@@ -84,7 +84,8 @@ let make ~name ~arrays ~body =
 let make_exn ~name ~arrays ~body =
   match make ~name ~arrays ~body with
   | Ok t -> t
-  | Error msg -> invalid_arg ("Program.make_exn: " ^ msg)
+  | Error msg ->
+    Mhla_util.Error.invalidf ~context:"Program.make_exn" "%s" msg
 
 (* --- traversal -------------------------------------------------------- *)
 

@@ -26,7 +26,7 @@ val make :
 
 val make_exn :
   name:string -> arrays:Array_decl.t list -> body:node list -> t
-(** @raise Invalid_argument with the validation message. *)
+(** @raise Mhla_util.Error.Error with the validation message. *)
 
 (** The nesting context of one statement occurrence. *)
 type context = {

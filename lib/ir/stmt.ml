@@ -1,9 +1,9 @@
 type t = { name : string; work_cycles : int; accesses : Access.t list }
 
 let make ~name ~work_cycles ~accesses =
-  if name = "" then invalid_arg "Stmt.make: empty name";
+  if name = "" then Mhla_util.Error.invalidf ~context:"Stmt.make" "empty name";
   if work_cycles < 0 then
-    invalid_arg ("Stmt.make: negative work in " ^ name);
+    Mhla_util.Error.invalidf ~context:"Stmt.make" "negative work in %s" name;
   { name; work_cycles; accesses }
 
 let reads t = List.filter Access.is_read t.accesses

@@ -12,7 +12,7 @@ type t = private {
 }
 
 val make : name:string -> work_cycles:int -> accesses:Access.t list -> t
-(** @raise Invalid_argument on an empty name or negative work. A
+(** @raise Mhla_util.Error.Error on an empty name or negative work. A
     statement with no accesses is allowed (pure compute). *)
 
 val reads : t -> Access.t list

@@ -55,7 +55,8 @@ let tile ~iter ~factor (p : Program.t) =
 let tile_exn ~iter ~factor p =
   match tile ~iter ~factor p with
   | Ok p -> p
-  | Error msg -> invalid_arg ("Transform.tile_exn: " ^ msg)
+  | Error msg ->
+    Mhla_util.Error.invalidf ~context:"Transform.tile_exn" "%s" msg
 
 let interchange ~outer ~inner (p : Program.t) =
   let changed = ref false in

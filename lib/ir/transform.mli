@@ -18,7 +18,7 @@ val tile :
     in [1 < factor < trip]. *)
 
 val tile_exn : iter:string -> factor:int -> Program.t -> Program.t
-(** @raise Invalid_argument with {!tile}'s error message. *)
+(** @raise Mhla_util.Error.Error with {!tile}'s error message. *)
 
 val interchange :
   outer:string -> inner:string -> Program.t -> (Program.t, string) result

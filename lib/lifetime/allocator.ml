@@ -81,7 +81,8 @@ let allocate ~capacity blocks =
 let allocate_exn ~capacity blocks =
   match allocate ~capacity blocks with
   | Ok t -> t
-  | Error msg -> invalid_arg ("Allocator.allocate_exn: " ^ msg)
+  | Error msg ->
+    Mhla_util.Error.capacityf ~context:"Allocator.allocate_exn" "%s" msg
 
 let offset_of t ~label =
   List.find_map

@@ -26,7 +26,7 @@ val allocate : capacity:int -> Occupancy.block list -> (t, string) result
     heuristic may need slightly more in adversarial cases). *)
 
 val allocate_exn : capacity:int -> Occupancy.block list -> t
-(** @raise Invalid_argument with {!allocate}'s message. *)
+(** @raise Mhla_util.Error.Error with {!allocate}'s message. *)
 
 val offset_of : t -> label:string -> int option
 (** Offset of the first block with this label. *)

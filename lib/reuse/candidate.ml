@@ -32,8 +32,8 @@ let reuse_factor mode t =
 let make ~decl ~loops ~stmt ~access_index ~level (access : Mhla_ir.Access.t) =
   let n = List.length loops in
   if level < 0 || level > n then
-    invalid_arg
-      (Printf.sprintf "Candidate.make: level %d out of range 0..%d" level n);
+    Mhla_util.Error.invalidf ~context:"Candidate.make"
+      "level %d out of range 0..%d" level n;
   let trip name =
     match List.assoc_opt name loops with
     | Some t -> t

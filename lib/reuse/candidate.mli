@@ -66,6 +66,6 @@ val make :
   t
 (** Build the candidate at [level] for an access whose enclosing loops
     are [loops] (outermost first).
-    @raise Invalid_argument when [level] is out of range. *)
+    @raise Mhla_util.Error.Error when [level] is out of range. *)
 
 val pp : t Fmt.t

@@ -8,11 +8,14 @@ type bt_check = {
   simulated : Pipeline.outcome;
   analytic_stall_cycles : int;
   cold_start_bound : int;
+  zero_fault_consistent : bool;
 }
 
 let within_bound c =
   abs (c.simulated.Pipeline.stall_cycles - c.analytic_stall_cycles)
   <= c.cold_start_bound
+
+let agrees c = within_bound c && c.zero_fault_consistent
 
 type report = { checks : bt_check list; disagreements : bt_check list }
 
@@ -40,14 +43,21 @@ let check_of_plan (m : Mapping.t) (plan : Prefetch.plan) =
       channels;
     }
   in
+  let simulated = Pipeline.run params in
+  let faultless = Pipeline.run_faulty Faults.none params in
   {
     check_id = bt.Mapping.bt_id;
     params;
-    simulated = Pipeline.run params;
+    simulated;
     analytic_stall_cycles = Pipeline.analytic_stall params;
     cold_start_bound =
       (params.Pipeline.lookahead + 1)
       * (params.Pipeline.transfer_cycles + params.Pipeline.setup_cycles);
+    zero_fault_consistent =
+      faultless.Pipeline.fault_result = simulated
+      && faultless.Pipeline.retries = 0
+      && faultless.Pipeline.fallbacks = 0
+      && faultless.Pipeline.failed_attempts = 0;
   }
 
 let crosscheck m (schedule : Prefetch.schedule) =
@@ -58,13 +68,11 @@ let crosscheck m (schedule : Prefetch.schedule) =
         else None)
       schedule.Prefetch.plans
   in
-  {
-    checks;
-    disagreements = List.filter (fun c -> not (within_bound c)) checks;
-  }
+  { checks; disagreements = List.filter (fun c -> not (agrees c)) checks }
 
 let pp_check ppf c =
-  Fmt.pf ppf "%s: simulated stall %d, analytic %d (bound %d) %s" c.check_id
+  Fmt.pf ppf "%s: simulated stall %d, analytic %d (bound %d)%s %s" c.check_id
     c.simulated.Pipeline.stall_cycles c.analytic_stall_cycles
     c.cold_start_bound
-    (if within_bound c then "OK" else "DISAGREE")
+    (if c.zero_fault_consistent then "" else ", zero-fault drift")
+    (if agrees c then "OK" else "DISAGREE")

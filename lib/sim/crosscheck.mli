@@ -14,10 +14,18 @@ type bt_check = {
   analytic_stall_cycles : int;
   cold_start_bound : int;
       (** [(lookahead+1) * (transfer + setup)] slack allowed *)
+  zero_fault_consistent : bool;
+      (** {!Pipeline.run_faulty} under {!Faults.none} reproduced
+          [simulated] exactly, with zero retries/fallbacks — the fault
+          machinery adds nothing when no faults are configured *)
 }
 
 val within_bound : bt_check -> bool
 (** [|simulated - analytic| <= cold_start_bound]. *)
+
+val agrees : bt_check -> bool
+(** {!within_bound} and [zero_fault_consistent]; checks failing either
+    way land in [disagreements]. *)
 
 type report = { checks : bt_check list; disagreements : bt_check list }
 

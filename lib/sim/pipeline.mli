@@ -26,7 +26,31 @@ type outcome = {
 }
 
 val run : params -> outcome
-(** @raise Invalid_argument on negative parameters or [issues <= 0]. *)
+(** @raise Mhla_util.Error.Error on negative parameters or [issues <= 0]. *)
+
+type fault_outcome = {
+  fault_result : outcome;  (** cycles as measured under faults *)
+  retries : int;  (** re-issued attempts after a corrupt transfer *)
+  fallbacks : int;
+      (** iterations that degraded to a synchronous refetch, either
+          because retries were exhausted or the transfer missed the
+          [deadline_patience] window *)
+  failed_attempts : int;  (** corrupt transfer completions observed *)
+  jitter_total_cycles : int;  (** extra latency injected across attempts *)
+}
+
+val run_faulty : Faults.t -> params -> fault_outcome
+(** [run] with every DMA attempt filtered through the fault model:
+    latency jitter stretches attempts, failed attempts occupy their
+    channel then retry after capped exponential backoff, and outage
+    windows delay starts. When a transfer exhausts its retries — or
+    outstays [deadline_patience] — the consuming iteration falls back
+    to a synchronous refetch (setup + full transfer, all stall)
+    instead of diverging. Deterministic in the fault seed.
+    Under {!Faults.none} this is exactly {!run}, cycle for cycle.
+    @raise Mhla_util.Error.Error on invalid [params] or fault model. *)
+
+val pp_fault_outcome : fault_outcome Fmt.t
 
 val analytic_stall : params -> int
 (** The tool's (Figure-1) stall arithmetic for the same stream:

@@ -1,3 +1,4 @@
+module Error = Mhla_util.Error
 module Layer = Mhla_arch.Layer
 module Hierarchy = Mhla_arch.Hierarchy
 
@@ -6,12 +7,12 @@ type config = { capacity_bytes : int; ways : int; line_bytes : int }
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let config ~capacity_bytes ~ways ~line_bytes =
+  let reject fmt = Error.invalidf ~context:"Cache.config" fmt in
   if not (is_power_of_two line_bytes) then
-    invalid_arg "Cache.config: line_bytes must be a power of two";
-  if ways < 1 then invalid_arg "Cache.config: ways must be >= 1";
+    reject "line_bytes must be a power of two";
+  if ways < 1 then reject "ways must be >= 1";
   if capacity_bytes <= 0 || capacity_bytes mod (ways * line_bytes) <> 0 then
-    invalid_arg
-      "Cache.config: capacity must be a positive multiple of ways * line";
+    reject "capacity must be a positive multiple of ways * line";
   { capacity_bytes; ways; line_bytes }
 
 type stats = {
@@ -38,7 +39,7 @@ let simulate ?config:cfg ~hierarchy program =
   let on = Hierarchy.layer hierarchy 0 in
   let off = Hierarchy.main_memory hierarchy in
   if not (Layer.is_on_chip on) then
-    invalid_arg "Cache.simulate: hierarchy has no on-chip layer";
+    Error.invalidf ~context:"Cache.simulate" "hierarchy has no on-chip layer";
   let cfg =
     match cfg with
     | Some c -> c
@@ -46,14 +47,16 @@ let simulate ?config:cfg ~hierarchy program =
       let capacity =
         match on.Layer.capacity_bytes with
         | Some c -> c
-        | None -> invalid_arg "Cache.simulate: unbounded on-chip layer"
+        | None ->
+          Error.invalidf ~context:"Cache.simulate" "unbounded on-chip layer"
       in
       (* Round down to a legal 2-way geometry. *)
       let line_bytes = 16 in
       let ways = 2 in
       let unit = ways * line_bytes in
       if capacity < unit then
-        invalid_arg "Cache.simulate: on-chip capacity below one cache set";
+        Error.capacityf ~context:"Cache.simulate"
+          "on-chip capacity below one cache set";
       config ~capacity_bytes:(capacity / unit * unit) ~ways ~line_bytes
   in
   let sets = cfg.capacity_bytes / (cfg.ways * cfg.line_bytes) in

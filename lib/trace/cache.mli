@@ -16,7 +16,7 @@ type config = {
 }
 
 val config : capacity_bytes:int -> ways:int -> line_bytes:int -> config
-(** @raise Invalid_argument unless [line_bytes] is a power of two,
+(** @raise Mhla_util.Error.Error unless [line_bytes] is a power of two,
     [ways >= 1], and [capacity_bytes] is a positive multiple of
     [ways * line_bytes]. *)
 
@@ -43,5 +43,5 @@ val simulate :
     hit cost (with a tag-lookup overhead per way), off-chip layer for
     line fills and write-backs; statement compute cycles are charged as
     in {!Mhla_core.Cost}.
-    @raise Invalid_argument when the hierarchy has no on-chip layer
+    @raise Mhla_util.Error.Error when the hierarchy has no on-chip layer
     able to hold the cache. *)

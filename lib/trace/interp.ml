@@ -1,3 +1,5 @@
+module Error = Mhla_util.Error
+
 type event = {
   stmt : string;
   array : string;
@@ -23,7 +25,7 @@ let layout (program : Mhla_ir.Program.t) =
 let find_decl program array =
   match Mhla_ir.Program.find_array program array with
   | Some d -> d
-  | None -> invalid_arg ("Interp: unknown array " ^ array)
+  | None -> Error.invalidf ~context:"Interp" "unknown array %s" array
 
 (* Row-major offset with bounds checking per dimension. *)
 let element_offset (decl : Mhla_ir.Array_decl.t) ~indices =
@@ -32,12 +34,12 @@ let element_offset (decl : Mhla_ir.Array_decl.t) ~indices =
     | [], [] -> acc
     | dim :: dims, idx :: indices ->
       if idx < 0 || idx >= dim then
-        invalid_arg
-          (Printf.sprintf "Interp: index %d out of bounds 0..%d in %s" idx
-             (dim - 1) decl.Mhla_ir.Array_decl.name);
+        Error.invalidf ~context:"Interp" "index %d out of bounds 0..%d in %s"
+          idx (dim - 1) decl.Mhla_ir.Array_decl.name;
       walk ((acc * dim) + idx) dims indices
     | _, _ ->
-      invalid_arg ("Interp: rank mismatch on " ^ decl.Mhla_ir.Array_decl.name)
+      Error.invalidf ~context:"Interp" "rank mismatch on %s"
+        decl.Mhla_ir.Array_decl.name
   in
   walk 0 decl.Mhla_ir.Array_decl.dims indices
 
@@ -46,7 +48,7 @@ let address layout program ~array ~indices =
   let base =
     match List.assoc_opt array layout with
     | Some b -> b
-    | None -> invalid_arg ("Interp: array not in layout: " ^ array)
+    | None -> Error.invalidf ~context:"Interp" "array not in layout: %s" array
   in
   base + (element_offset decl ~indices * decl.Mhla_ir.Array_decl.element_bytes)
 
@@ -56,7 +58,7 @@ let fold ?only_stmt (program : Mhla_ir.Program.t) ~init ~f =
   let lookup name =
     match Hashtbl.find_opt env name with
     | Some v -> v
-    | None -> invalid_arg ("Interp: free iterator " ^ name)
+    | None -> Error.invalidf ~context:"Interp" "free iterator %s" name
   in
   let acc = ref init in
   let run_stmt (s : Mhla_ir.Stmt.t) =
@@ -105,14 +107,14 @@ let touched_addresses program ~stmt ~access_index ~fix =
   let ctx =
     match Mhla_ir.Program.find_context program ~stmt with
     | Some c -> c
-    | None -> invalid_arg ("Interp: unknown statement " ^ stmt)
+    | None -> Error.invalidf ~context:"Interp" "unknown statement %s" stmt
   in
   let access =
     match
       List.nth_opt ctx.Mhla_ir.Program.stmt.Mhla_ir.Stmt.accesses access_index
     with
     | Some a -> a
-    | None -> invalid_arg "Interp: access index out of range"
+    | None -> Error.invalidf ~context:"Interp" "access index out of range"
   in
   let loops = ctx.Mhla_ir.Program.loops in
   let addresses = Hashtbl.create 256 in

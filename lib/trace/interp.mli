@@ -27,7 +27,7 @@ val layout : Mhla_ir.Program.t -> layout
 val address :
   layout -> Mhla_ir.Program.t -> array:string -> indices:int list -> int
 (** Row-major linearised byte address of one element.
-    @raise Invalid_argument for an unknown array, a rank mismatch or an
+    @raise Mhla_util.Error.Error for an unknown array, a rank mismatch or an
     out-of-bounds index. *)
 
 val fold :
@@ -39,7 +39,7 @@ val fold :
 (** Execute the program in source order and fold over every access
     event. [only_stmt] restricts the events to one statement (the
     loops still iterate fully).
-    @raise Invalid_argument when a subscript leaves the array bounds —
+    @raise Mhla_util.Error.Error when a subscript leaves the array bounds —
     an IR modelling bug worth failing loudly on. *)
 
 val count_events : ?only_stmt:string -> Mhla_ir.Program.t -> int

@@ -1,8 +1,7 @@
 type t = { lo : int; hi : int }
 
 let make ~lo ~hi =
-  if hi < lo then
-    invalid_arg (Printf.sprintf "Interval.make: hi (%d) < lo (%d)" hi lo);
+  if hi < lo then Error.invalidf ~context:"Interval.make" "hi (%d) < lo (%d)" hi lo;
   { lo; hi }
 
 let is_empty t = t.lo = t.hi

@@ -11,7 +11,7 @@ type t = private { lo : int; hi : int }
     interval with [lo = hi] is empty. *)
 
 val make : lo:int -> hi:int -> t
-(** @raise Invalid_argument if [hi < lo]. *)
+(** @raise Error.Error if [hi < lo]. *)
 
 val is_empty : t -> bool
 

@@ -17,7 +17,7 @@ let int n = Int n
 
 let float f =
   if not (Float.is_finite f) then
-    invalid_arg "Json.float: not representable";
+    Error.invalidf ~context:"Json.float" "not representable";
   Float f
 
 let bool b = Bool b

@@ -15,7 +15,7 @@ val str : string -> t
 val int : int -> t
 
 val float : float -> t
-(** @raise Invalid_argument on NaN or infinities (not representable in
+(** @raise Error.Error on NaN or infinities (not representable in
     JSON). *)
 
 val bool : bool -> t

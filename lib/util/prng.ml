@@ -16,12 +16,13 @@ let next_int64 t =
   logxor z (shift_right_logical z 31)
 
 let int t ~bound =
-  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound <= 0 then
+    Error.invalidf ~context:"Prng.int" "bound must be positive (got %d)" bound;
   let mask = Int64.shift_right_logical (next_int64 t) 1 in
   Int64.to_int (Int64.rem mask (Int64.of_int bound))
 
 let int_in t ~lo ~hi =
-  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  if hi < lo then Error.invalidf ~context:"Prng.int_in" "hi (%d) < lo (%d)" hi lo;
   lo + int t ~bound:(hi - lo + 1)
 
 let float t =
@@ -39,5 +40,5 @@ let shuffle t arr =
   done
 
 let pick t = function
-  | [] -> invalid_arg "Prng.pick: empty list"
+  | [] -> Error.invalidf ~context:"Prng.pick" "empty list"
   | items -> List.nth items (int t ~bound:(List.length items))

@@ -17,11 +17,11 @@ val next_int64 : t -> int64
 
 val int : t -> bound:int -> int
 (** [int t ~bound] is uniform in [\[0, bound)].
-    @raise Invalid_argument if [bound <= 0]. *)
+    @raise Error.Error if [bound <= 0]. *)
 
 val int_in : t -> lo:int -> hi:int -> int
 (** Uniform in the inclusive range [\[lo, hi\]].
-    @raise Invalid_argument if [hi < lo]. *)
+    @raise Error.Error if [hi < lo]. *)
 
 val float : t -> float
 (** Uniform in [\[0, 1)]. *)
@@ -33,4 +33,4 @@ val shuffle : t -> 'a array -> unit
 
 val pick : t -> 'a list -> 'a
 (** A uniformly random element.
-    @raise Invalid_argument on the empty list. *)
+    @raise Error.Error on the empty list. *)

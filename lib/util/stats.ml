@@ -1,5 +1,5 @@
 let require_non_empty name = function
-  | [] -> invalid_arg (name ^ ": empty list")
+  | [] -> Error.invalidf ~context:name "empty list"
   | samples -> samples
 
 let mean samples =
@@ -9,7 +9,7 @@ let mean samples =
 let geomean samples =
   let samples = require_non_empty "Stats.geomean" samples in
   let add_log acc s =
-    if s <= 0. then invalid_arg "Stats.geomean: non-positive sample"
+    if s <= 0. then Error.invalidf ~context:"Stats.geomean" "non-positive sample"
     else acc +. log s
   in
   let total = List.fold_left add_log 0. samples in
@@ -28,7 +28,8 @@ let min_max samples =
 
 let percentile samples ~p =
   let samples = require_non_empty "Stats.percentile" samples in
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  if p < 0. || p > 100. then
+    Error.invalidf ~context:"Stats.percentile" "p out of range (got %g)" p;
   let sorted = List.sort compare samples in
   let arr = Array.of_list sorted in
   let n = Array.length arr in
@@ -42,9 +43,10 @@ let percentile samples ~p =
   end
 
 let ratio a b =
-  if b = 0. then invalid_arg "Stats.ratio: division by zero";
+  if b = 0. then Error.invalidf ~context:"Stats.ratio" "division by zero";
   a /. b
 
 let percent_gain ~baseline ~improved =
-  if baseline = 0. then invalid_arg "Stats.percent_gain: zero baseline";
+  if baseline = 0. then
+    Error.invalidf ~context:"Stats.percent_gain" "zero baseline";
   (baseline -. improved) /. baseline *. 100.

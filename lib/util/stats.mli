@@ -1,30 +1,30 @@
 (** Small descriptive-statistics helpers used by benches and reports. *)
 
 val mean : float list -> float
-(** @raise Invalid_argument on the empty list. *)
+(** @raise Error.Error on the empty list. *)
 
 val geomean : float list -> float
 (** Geometric mean; every sample must be positive.
-    @raise Invalid_argument on the empty list or non-positive samples. *)
+    @raise Error.Error on the empty list or non-positive samples. *)
 
 val stdev : float list -> float
 (** Population standard deviation; [0.] for a single sample.
-    @raise Invalid_argument on the empty list. *)
+    @raise Error.Error on the empty list. *)
 
 val min_max : float list -> float * float
-(** @raise Invalid_argument on the empty list. *)
+(** @raise Error.Error on the empty list. *)
 
 val percentile : float list -> p:float -> float
 (** Nearest-rank percentile with linear interpolation; [p] in
     [\[0, 100\]].
-    @raise Invalid_argument on the empty list or [p] out of range. *)
+    @raise Error.Error on the empty list or [p] out of range. *)
 
 val ratio : float -> float -> float
 (** [ratio a b] is [a /. b].
-    @raise Invalid_argument when [b = 0.]. *)
+    @raise Error.Error when [b = 0.]. *)
 
 val percent_gain : baseline:float -> improved:float -> float
 (** [percent_gain ~baseline ~improved] is the reduction of [improved]
     with respect to [baseline], in percent — the metric of the paper's
     Figures 2 and 3 ("reduce execution time up to 60%").
-    @raise Invalid_argument when [baseline = 0.]. *)
+    @raise Error.Error when [baseline = 0.]. *)

@@ -13,9 +13,8 @@ let create ~columns =
 
 let add_row t cells =
   if List.length cells <> List.length t.headers then
-    invalid_arg
-      (Printf.sprintf "Table.add_row: %d cells for %d columns"
-         (List.length cells) (List.length t.headers));
+    Error.invalidf ~context:"Table.add_row" "%d cells for %d columns"
+      (List.length cells) (List.length t.headers);
   t.rows <- Cells cells :: t.rows
 
 let add_separator t = t.rows <- Separator :: t.rows

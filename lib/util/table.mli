@@ -11,7 +11,7 @@ val create : columns:(string * align) list -> t
 (** A table with the given column headers and alignments. *)
 
 val add_row : t -> string list -> unit
-(** @raise Invalid_argument when the row width does not match the
+(** @raise Error.Error when the row width does not match the
     header. *)
 
 val add_separator : t -> unit

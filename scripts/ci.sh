@@ -1,0 +1,35 @@
+#!/bin/sh
+# Minimal CI gate: formatting (when ocamlformat is available), build,
+# full test suite, and a smoke run of the CLI's error paths.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt =="
+  dune build @fmt || {
+    echo "formatting drift — run 'dune fmt'" >&2
+    exit 1
+  }
+else
+  echo "== dune fmt == (skipped: ocamlformat not installed)"
+fi
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== CLI smoke =="
+dune exec -- bin/mhla_cli.exe list >/dev/null
+dune exec -- bin/mhla_cli.exe robustness motion_estimation --trials 2 \
+  >/dev/null
+rc=0
+dune exec -- bin/mhla_cli.exe run no_such_app >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "expected exit 2 for an unknown application, got $rc" >&2
+  exit 1
+fi
+
+echo "CI OK"

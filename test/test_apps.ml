@@ -1,5 +1,8 @@
 (* Sanity tests over the nine benchmark applications. *)
 
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Apps = Mhla_apps.Registry
 module Defs = Mhla_apps.Defs
 module Program = Mhla_ir.Program
@@ -20,7 +23,9 @@ let test_registry_lookup () =
     (Apps.find "motion_estimation" <> None);
   Alcotest.(check bool) "find unknown" true (Apps.find "nope" = None);
   Alcotest.check_raises "find_exn unknown"
-    (Invalid_argument "Registry.find_exn: unknown application nope")
+    (invalid "Registry.find_exn"
+       ~hint:"run `mhla list` for the available names"
+       "unknown application nope")
     (fun () -> ignore (Apps.find_exn "nope"))
 
 let test_domains_cover_the_paper () =

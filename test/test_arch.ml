@@ -2,6 +2,10 @@
    and presets. *)
 
 module Layer = Mhla_arch.Layer
+
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Dma = Mhla_arch.Dma
 module Energy_model = Mhla_arch.Energy_model
 module Hierarchy = Mhla_arch.Hierarchy
@@ -23,19 +27,19 @@ let test_layer_validation () =
          ~write_energy_pj:wr ~latency_cycles:lat ~bandwidth_bytes_per_cycle:bw)
   in
   Alcotest.check_raises "zero capacity"
-    (Invalid_argument "Layer.make: non-positive capacity in l") (fun () ->
+    (invalid "Layer.make" "non-positive capacity in l") (fun () ->
       mk ~cap:(Some 0) ());
   Alcotest.check_raises "zero energy"
-    (Invalid_argument "Layer.make: non-positive energy in l") (fun () ->
+    (invalid "Layer.make" "non-positive energy in l") (fun () ->
       mk ~rd:0. ());
   Alcotest.check_raises "zero latency"
-    (Invalid_argument "Layer.make: non-positive latency in l") (fun () ->
+    (invalid "Layer.make" "non-positive latency in l") (fun () ->
       mk ~lat:0 ());
   Alcotest.check_raises "zero bandwidth"
-    (Invalid_argument "Layer.make: non-positive bandwidth in l") (fun () ->
+    (invalid "Layer.make" "non-positive bandwidth in l") (fun () ->
       mk ~bw:0 ());
   Alcotest.check_raises "burst factor > 1"
-    (Invalid_argument "Layer.make: burst energy factor out of (0,1] in l")
+    (invalid "Layer.make" "burst energy factor out of (0,1] in l")
     (fun () -> mk ~burst:1.5 ())
 
 let test_layer_fits () =
@@ -64,10 +68,10 @@ let test_layer_energy_and_cycles () =
 
 let test_dma_validation () =
   Alcotest.check_raises "negative setup"
-    (Invalid_argument "Dma.make: negative setup cycles") (fun () ->
+    (invalid "Dma.make" "negative setup cycles") (fun () ->
       ignore (Dma.make ~setup_cycles:(-1) ~setup_energy_pj:0. ~channels:1));
   Alcotest.check_raises "zero channels"
-    (Invalid_argument "Dma.make: non-positive channel count") (fun () ->
+    (invalid "Dma.make" "non-positive channel count") (fun () ->
       ignore (Dma.make ~setup_cycles:0 ~setup_energy_pj:0. ~channels:0))
 
 (* --- Energy model ----------------------------------------------------- *)
@@ -90,7 +94,7 @@ let test_latency_steps () =
 
 let test_energy_model_rejects_bad_capacity () =
   Alcotest.check_raises "zero"
-    (Invalid_argument "Energy_model.sram_read_energy_pj: non-positive capacity")
+    (invalid "Energy_model.sram_read_energy_pj" "non-positive capacity")
     (fun () -> ignore (Energy_model.sram_read_energy_pj ~capacity_bytes:0 ()))
 
 let test_sdram_layer_shape () =
@@ -112,13 +116,13 @@ let test_offchip_vs_onchip_ratio () =
 (* --- Hierarchy --------------------------------------------------------- *)
 
 let test_hierarchy_shape_validation () =
-  Alcotest.check_raises "empty" (Invalid_argument "Hierarchy.make: no layers")
+  Alcotest.check_raises "empty" (invalid "Hierarchy.make" "no layers")
     (fun () -> ignore (Hierarchy.make []));
   Alcotest.check_raises "bounded last"
-    (Invalid_argument "Hierarchy.make: last layer sp must be unbounded")
+    (invalid "Hierarchy.make" "last layer sp must be unbounded")
     (fun () -> ignore (Hierarchy.make [ sram "sp" ]));
   Alcotest.check_raises "unbounded inner"
-    (Invalid_argument "Hierarchy.make: inner layer mm0 must be bounded")
+    (invalid "Hierarchy.make" "inner layer mm0 must be bounded")
     (fun () -> ignore (Hierarchy.make [ sdram "mm0"; sdram "mm" ]))
 
 let test_hierarchy_accessors () =
@@ -132,14 +136,16 @@ let test_hierarchy_accessors () =
     (Hierarchy.on_chip_capacity_bytes h);
   Alcotest.(check string) "layer 1" "l2" (Hierarchy.layer h 1).Layer.name;
   Alcotest.check_raises "out of range"
-    (Invalid_argument "Hierarchy.layer: no level 9") (fun () ->
+    (invalid "Hierarchy.layer" "no level 9") (fun () ->
       ignore (Hierarchy.layer h 9))
 
 let test_hierarchy_dma () =
   let h = Hierarchy.make [ sram "sp"; sdram "mm" ] in
   Alcotest.(check bool) "no dma" false (Hierarchy.has_dma h);
   Alcotest.check_raises "dma_exn"
-    (Invalid_argument "Hierarchy.dma_exn: platform has no DMA engine")
+    (invalid "Hierarchy.dma_exn"
+       ~hint:"build the platform with a DMA engine or guard with has_dma"
+       "platform has no DMA engine")
     (fun () -> ignore (Hierarchy.dma_exn h));
   let h = Hierarchy.with_dma Presets.default_dma h in
   Alcotest.(check bool) "dma added" true (Hierarchy.has_dma h);
@@ -171,7 +177,8 @@ let test_presets_sweep_sizes () =
   Alcotest.(check (list int)) "single" [ 100 ]
     (Presets.sweep_sizes ~min_bytes:100 ~max_bytes:150);
   Alcotest.check_raises "bad bounds"
-    (Invalid_argument "Presets.sweep_sizes: bad bounds") (fun () ->
+    (invalid "Presets.sweep_sizes" ~hint:"need 0 < min_bytes <= max_bytes"
+       "bad bounds (min 10, max 5)") (fun () ->
       ignore (Presets.sweep_sizes ~min_bytes:10 ~max_bytes:5))
 
 let () =

@@ -1,5 +1,8 @@
 (* Tests for the pseudo-C emitter and the multi-task composition. *)
 
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Build = Mhla_ir.Build
 module Compose = Mhla_ir.Compose
 module Program = Mhla_ir.Program
@@ -170,7 +173,7 @@ let test_compose_identical_tasks_validate () =
 
 let test_compose_empty_rejected () =
   Alcotest.check_raises "no tasks"
-    (Invalid_argument "Compose.sequence: no tasks") (fun () ->
+    (invalid "Compose.sequence" "no tasks") (fun () ->
       ignore (Compose.sequence ~name:"none" []))
 
 let test_compose_flows_through_mhla () =

@@ -1,6 +1,9 @@
 (* Hand-computed checks of the analytic cost engine on a platform with
    round numbers. *)
 
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Build = Mhla_ir.Build
 module Layer = Mhla_arch.Layer
 module Analysis = Mhla_reuse.Analysis
@@ -103,7 +106,7 @@ let test_loop_iteration_cycles () =
   Alcotest.(check int) "copied: work 3 + on-chip 1" 4
     (Cost.loop_iteration_cycles (copied ()) ~iter:"i");
   Alcotest.check_raises "unknown iterator"
-    (Invalid_argument "Cost.loop_iteration_cycles: unknown iterator zzz")
+    (invalid "Cost.loop_iteration_cycles" "unknown iterator zzz")
     (fun () -> ignore (Cost.loop_iteration_cycles direct ~iter:"zzz"))
 
 let test_loop_iteration_cycles_nested () =

@@ -330,6 +330,54 @@ let prop_delta_mode_never_more_traffic =
           traffic Candidate.Full && traffic Candidate.Delta)
         p)
 
+(* Random fault models over random streams: the faulty simulator must
+   stay deterministic in its seed and terminate with sane accounting —
+   graceful degradation, never divergence. *)
+let prop_faulty_deterministic_and_finite =
+  QCheck2.Test.make
+    ~name:"fuzz: run_faulty is seed-deterministic with sane accounting"
+    ~count:150
+    QCheck2.Gen.(
+      let gen_params =
+        map3
+          (fun issues transfer (compute, lookahead, channels) ->
+            {
+              Mhla_sim.Pipeline.issues;
+              transfer_cycles = transfer;
+              compute_cycles = compute;
+              lookahead;
+              setup_cycles = 2;
+              channels;
+            })
+          (int_range 1 50) (int_range 0 60)
+          (triple (int_range 0 60) (int_range 0 4) (int_range 1 3))
+      in
+      let gen_faults =
+        map3
+          (fun seed (jitter, failure) (retries, patience) ->
+            Mhla_sim.Faults.make
+              ~jitter:
+                (if jitter = 0 then Mhla_sim.Faults.No_jitter
+                 else
+                   Mhla_sim.Faults.Uniform { max_extra_cycles = jitter })
+              ~failure_permille:failure ~max_retries:retries
+              ?deadline_patience:patience ~seed:(Int64.of_int seed) ())
+          (int_range 0 10_000)
+          (pair (int_range 0 20) (int_range 0 500))
+          (pair (int_range 0 3) (option (int_range 0 100)))
+      in
+      pair gen_params gen_faults)
+    (fun (p, f) ->
+      let a = Mhla_sim.Pipeline.run_faulty f p in
+      let b = Mhla_sim.Pipeline.run_faulty f p in
+      let o = a.Mhla_sim.Pipeline.fault_result in
+      a = b
+      && o.Mhla_sim.Pipeline.stall_cycles >= 0
+      && o.Mhla_sim.Pipeline.total_cycles >= o.Mhla_sim.Pipeline.stall_cycles
+      && a.Mhla_sim.Pipeline.fallbacks <= p.Mhla_sim.Pipeline.issues
+      && a.Mhla_sim.Pipeline.retries
+         <= a.Mhla_sim.Pipeline.failed_attempts)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "fuzz"
@@ -343,5 +391,6 @@ let () =
           qc prop_crosscheck_agrees;
           qc prop_emit_well_formed;
           qc prop_delta_mode_never_more_traffic;
+          qc prop_faulty_deterministic_and_finite;
         ] );
     ]

@@ -1,5 +1,8 @@
 (* Unit and property tests for the loop-nest IR. *)
 
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Affine = Mhla_ir.Affine
 module Array_decl = Mhla_ir.Array_decl
 module Access = Mhla_ir.Access
@@ -115,16 +118,16 @@ let test_array_decl_validation () =
     ignore (Array_decl.make ~name ~dims ~element_bytes:eb)
   in
   Alcotest.check_raises "empty name"
-    (Invalid_argument "Array_decl.make: empty name")
+    (invalid "Array_decl.make" "empty name")
     (mk "" [ 1 ] 1);
   Alcotest.check_raises "no dims"
-    (Invalid_argument "Array_decl.make: no dimensions")
+    (invalid "Array_decl.make" "no dimensions")
     (mk "a" [] 1);
   Alcotest.check_raises "zero dim"
-    (Invalid_argument "Array_decl.make: non-positive dimension in a")
+    (invalid "Array_decl.make" "non-positive dimension in a")
     (mk "a" [ 4; 0 ] 1);
   Alcotest.check_raises "zero elem"
-    (Invalid_argument "Array_decl.make: non-positive element size in a")
+    (invalid "Array_decl.make" "non-positive element size in a")
     (mk "a" [ 4 ] 0)
 
 let test_access () =
@@ -133,7 +136,7 @@ let test_access () =
   Alcotest.(check bool) "not write" false (Access.is_write a);
   Alcotest.(check (list string)) "iterators" [ "i"; "j" ] (Access.iterators a);
   Alcotest.check_raises "empty index"
-    (Invalid_argument "Access.make: empty index") (fun () ->
+    (invalid "Access.make" "empty index") (fun () ->
       ignore (Access.read "img" []))
 
 let test_stmt () =
@@ -149,7 +152,7 @@ let test_stmt () =
   Alcotest.(check bool) "writes b" true (Stmt.writes_array s "b");
   Alcotest.(check bool) "does not write a" false (Stmt.writes_array s "a");
   Alcotest.check_raises "negative work"
-    (Invalid_argument "Stmt.make: negative work in s") (fun () ->
+    (invalid "Stmt.make" "negative work in s") (fun () ->
       ignore (Stmt.make ~name:"s" ~work_cycles:(-1) ~accesses:[]))
 
 (* --- Program validation ---------------------------------------------- *)

@@ -1,6 +1,9 @@
 (* Tests for mappings: placements, derived block transfers, shared
    buffers and occupancy. *)
 
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Build = Mhla_ir.Build
 module Analysis = Mhla_reuse.Analysis
 module Candidate = Mhla_reuse.Candidate
@@ -69,25 +72,25 @@ let test_with_placement_and_serving_layer () =
 let test_placement_validation () =
   let m = direct_conv () in
   Alcotest.check_raises "empty chain"
-    (Invalid_argument "Mapping: empty chain") (fun () ->
+    (invalid "Mapping" "empty chain") (fun () ->
       ignore (Mapping.with_placement m (ref_ 0) (Mapping.Chain [])));
   (* Candidate of access 1 attached to access 0. *)
   (try
      ignore (Mapping.with_placement m (ref_ 0) (chain1 m 1 0 0));
      Alcotest.fail "expected owner check to fail"
-   with Invalid_argument _ -> ());
+   with Mhla_util.Error.Error _ -> ());
   (* Off-chip layer in a chain. *)
   (try
      ignore (Mapping.with_placement m (ref_ 0) (chain1 m 0 1 1));
      Alcotest.fail "expected on-chip check to fail"
-   with Invalid_argument _ -> ());
+   with Mhla_util.Error.Error _ -> ());
   (* Unknown access. *)
   try
     ignore
       (Mapping.with_placement m { Analysis.stmt = "zzz"; index = 0 }
          Mapping.Direct);
     Alcotest.fail "expected unknown-access failure"
-  with Invalid_argument _ -> ()
+  with Mhla_util.Error.Error _ -> ()
 
 let test_chain_monotonicity_enforced () =
   (* A 3-level platform so a 2-link chain is expressible. *)
@@ -101,14 +104,14 @@ let test_chain_monotonicity_enforced () =
        (Mapping.Chain [ link 2 0; link 1 1 ]));
   (* Levels must strictly decrease. *)
   Alcotest.check_raises "equal levels"
-    (Invalid_argument "Mapping: chain levels must strictly decrease")
+    (invalid "Mapping" "chain levels must strictly decrease")
     (fun () ->
       ignore
         (Mapping.with_placement m (ref_ 0)
            (Mapping.Chain [ link 1 0; link 1 1 ])));
   (* Layers must strictly increase. *)
   Alcotest.check_raises "equal layers"
-    (Invalid_argument "Mapping: chain layers must strictly increase")
+    (invalid "Mapping" "chain layers must strictly increase")
     (fun () ->
       ignore
         (Mapping.with_placement m (ref_ 0)
@@ -143,10 +146,10 @@ let test_written_array_promotion_drains () =
 let test_array_promotion_validation () =
   let m = direct_conv () in
   Alcotest.check_raises "unknown array"
-    (Invalid_argument "Mapping: unknown array zzz") (fun () ->
+    (invalid "Mapping" "unknown array zzz") (fun () ->
       ignore (Mapping.with_array_layer m ~array:"zzz" ~layer:(Some 0)));
   Alcotest.check_raises "off-chip level"
-    (Invalid_argument "Mapping: level 1 is not on-chip") (fun () ->
+    (invalid "Mapping" "level 1 is not on-chip") (fun () ->
       ignore (Mapping.with_array_layer m ~array:"coeff" ~layer:(Some 1)))
 
 (* --- block transfers -------------------------------------------------- *)
@@ -250,7 +253,7 @@ let test_with_hierarchy () =
       .Mhla_arch.Layer.capacity_bytes;
   let three = Presets.three_level ~l1_bytes:64 ~l2_bytes:128 () in
   Alcotest.check_raises "level mismatch"
-    (Invalid_argument "Mapping.with_hierarchy: level counts differ")
+    (invalid "Mapping.with_hierarchy" "level counts differ")
     (fun () -> ignore (Mapping.with_hierarchy m three))
 
 let () =

@@ -1,6 +1,9 @@
 (* Tests for the data-reuse analysis: footprints, copy candidates and
    per-access candidate chains, hand-checked on a 3x3 convolution. *)
 
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Affine = Mhla_ir.Affine
 module Build = Mhla_ir.Build
 module Footprint = Mhla_reuse.Footprint
@@ -159,7 +162,7 @@ let test_candidate_level_out_of_range () =
   let decl = Build.array "a" [ 4 ] in
   let access = Build.(rd "a" [ i "i" ]) in
   Alcotest.check_raises "level 2 of depth-1 nest"
-    (Invalid_argument "Candidate.make: level 2 out of range 0..1") (fun () ->
+    (invalid "Candidate.make" "level 2 out of range 0..1") (fun () ->
       ignore
         (Candidate.make ~decl ~loops:[ ("i", 4) ] ~stmt:"s" ~access_index:0
            ~level:2 access))

@@ -1,7 +1,12 @@
 (* Tests for the event-driven pipeline simulator and the analytic
    cross-check. *)
 
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Pipeline = Mhla_sim.Pipeline
+module Faults = Mhla_sim.Faults
+module Robustness = Mhla_sim.Robustness
 module Crosscheck = Mhla_sim.Crosscheck
 module Assign = Mhla_core.Assign
 module Explore = Mhla_core.Explore
@@ -105,13 +110,13 @@ let test_channels_never_hurt () =
 
 let test_param_validation () =
   Alcotest.check_raises "issues 0"
-    (Invalid_argument "Pipeline.run: issues must be positive") (fun () ->
+    (invalid "Pipeline.run" "issues must be positive (got 0)") (fun () ->
       ignore (Pipeline.run (params ~issues:0 ())));
   Alcotest.check_raises "negative"
-    (Invalid_argument "Pipeline.run: negative parameter") (fun () ->
+    (invalid "Pipeline.run" "negative parameter") (fun () ->
       ignore (Pipeline.run (params ~transfer:(-1) ())));
   Alcotest.check_raises "zero channels"
-    (Invalid_argument "Pipeline.run: channels must be >= 1") (fun () ->
+    (invalid "Pipeline.run" "channels must be >= 1 (got 0)") (fun () ->
       ignore (Pipeline.run (params ~channels:0 ())))
 
 let prop_simulated_within_cold_start_bound =
@@ -164,6 +169,130 @@ let prop_lookahead_monotone =
       in
       stall 1 <= stall 0 && stall 2 <= stall 1 && stall 3 <= stall 2)
 
+let prop_transfer_monotone =
+  QCheck2.Test.make ~name:"pipeline: longer transfers never reduce stalls"
+    ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 40)
+        (pair (int_range 0 60) (int_range 0 3)))
+    (fun (issues, (compute, lookahead)) ->
+      let stall t =
+        (Pipeline.run (params ~issues ~transfer:t ~compute ~lookahead ()))
+          .Pipeline.stall_cycles
+      in
+      stall 10 <= stall 20 && stall 20 <= stall 40 && stall 40 <= stall 41)
+
+(* --- fault injection --------------------------------------------------- *)
+
+let gen_params =
+  QCheck2.Gen.(
+    let p =
+      map3
+        (fun issues transfer (compute, lookahead, setup) ->
+          params ~issues ~transfer ~compute ~lookahead ~setup ())
+        (int_range 1 60) (int_range 0 80)
+        (triple (int_range 0 80) (int_range 0 4) (int_range 0 10))
+    in
+    map2 (fun p channels -> { p with Pipeline.channels }) p (int_range 1 4))
+
+let test_zero_fault_equals_run () =
+  List.iter
+    (fun p ->
+      let o = Pipeline.run p in
+      let f = Pipeline.run_faulty Faults.none p in
+      Alcotest.(check bool) "identical outcome" true
+        (f.Pipeline.fault_result = o);
+      Alcotest.(check int) "no retries" 0 f.Pipeline.retries;
+      Alcotest.(check int) "no fallbacks" 0 f.Pipeline.fallbacks;
+      Alcotest.(check int) "no jitter" 0 f.Pipeline.jitter_total_cycles)
+    [
+      params ();
+      params ~issues:50 ~transfer:80 ~compute:30 ~lookahead:2 ~setup:5
+        ~channels:2 ();
+      params ~issues:40 ~transfer:100 ~compute:30 ~lookahead:3 ~channels:3 ();
+    ]
+
+let prop_zero_fault_identity =
+  QCheck2.Test.make
+    ~name:"pipeline: run_faulty under Faults.none is run, cycle for cycle"
+    ~count:300 gen_params
+    (fun p ->
+      let f = Pipeline.run_faulty Faults.none p in
+      f.Pipeline.fault_result = Pipeline.run p
+      && f.Pipeline.retries = 0 && f.Pipeline.fallbacks = 0
+      && f.Pipeline.failed_attempts = 0
+      && f.Pipeline.jitter_total_cycles = 0)
+
+let prop_jitter_never_helps =
+  QCheck2.Test.make
+    ~name:"pipeline: jitter-only faults never reduce stalls" ~count:200
+    QCheck2.Gen.(pair gen_params (pair (int_range 0 30) (int_range 0 100)))
+    (fun (p, (max_extra, seed)) ->
+      let f =
+        Faults.make
+          ~jitter:(Faults.Uniform { max_extra_cycles = max_extra })
+          ~seed:(Int64.of_int seed) ()
+      in
+      let faulty = Pipeline.run_faulty f p in
+      faulty.Pipeline.fallbacks = 0
+      && faulty.Pipeline.fault_result.Pipeline.stall_cycles
+         >= (Pipeline.run p).Pipeline.stall_cycles)
+
+let jittery seed =
+  Faults.make
+    ~jitter:(Faults.Uniform { max_extra_cycles = 16 })
+    ~failure_permille:200 ~seed ()
+
+let test_faulty_reproducible () =
+  let p =
+    params ~issues:200 ~transfer:40 ~compute:30 ~lookahead:2 ~setup:5
+      ~channels:2 ()
+  in
+  let a = Pipeline.run_faulty (jittery 7L) p in
+  let b = Pipeline.run_faulty (jittery 7L) p in
+  Alcotest.(check bool) "same seed, same trace" true (a = b);
+  let c = Pipeline.run_faulty (jittery 8L) p in
+  Alcotest.(check bool) "different seed, different trace" true (a <> c);
+  Alcotest.(check bool) "faults actually injected" true
+    (a.Pipeline.failed_attempts > 0 && a.Pipeline.retries > 0);
+  Alcotest.(check bool) "stalls stay finite and sane" true
+    (a.Pipeline.fault_result.Pipeline.stall_cycles >= 0
+    && a.Pipeline.fault_result.Pipeline.stall_cycles
+       < a.Pipeline.fault_result.Pipeline.total_cycles)
+
+let test_fallback_on_exhaustion () =
+  let p = params ~issues:10 ~transfer:20 ~compute:30 ~lookahead:1 () in
+  let f = Faults.make ~failure_permille:1000 ~max_retries:2 ~seed:1L () in
+  let r = Pipeline.run_faulty f p in
+  Alcotest.(check int) "every transfer exhausts its retries" 10
+    r.Pipeline.fallbacks;
+  Alcotest.(check int) "three attempts each" 30 r.Pipeline.failed_attempts;
+  Alcotest.(check int) "two retries each" 20 r.Pipeline.retries;
+  Alcotest.(check int) "each iteration refetches synchronously" (10 * 20)
+    r.Pipeline.fault_result.Pipeline.stall_cycles
+
+let test_outage_pushes_start () =
+  let p = params ~issues:4 ~transfer:10 ~compute:10 ~lookahead:1 () in
+  let f =
+    Faults.make
+      ~outages:[ { Faults.channel = 0; from_cycle = 0; until_cycle = 100 } ]
+      ~seed:0L ()
+  in
+  let r = Pipeline.run_faulty f p in
+  let base = Pipeline.run p in
+  Alcotest.(check bool) "outage adds stalls" true
+    (r.Pipeline.fault_result.Pipeline.stall_cycles
+    > base.Pipeline.stall_cycles)
+
+let test_deadline_fallback () =
+  (* No lookahead: every iteration would stall the full 50-cycle
+     transfer; a 10-cycle patience refetches synchronously instead. *)
+  let p = params ~issues:5 ~transfer:50 ~compute:10 ~lookahead:0 () in
+  let f = Faults.make ~deadline_patience:10 ~seed:0L () in
+  let r = Pipeline.run_faulty f p in
+  Alcotest.(check int) "every iteration abandons the late transfer" 5
+    r.Pipeline.fallbacks
+
 (* --- crosscheck against the real tool --------------------------------- *)
 
 let kernel () =
@@ -194,6 +323,71 @@ let test_crosscheck_agrees () =
     (fun c ->
       Alcotest.(check bool) "within bound" true (Crosscheck.within_bound c))
     report.Crosscheck.checks
+
+let test_robustness_report () =
+  let r = Explore.run (kernel ()) (Presets.two_level ~onchip_bytes:512 ()) in
+  let faults = jittery 42L in
+  let report =
+    Robustness.analyze ~trials:4 ~faults r.Explore.assign.Assign.mapping
+      r.Explore.te
+  in
+  Alcotest.(check bool) "has plans" true
+    (List.length report.Robustness.plans > 0);
+  Alcotest.(check bool) "zero-fault consistent" true
+    report.Robustness.all_zero_fault_consistent;
+  let again =
+    Robustness.analyze ~trials:4 ~faults r.Explore.assign.Assign.mapping
+      r.Explore.te
+  in
+  Alcotest.(check bool) "reproducible" true (report = again);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "worst >= fault-free" true
+        (p.Robustness.worst_stall_cycles
+        >= p.Robustness.fault_free.Pipeline.stall_cycles);
+      Alcotest.(check bool) "inflation >= 0" true
+        (p.Robustness.worst_inflation >= 0.))
+    report.Robustness.plans;
+  ignore (Mhla_util.Json.to_string (Robustness.to_json report));
+  ignore (Mhla_util.Table.render (Robustness.to_table report))
+
+(* The analytic model assumes the DMA keeps up with the lookahead; a
+   hand-hostile plan (deep extension, transfer time many times the
+   compute it hides behind) saturates the channels so the simulated
+   stalls drift far outside the cold-start bound — and the crosscheck
+   must say so. *)
+let test_crosscheck_catches_saturation () =
+  let r = Explore.run (kernel ()) (Presets.two_level ~onchip_bytes:512 ()) in
+  let m = r.Explore.assign.Assign.mapping in
+  let candidates =
+    List.filter
+      (fun (p : Prefetch.plan) ->
+        p.Prefetch.freedom <> []
+        && p.Prefetch.bt.Mhla_core.Mapping.issues >= 32)
+      r.Explore.te.Prefetch.plans
+  in
+  match candidates with
+  | [] -> Alcotest.fail "kernel schedule has no extendable plan"
+  | plan :: _ ->
+    let iter = List.hd plan.Prefetch.freedom in
+    let c = Mhla_core.Cost.loop_iteration_cycles m ~iter in
+    let hostile =
+      { plan with Prefetch.bt_time = 10 * c; extra_buffers = 3 }
+    in
+    let schedule =
+      { Prefetch.plans = [ hostile ]; order = Prefetch.Fifo }
+    in
+    let report = Crosscheck.crosscheck m schedule in
+    Alcotest.(check int) "one check" 1 (List.length report.Crosscheck.checks);
+    Alcotest.(check int) "flagged as disagreement" 1
+      (List.length report.Crosscheck.disagreements);
+    List.iter
+      (fun c ->
+        Alcotest.(check bool) "outside the bound" false
+          (Crosscheck.within_bound c);
+        Alcotest.(check bool) "zero-fault machinery still consistent" true
+          c.Crosscheck.zero_fault_consistent)
+      report.Crosscheck.disagreements
 
 let test_crosscheck_all_apps () =
   List.iter
@@ -232,10 +426,28 @@ let () =
           Alcotest.test_case "validation" `Quick test_param_validation;
           qc prop_simulated_within_cold_start_bound;
           qc prop_lookahead_monotone;
+          qc prop_transfer_monotone;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "zero model is identity" `Quick
+            test_zero_fault_equals_run;
+          Alcotest.test_case "seeded reproducibility" `Quick
+            test_faulty_reproducible;
+          Alcotest.test_case "retry exhaustion falls back" `Quick
+            test_fallback_on_exhaustion;
+          Alcotest.test_case "outage delays starts" `Quick
+            test_outage_pushes_start;
+          Alcotest.test_case "deadline fallback" `Quick test_deadline_fallback;
+          Alcotest.test_case "robustness report" `Quick test_robustness_report;
+          qc prop_zero_fault_identity;
+          qc prop_jitter_never_helps;
         ] );
       ( "crosscheck",
         [
           Alcotest.test_case "kernel agrees" `Quick test_crosscheck_agrees;
+          Alcotest.test_case "saturation flagged" `Quick
+            test_crosscheck_catches_saturation;
           Alcotest.test_case "all apps agree" `Quick test_crosscheck_all_apps;
         ] );
     ]

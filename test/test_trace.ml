@@ -1,5 +1,8 @@
 (* Tests for the dynamic reference executor and the cache baseline. *)
 
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Build = Mhla_ir.Build
 module Interp = Mhla_trace.Interp
 module Cache = Mhla_trace.Cache
@@ -72,7 +75,7 @@ let test_address_bounds_checked () =
   try
     ignore (Interp.address layout p ~array:"image" ~indices:[ 10; 0 ]);
     Alcotest.fail "expected out-of-bounds failure"
-  with Invalid_argument _ -> ()
+  with Mhla_util.Error.Error _ -> ()
 
 (* --- event counts vs the static model ---------------------------------- *)
 
@@ -258,14 +261,14 @@ let test_delta_sound_all_apps () =
 
 let test_cache_config_validation () =
   Alcotest.check_raises "line not power of two"
-    (Invalid_argument "Cache.config: line_bytes must be a power of two")
+    (invalid "Cache.config" "line_bytes must be a power of two")
     (fun () -> ignore (Cache.config ~capacity_bytes:256 ~ways:2 ~line_bytes:12));
   Alcotest.check_raises "zero ways"
-    (Invalid_argument "Cache.config: ways must be >= 1") (fun () ->
+    (invalid "Cache.config" "ways must be >= 1") (fun () ->
       ignore (Cache.config ~capacity_bytes:256 ~ways:0 ~line_bytes:16));
   Alcotest.check_raises "capacity not a multiple"
-    (Invalid_argument
-       "Cache.config: capacity must be a positive multiple of ways * line")
+    (invalid "Cache.config"
+       "capacity must be a positive multiple of ways * line")
     (fun () -> ignore (Cache.config ~capacity_bytes:100 ~ways:2 ~line_bytes:16))
 
 let test_cache_basic_accounting () =

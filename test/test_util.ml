@@ -1,5 +1,8 @@
 (* Unit and property tests for Mhla_util. *)
 
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
 module Pareto = Mhla_util.Pareto
 module Interval = Mhla_util.Interval
 module Prng = Mhla_util.Prng
@@ -97,7 +100,7 @@ let prop_pareto_covers_inputs =
 
 let test_interval_make_rejects_reversed () =
   Alcotest.check_raises "hi < lo"
-    (Invalid_argument "Interval.make: hi (1) < lo (2)") (fun () ->
+    (invalid "Interval.make" "hi (1) < lo (2)") (fun () ->
       ignore (Interval.make ~lo:2 ~hi:1))
 
 let test_interval_basics () =
@@ -201,12 +204,12 @@ let test_prng_bounds () =
 let test_prng_errors () =
   let g = Prng.create ~seed:1L in
   Alcotest.check_raises "bound 0"
-    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+    (invalid "Prng.int" "bound must be positive (got 0)") (fun () ->
       ignore (Prng.int g ~bound:0));
-  Alcotest.check_raises "hi < lo" (Invalid_argument "Prng.int_in: hi < lo")
+  Alcotest.check_raises "hi < lo" (invalid "Prng.int_in" "hi (2) < lo (3)")
     (fun () -> ignore (Prng.int_in g ~lo:3 ~hi:2));
   Alcotest.check_raises "empty pick"
-    (Invalid_argument "Prng.pick: empty list") (fun () ->
+    (invalid "Prng.pick" "empty list") (fun () ->
       ignore (Prng.pick g []))
 
 let test_prng_shuffle_is_permutation () =
@@ -223,7 +226,7 @@ let test_stats_mean_geomean () =
   check_float "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
   check_float "geomean" 4. (Stats.geomean [ 2.; 8. ]);
   Alcotest.check_raises "geomean rejects non-positive"
-    (Invalid_argument "Stats.geomean: non-positive sample") (fun () ->
+    (invalid "Stats.geomean" "non-positive sample") (fun () ->
       ignore (Stats.geomean [ 1.; 0. ]))
 
 let test_stats_stdev () =
@@ -244,12 +247,12 @@ let test_stats_gain () =
   check_float "negative gain" (-50.)
     (Stats.percent_gain ~baseline:100. ~improved:150.);
   Alcotest.check_raises "zero baseline"
-    (Invalid_argument "Stats.percent_gain: zero baseline") (fun () ->
+    (invalid "Stats.percent_gain" "zero baseline") (fun () ->
       ignore (Stats.percent_gain ~baseline:0. ~improved:1.))
 
 let test_stats_empty_rejected () =
   Alcotest.check_raises "mean of empty"
-    (Invalid_argument "Stats.mean: empty list") (fun () ->
+    (invalid "Stats.mean" "empty list") (fun () ->
       ignore (Stats.mean []))
 
 (* --- Json ------------------------------------------------------------- *)
@@ -280,9 +283,9 @@ let test_json_empty_containers () =
   Alcotest.(check string) "empty arr" "[]" (Json.to_string (Json.arr []))
 
 let test_json_rejects_nan () =
-  Alcotest.check_raises "nan" (Invalid_argument "Json.float: not representable")
+  Alcotest.check_raises "nan" (invalid "Json.float" "not representable")
     (fun () -> ignore (Json.float Float.nan));
-  Alcotest.check_raises "inf" (Invalid_argument "Json.float: not representable")
+  Alcotest.check_raises "inf" (invalid "Json.float" "not representable")
     (fun () -> ignore (Json.float Float.infinity))
 
 let test_json_pretty_indents () =
@@ -324,7 +327,7 @@ let test_table_render () =
 let test_table_rejects_bad_row () =
   let t = Table.create ~columns:[ ("a", Table.Left) ] in
   Alcotest.check_raises "row width"
-    (Invalid_argument "Table.add_row: 2 cells for 1 columns") (fun () ->
+    (invalid "Table.add_row" "2 cells for 1 columns") (fun () ->
       Table.add_row t [ "x"; "y" ])
 
 let test_table_cells () =
