@@ -5,7 +5,7 @@
    Usage: dune exec bench/main.exe [-- SECTION ...]
    Sections: FIG2 FIG3 TAB1 EXT-PARETO EXT-ORDER EXT-INPLACE EXT-GREEDY
    EXT-XVAL EXT-MODE EXT-CACHE EXT-3LEVEL EXT-MULTITASK EXT-TILE
-   EXT-SEARCH EXT-WB EXT-FAULT MICRO (default: all). *)
+   EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT MICRO (default: all). *)
 
 module Apps = Mhla_apps.Registry
 module Assign = Mhla_core.Assign
@@ -565,6 +565,103 @@ let ext_wb () =
     Apps.all;
   Table.print table
 
+let ext_engine () =
+  section "EXT-ENGINE"
+    "Incremental cost engine vs from-scratch evaluation: objective\n\
+     probes per second over each application's full move set (timed\n\
+     windows), then the Domain-parallel size sweep wall-clock. The\n\
+     engine re-folds cached per-unit contributions, so its probes are\n\
+     bit-identical to Cost.evaluate while recomputing only what the\n\
+     move touched.";
+  let module Engine = Mhla_core.Engine in
+  let module Mapping = Mhla_core.Mapping in
+  let config = Assign.default_config in
+  let rate_over seconds per_round f =
+    let t0 = Unix.gettimeofday () in
+    let rounds = ref 0 in
+    while Unix.gettimeofday () -. t0 < seconds do
+      f ();
+      incr rounds
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    float_of_int (!rounds * per_round) /. elapsed
+  in
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("moves", Table.Right);
+          ("oracle evals/s", Table.Right);
+          ("engine probes/s", Table.Right);
+          ("speedup", Table.Right);
+          ("cache hit rate", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let app = Apps.find_exn name in
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let m =
+        Mapping.direct ~transfer_mode:config.Assign.transfer_mode program
+          hierarchy
+      in
+      let mvs = Assign.moves config m in
+      let n_moves = List.length mvs in
+      let oracle_rate =
+        rate_over 0.25 n_moves (fun () ->
+            List.iter
+              (fun mv ->
+                ignore
+                  (Cost.scalar config.Assign.objective
+                     (Cost.evaluate (Assign.apply_move m mv))
+                    : float))
+              mvs)
+      in
+      let engine = Engine.create ~objective:config.Assign.objective m in
+      let engine_rate =
+        rate_over 0.25 n_moves (fun () ->
+            List.iter
+              (fun mv -> ignore (Engine.probe engine mv : float))
+              mvs)
+      in
+      let s = Engine.stats engine in
+      let contribs = s.Engine.contribs_reused + s.Engine.contribs_recomputed in
+      Table.add_row table
+        [ name;
+          Table.cell_int n_moves;
+          Table.cell_float ~decimals:0 oracle_rate;
+          Table.cell_float ~decimals:0 engine_rate;
+          Table.cell_float (engine_rate /. oracle_rate);
+          Table.cell_percent
+            (if contribs = 0 then 0.
+             else
+               100.
+               *. float_of_int s.Engine.contribs_reused
+               /. float_of_int contribs) ])
+    [ "motion_estimation"; "cavity_detector"; "mp3_filterbank";
+      "voice_compression" ];
+  Table.print table;
+  print_newline ();
+  let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes:128 ~max_bytes:8192 in
+  let me = Apps.find_exn "motion_estimation" in
+  let program = Lazy.force me.Mhla_apps.Defs.program in
+  let wall jobs =
+    let t0 = Unix.gettimeofday () in
+    ignore (Explore.sweep ~jobs ~sizes program : Explore.sweep_point list);
+    Unix.gettimeofday () -. t0
+  in
+  let jobs = Mhla_util.Domain_pool.recommended_jobs () in
+  let serial = wall 1 in
+  let parallel = wall jobs in
+  Printf.printf
+    "sweep motion_estimation over %d sizes (128B..8KiB):\n\
+    \  jobs=1  %.3fs\n\
+    \  jobs=%d  %.3fs  (speedup %.2fx on %d recommended domains)\n"
+    (List.length sizes) serial jobs parallel (serial /. parallel) jobs
+
 let ext_fault () =
   section "EXT-FAULT"
     "Robustness of the TE schedules under injected DMA faults: uniform\n\
@@ -693,6 +790,7 @@ let sections =
     ("EXT-MULTITASK", ext_multitask);
     ("EXT-TILE", ext_tile);
     ("EXT-SEARCH", ext_search);
+    ("EXT-ENGINE", ext_engine);
     ("EXT-WB", ext_wb);
     ("EXT-FAULT", ext_fault);
     ("MICRO", micro) ]

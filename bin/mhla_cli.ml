@@ -99,7 +99,7 @@ let mode_arg =
 let search_conv =
   let parse = function
     | "greedy" -> Ok Explore.Greedy
-    | "anneal" ->
+    | "anneal" | "annealing" ->
       Ok (Explore.Annealing { seed = 42L; iterations = 4000 })
     | s -> Error (`Msg (Printf.sprintf "unknown search %S" s))
   in
@@ -217,13 +217,18 @@ let emit_cmd =
       const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg)
 
 let sweep_cmd =
-  let run name min_bytes max_bytes dma objective mode json =
+  let run name min_bytes max_bytes dma objective mode jobs json =
     guarded @@ fun () ->
     let app = find_app name in
+    (match jobs with
+    | Some j when j < 1 ->
+      Error.invalidf ~context:"mhla" ~hint:"pass -j a positive worker count"
+        "jobs must be at least 1 (got %d)" j
+    | _ -> ());
     let program = Lazy.force app.Mhla_apps.Defs.program in
     let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes ~max_bytes in
     let config = config_of objective mode in
-    let points = Explore.sweep ~config ~dma ~sizes program in
+    let points = Explore.sweep ~config ~dma ?jobs ~sizes program in
     if json then
       print_endline
         (Mhla_util.Json.to_string ~indent:2 (Report.sweep_to_json points))
@@ -237,11 +242,18 @@ let sweep_cmd =
     Arg.(value & opt int 8192 & info [ "max" ] ~docv:"BYTES"
            ~doc:"Largest on-chip size.")
   in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains exploring sizes in parallel; defaults to \
+                   the machine's recommended domain count. Results are \
+                   identical for every $(docv).")
+  in
   let doc = "Explore the size/cost trade-off for an application." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ app_arg $ min_arg $ max_arg $ dma_arg $ objective_arg
-      $ mode_arg $ json_arg)
+      $ mode_arg $ jobs_arg $ json_arg)
 
 let figures_cmd =
   let run json =

@@ -30,7 +30,28 @@ type result = {
   breakdown : Cost.breakdown;
   steps : step list;
   evaluations : int;
+  full_evaluations : int;
+  cache_hits : int;
+  cache_misses : int;
 }
+
+let result ?(engine_stats = None) ~full_evaluations mapping breakdown steps
+    evaluations =
+  let cache_hits, cache_misses =
+    match engine_stats with
+    | None -> (0, 0)
+    | Some (s : Engine.stats) ->
+      (s.Engine.contribs_reused, s.Engine.contribs_recomputed)
+  in
+  {
+    mapping;
+    breakdown;
+    steps;
+    evaluations;
+    full_evaluations;
+    cache_hits;
+    cache_misses;
+  }
 
 (* Copy chains: pick a strictly-decreasing-level subsequence of the
    useful candidates and a strictly-increasing run of on-chip layers.
@@ -73,7 +94,7 @@ let chains config (m : Mapping.t) (info : Analysis.info) =
 
 let alternatives config m info = Mapping.Direct :: chains config m info
 
-type move =
+type move = Engine.move =
   | Set_placement of Analysis.access_ref * Mapping.placement
   | Set_array of string * int option
 
@@ -94,38 +115,52 @@ let apply_move m = function
   | Set_placement (r, p) -> Mapping.with_placement m r p
   | Set_array (a, l) -> Mapping.with_array_layer m ~array:a ~layer:l
 
-let moves config (m : Mapping.t) =
-  let placement_moves =
+let placement_moves_of (m : Mapping.t) alts =
+  List.concat_map
+    (fun ((info : Analysis.info), placements) ->
+      let current = Mapping.placement_of m info.Analysis.ref_ in
+      List.filter_map
+        (fun p ->
+          if p = current then None
+          else Some (Set_placement (info.Analysis.ref_, p)))
+        placements)
+    alts
+
+let array_moves config (m : Mapping.t) =
+  if not config.allow_array_promotion then []
+  else
+    let on_chip = Hierarchy.on_chip_levels m.Mapping.hierarchy in
     List.concat_map
-      (fun (info : Analysis.info) ->
-        let current = Mapping.placement_of m info.Analysis.ref_ in
+      (fun array ->
+        let current =
+          let level = Mapping.array_layer m array in
+          if level = Hierarchy.main_memory_level m.Mapping.hierarchy then
+            None
+          else Some level
+        in
         List.filter_map
-          (fun p ->
-            if p = current then None
-            else Some (Set_placement (info.Analysis.ref_, p)))
-          (alternatives config m info))
-      m.Mapping.infos
-  in
-  let array_moves =
-    if not config.allow_array_promotion then []
-    else
-      let on_chip = Hierarchy.on_chip_levels m.Mapping.hierarchy in
-      List.concat_map
-        (fun array ->
-          let current =
-            let level = Mapping.array_layer m array in
-            if level = Hierarchy.main_memory_level m.Mapping.hierarchy then
-              None
-            else Some level
-          in
-          List.filter_map
-            (fun target ->
-              if target = current then None
-              else Some (Set_array (array, target)))
-            (None :: List.map (fun l -> Some l) on_chip))
-        (Mhla_ir.Program.array_names m.Mapping.program)
-  in
-  placement_moves @ array_moves
+          (fun target ->
+            if target = current then None
+            else Some (Set_array (array, target)))
+          (None :: List.map (fun l -> Some l) on_chip))
+      (Mhla_ir.Program.array_names m.Mapping.program)
+
+(* The placement alternatives of an access depend only on the config
+   and the hierarchy's on-chip levels, never on the current placements
+   — so the engine-driven searches compute them once and reuse the
+   {e physically same} values every round, which turns the engine's
+   per-entry (placement, home) memo into pointer-compare hits. The
+   from-scratch [moves] builds structurally identical lists, so both
+   flavours probe the same moves in the same order. *)
+let all_alternatives config (m : Mapping.t) =
+  List.map
+    (fun (info : Analysis.info) -> (info, alternatives config m info))
+    m.Mapping.infos
+
+let moves_with ~alts config m = placement_moves_of m alts @ array_moves config m
+
+let moves config (m : Mapping.t) =
+  moves_with ~alts:(all_alternatives config m) config m
 
 let feasible config m = Mapping.occupancy_ok ~policy:config.policy m
 
@@ -134,64 +169,121 @@ let feasible config m = Mapping.occupancy_ok ~policy:config.policy m
 let improves ~current ~candidate =
   candidate < current -. (1e-9 *. (Float.abs current +. 1.))
 
-let greedy ?(config = default_config) program hierarchy =
-  let evaluations = ref 0 in
-  let objective m =
-    incr evaluations;
-    Cost.scalar config.objective (Cost.evaluate m)
-  in
-  let start =
-    Mapping.direct ~transfer_mode:config.transfer_mode program hierarchy
-  in
-  let rec descend m current steps =
-    let try_move best move =
-      let next = apply_move m move in
-      if not (feasible config next) then best
-      else begin
-        let value = objective next in
-        match best with
-        | Some (_, _, best_value) when value >= best_value -> best
-        | Some _ | None ->
-          if improves ~current ~candidate:value then Some (move, next, value)
-          else best
-      end
-    in
-    match List.fold_left try_move None (moves config m) with
-    | None -> (m, current, List.rev steps)
-    | Some (move, next, value) ->
-      let step =
-        {
-          description = describe_move move;
-          gain = current -. value;
-          objective_after = value;
-        }
-      in
-      Log.debug (fun m ->
-          m "greedy: %s (objective %.6g -> %.6g)" step.description current
-            value);
-      descend next value (step :: steps)
-  in
-  let start_value = objective start in
-  let mapping, _, steps = descend start start_value [] in
-  {
-    mapping;
-    breakdown = Cost.evaluate mapping;
-    steps;
-    evaluations = !evaluations;
-  }
+(* The two search drivers each exist in two flavours selected by
+   [?oracle]: the engine flavour probes moves through the incremental
+   {!Engine}, the oracle flavour re-runs [Cost.evaluate] from scratch.
+   Both probe the same moves in the same order and compare values the
+   same way, and [Engine.probe] is bit-identical to the full
+   evaluation, so the two flavours take identical decisions and return
+   identical mappings — the property the test suite pins down. *)
 
-let simulated_annealing ?(config = default_config) ?(seed = 42L)
-    ?(iterations = 4000) program hierarchy =
+let greedy ?(config = default_config) ?(oracle = false) ?reuse program
+    hierarchy =
+  let evaluations = ref 0 in
+  let start =
+    Mapping.direct ~transfer_mode:config.transfer_mode ?reuse program
+      hierarchy
+  in
+  let mk_step move ~current ~value =
+    let step =
+      {
+        description = describe_move move;
+        gain = current -. value;
+        objective_after = value;
+      }
+    in
+    Log.debug (fun m ->
+        m "greedy: %s (objective %.6g -> %.6g)" step.description current
+          value);
+    step
+  in
+  if oracle then begin
+    let objective m =
+      incr evaluations;
+      Cost.scalar config.objective (Cost.evaluate m)
+    in
+    let rec descend m current steps =
+      let try_move best move =
+        let next = apply_move m move in
+        if not (feasible config next) then best
+        else begin
+          let value = objective next in
+          match best with
+          | Some (_, _, best_value) when value >= best_value -> best
+          | Some _ | None ->
+            if improves ~current ~candidate:value then Some (move, next, value)
+            else best
+        end
+      in
+      match List.fold_left try_move None (moves config m) with
+      | None -> (m, current, List.rev steps)
+      | Some (move, next, value) ->
+        descend next value (mk_step move ~current ~value :: steps)
+    in
+    let start_value = objective start in
+    let mapping, _, steps = descend start start_value [] in
+    result ~full_evaluations:!evaluations mapping (Cost.evaluate mapping)
+      steps !evaluations
+  end
+  else begin
+    let engine = Engine.create ~objective:config.objective start in
+    let alts = all_alternatives config start in
+    let rec descend current steps =
+      let m = Engine.mapping engine in
+      let try_move best move =
+        let next = apply_move m move in
+        if not (feasible config next) then best
+        else begin
+          incr evaluations;
+          let value = Engine.probe engine move in
+          match best with
+          | Some (_, best_value) when value >= best_value -> best
+          | Some _ | None ->
+            if improves ~current ~candidate:value then Some (move, value)
+            else best
+        end
+      in
+      match List.fold_left try_move None (moves_with ~alts config m) with
+      | None -> (m, current, List.rev steps)
+      | Some (move, value) ->
+        let step = mk_step move ~current ~value in
+        Engine.commit engine move;
+        descend value (step :: steps)
+    in
+    incr evaluations (* parity with the oracle's initial evaluation *);
+    let start_value = Engine.objective_value engine in
+    let mapping, _, steps = descend start_value [] in
+    result
+      ~engine_stats:(Some (Engine.stats engine))
+      ~full_evaluations:0 mapping (Engine.breakdown engine) steps
+      !evaluations
+  end
+
+let simulated_annealing ?(config = default_config) ?(oracle = false) ?reuse
+    ?(seed = 42L) ?(iterations = 4000) program hierarchy =
   let prng = Mhla_util.Prng.create ~seed in
   let evaluations = ref 0 in
-  let objective m =
+  let full_evaluations = ref 0 in
+  let start =
+    Mapping.direct ~transfer_mode:config.transfer_mode ?reuse program
+      hierarchy
+  in
+  let engine =
+    if oracle then None
+    else Some (Engine.create ~objective:config.objective start)
+  in
+  let objective_full m =
     incr evaluations;
+    incr full_evaluations;
     Cost.scalar config.objective (Cost.evaluate m)
   in
-  let start =
-    Mapping.direct ~transfer_mode:config.transfer_mode program hierarchy
+  let start_value =
+    match engine with
+    | None -> objective_full start
+    | Some e ->
+      incr evaluations;
+      Engine.objective_value e
   in
-  let start_value = objective start in
   let current = ref start in
   let current_value = ref start_value in
   let best = ref start in
@@ -206,20 +298,31 @@ let simulated_annealing ?(config = default_config) ?(seed = 42L)
     else (t_end /. t0) ** (1. /. float_of_int (iterations - 1))
   in
   let temperature = ref t0 in
+  (* Both flavours share the loop; the alternatives are placement-
+     independent so they are computed once (structurally identical to
+     what per-iteration [moves] would build). *)
+  let alts = all_alternatives config start in
   for _ = 1 to iterations do
-    (match moves config !current with
+    (match moves_with ~alts config !current with
     | [] -> ()
     | all_moves ->
       let move = Mhla_util.Prng.pick prng all_moves in
       let next = apply_move !current move in
       if feasible config next then begin
-        let value = objective next in
+        let value =
+          match engine with
+          | None -> objective_full next
+          | Some e ->
+            incr evaluations;
+            Engine.probe e move
+        in
         let delta = value -. !current_value in
         let accept =
           delta < 0.
           || Mhla_util.Prng.float prng < exp (-.delta /. !temperature)
         in
         if accept then begin
+          (match engine with None -> () | Some e -> Engine.commit e move);
           current := next;
           current_value := value;
           if value < !best_value then begin
@@ -238,16 +341,16 @@ let simulated_annealing ?(config = default_config) ?(seed = 42L)
       end);
     temperature := !temperature *. decay
   done;
-  {
-    mapping = !best;
-    breakdown = Cost.evaluate !best;
-    steps = List.rev !steps;
-    evaluations = !evaluations;
-  }
+  result
+    ~engine_stats:(Option.map Engine.stats engine)
+    ~full_evaluations:!full_evaluations !best (Cost.evaluate !best)
+    (List.rev !steps) !evaluations
 
-let exhaustive ?(config = default_config) ~max_states program hierarchy =
+let exhaustive ?(config = default_config) ?reuse ~max_states program
+    hierarchy =
   let start =
-    Mapping.direct ~transfer_mode:config.transfer_mode program hierarchy
+    Mapping.direct ~transfer_mode:config.transfer_mode ?reuse program
+      hierarchy
   in
   let alts =
     List.map
@@ -284,10 +387,6 @@ let exhaustive ?(config = default_config) ~max_states program hierarchy =
     | None -> Error "exhaustive: no feasible mapping (capacity too small?)"
     | Some (mapping, _) ->
       Ok
-        {
-          mapping;
-          breakdown = Cost.evaluate mapping;
-          steps = [];
-          evaluations = !evaluations;
-        }
+        (result ~full_evaluations:!evaluations mapping
+           (Cost.evaluate mapping) [] !evaluations)
   end

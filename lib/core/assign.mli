@@ -39,7 +39,13 @@ type result = {
   mapping : Mapping.t;
   breakdown : Cost.breakdown;
   steps : step list;  (** in application order *)
-  evaluations : int;  (** cost evaluations spent *)
+  evaluations : int;  (** objective evaluations spent (any flavour) *)
+  full_evaluations : int;
+      (** how many of those were from-scratch [Cost.evaluate] runs;
+          [= evaluations] on the oracle path, [0] on the engine path *)
+  cache_hits : int;
+      (** per-unit contributions the engine reused across probes *)
+  cache_misses : int;  (** contributions the engine had to recompute *)
 }
 
 val alternatives :
@@ -48,10 +54,42 @@ val alternatives :
     level-monotone copy chain over the on-chip layers (length capped by
     [max_chain_length]). Deterministic order. *)
 
-val greedy : ?config:config -> Mhla_ir.Program.t -> Mhla_arch.Hierarchy.t -> result
+(** A search move, shared with the incremental engine (which owns the
+    type; this is a re-export). *)
+type move = Engine.move =
+  | Set_placement of Mhla_reuse.Analysis.access_ref * Mapping.placement
+  | Set_array of string * int option
+
+val describe_move : move -> string
+
+val apply_move : Mapping.t -> move -> Mapping.t
+(** Functional application through the validating [Mapping] updates. *)
+
+val moves : config -> Mapping.t -> move list
+(** Every move the searches consider from this mapping, deterministic
+    order: placement changes for each access, then array
+    promotions/demotions (when allowed). *)
+
+val feasible : config -> Mapping.t -> bool
+(** Occupancy of every on-chip layer under the config's policy. *)
+
+val greedy :
+  ?config:config ->
+  ?oracle:bool ->
+  ?reuse:Mapping.reuse ->
+  Mhla_ir.Program.t ->
+  Mhla_arch.Hierarchy.t ->
+  result
+(** Steepest descent. Probes run through the incremental {!Engine}
+    unless [oracle] (default [false]) forces from-scratch
+    [Cost.evaluate] calls; both flavours return identical results (the
+    engine is bit-exact), the oracle flavour exists as the reference to
+    test against. [reuse] shares a precomputed analysis/schedule (see
+    {!Mapping.precompute}). *)
 
 val exhaustive :
   ?config:config ->
+  ?reuse:Mapping.reuse ->
   max_states:int ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
@@ -61,6 +99,8 @@ val exhaustive :
 
 val simulated_annealing :
   ?config:config ->
+  ?oracle:bool ->
+  ?reuse:Mapping.reuse ->
   ?seed:int64 ->
   ?iterations:int ->
   Mhla_ir.Program.t ->
@@ -71,4 +111,6 @@ val simulated_annealing :
     geometric cooling schedule; returns the best mapping seen.
     Deterministic for a given [seed] (default [42L]); [iterations]
     defaults to [4000]. Escapes the local optima steepest descent can
-    fall into (see the EXT-SEARCH bench), at ~30x the evaluations. *)
+    fall into (see the EXT-SEARCH bench), at ~30x the evaluations.
+    [oracle]/[reuse] as in {!greedy}; both flavours draw the same
+    pseudo-random sequence and take identical decisions. *)

@@ -28,22 +28,53 @@ let bt_cycles_per_issue (m : Mapping.t) (bt : Mapping.block_transfer) =
     src.Layer.latency_cycles + burst
   end
 
+let access_contribution (m : Mapping.t) ~level (info : Analysis.info) =
+  let layer = Hierarchy.layer m.Mapping.hierarchy level in
+  let n = info.Analysis.executions in
+  let stall = n * layer.Layer.latency_cycles in
+  let energy =
+    match info.Analysis.direction with
+    | Mhla_ir.Access.Read -> float_of_int n *. layer.Layer.read_energy_pj
+    | Mhla_ir.Access.Write -> float_of_int n *. layer.Layer.write_energy_pj
+  in
+  (stall, energy)
+
 let access_costs (m : Mapping.t) =
   let add (stall, energy) (info : Analysis.info) =
-    let level = Mapping.serving_layer m info.Analysis.ref_ in
-    let layer = Hierarchy.layer m.Mapping.hierarchy level in
-    let n = info.Analysis.executions in
-    let stall = stall + (n * layer.Layer.latency_cycles) in
-    let energy =
-      energy
-      +.
-      match info.Analysis.direction with
-      | Mhla_ir.Access.Read -> float_of_int n *. layer.Layer.read_energy_pj
-      | Mhla_ir.Access.Write -> float_of_int n *. layer.Layer.write_energy_pj
+    let s, e =
+      access_contribution m
+        ~level:(Mapping.serving_layer m info.Analysis.ref_)
+        info
     in
-    (stall, energy)
+    (stall + s, energy +. e)
   in
   List.fold_left add (0, 0.) m.Mapping.infos
+
+let bt_contribution ?(hidden = 0) ~dma (m : Mapping.t)
+    (bt : Mapping.block_transfer) =
+  let per_issue = bt_cycles_per_issue m bt in
+  let hidden = min per_issue (max 0 hidden) in
+  let stall = bt.Mapping.issues * (per_issue - hidden) in
+  let setup_cycles, dma_energy =
+    match dma with
+    | Some d ->
+      ( bt.Mapping.issues * d.Mhla_arch.Dma.setup_cycles,
+        float_of_int bt.Mapping.issues *. d.Mhla_arch.Dma.setup_energy_pj )
+    | None -> (0, 0.)
+  in
+  let src = Hierarchy.layer m.Mapping.hierarchy bt.Mapping.src_layer in
+  let dst = Hierarchy.layer m.Mapping.hierarchy bt.Mapping.dst_layer in
+  let element_bytes = bt.Mapping.bt_candidate.Mhla_reuse.Candidate.element_bytes in
+  let elements = bt.Mapping.total_bytes / max 1 element_bytes in
+  (* A fetch reads the source and writes the destination; a
+     write-back streams the other way, same element count. *)
+  let per_element =
+    if bt.Mapping.is_writeback then
+      Layer.burst_read_energy_pj dst +. Layer.burst_write_energy_pj src
+    else Layer.burst_read_energy_pj src +. Layer.burst_write_energy_pj dst
+  in
+  let energy = float_of_int elements *. per_element in
+  (stall, setup_cycles, energy, dma_energy)
 
 let transfer_costs ?(hidden_per_issue = fun _ -> 0) (m : Mapping.t) =
   let dma =
@@ -53,31 +84,10 @@ let transfer_costs ?(hidden_per_issue = fun _ -> 0) (m : Mapping.t) =
   in
   let add (stall, setup_cycles, energy, dma_energy)
       (bt : Mapping.block_transfer) =
-    let per_issue = bt_cycles_per_issue m bt in
-    let hidden = min per_issue (max 0 (hidden_per_issue bt.Mapping.bt_id)) in
-    let stall = stall + (bt.Mapping.issues * (per_issue - hidden)) in
-    let setup_cycles, dma_energy =
-      match dma with
-      | Some d ->
-        ( setup_cycles + (bt.Mapping.issues * d.Mhla_arch.Dma.setup_cycles),
-          dma_energy
-          +. (float_of_int bt.Mapping.issues *. d.Mhla_arch.Dma.setup_energy_pj)
-        )
-      | None -> (setup_cycles, dma_energy)
+    let s, su, e, d =
+      bt_contribution ~hidden:(hidden_per_issue bt.Mapping.bt_id) ~dma m bt
     in
-    let src = Hierarchy.layer m.Mapping.hierarchy bt.Mapping.src_layer in
-    let dst = Hierarchy.layer m.Mapping.hierarchy bt.Mapping.dst_layer in
-    let element_bytes = bt.Mapping.bt_candidate.Mhla_reuse.Candidate.element_bytes in
-    let elements = bt.Mapping.total_bytes / max 1 element_bytes in
-    (* A fetch reads the source and writes the destination; a
-       write-back streams the other way, same element count. *)
-    let per_element =
-      if bt.Mapping.is_writeback then
-        Layer.burst_read_energy_pj dst +. Layer.burst_write_energy_pj src
-      else Layer.burst_read_energy_pj src +. Layer.burst_write_energy_pj dst
-    in
-    let energy = energy +. (float_of_int elements *. per_element) in
-    (stall, setup_cycles, energy, dma_energy)
+    (stall + s, setup_cycles + su, energy +. e, dma_energy +. d)
   in
   List.fold_left add (0, 0, 0., 0.) (Mapping.block_transfers m)
 

@@ -25,6 +25,31 @@ val bt_cycles_per_issue : Mapping.t -> Mapping.block_transfer -> int
     plus the burst time at the slower of the two ports. DMA setup is
     not included — the CPU always pays it. *)
 
+(** {2 Per-unit contributions}
+
+    The cost of a mapping is a sum of independent per-access and
+    per-block-transfer terms. {!evaluate} folds the two functions below
+    over every unit; the incremental {!Engine} caches them per unit and
+    re-computes only the units a move touched. Both engines therefore
+    perform {e bit-identical} float operations in the same order — the
+    invariant that lets the engine reproduce the oracle exactly. *)
+
+val access_contribution :
+  Mapping.t -> level:int -> Mhla_reuse.Analysis.info -> int * float
+(** [(stall_cycles, energy_pj)] of one access when its CPU loads/stores
+    are served by [level]. Uses the mapping only for the hierarchy. *)
+
+val bt_contribution :
+  ?hidden:int ->
+  dma:Mhla_arch.Dma.t option ->
+  Mapping.t ->
+  Mapping.block_transfer ->
+  int * int * float * float
+(** [(stall, dma_setup, transfer_energy_pj, dma_energy_pj)] of one
+    block transfer; [hidden] cycles of each issue (clamped to the issue
+    time, default 0) are overlapped with compute. Uses the mapping only
+    for the hierarchy; [dma] is the platform's engine, if any. *)
+
 val evaluate : ?hidden_per_issue:(string -> int) -> Mapping.t -> breakdown
 (** [hidden_per_issue bt_id] is how many cycles of each issue of that
     transfer are overlapped with computation (from the TE step);

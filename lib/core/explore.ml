@@ -11,7 +11,7 @@ type result = {
 
 type search = Greedy | Annealing of { seed : int64; iterations : int }
 
-let run ?config ?order ?(search = Greedy) ?defer_writebacks program
+let run ?config ?order ?(search = Greedy) ?defer_writebacks ?reuse program
     hierarchy =
   let transfer_mode =
     match config with
@@ -19,13 +19,14 @@ let run ?config ?order ?(search = Greedy) ?defer_writebacks program
     | None -> Assign.default_config.Assign.transfer_mode
   in
   let baseline =
-    Cost.evaluate (Mapping.direct ~transfer_mode program hierarchy)
+    Cost.evaluate (Mapping.direct ~transfer_mode ?reuse program hierarchy)
   in
   let assign =
     match search with
-    | Greedy -> Assign.greedy ?config program hierarchy
+    | Greedy -> Assign.greedy ?config ?reuse program hierarchy
     | Annealing { seed; iterations } ->
-      Assign.simulated_annealing ?config ~seed ~iterations program hierarchy
+      Assign.simulated_annealing ?config ?reuse ~seed ~iterations program
+        hierarchy
   in
   let te = Prefetch.run ?order ?defer_writebacks assign.Assign.mapping in
   {
@@ -72,12 +73,19 @@ let energy_gain_percent r =
 
 type sweep_point = { onchip_bytes : int; point_result : result }
 
-let sweep ?config ?order ?(dma = true) ~sizes program =
+let sweep ?config ?order ?(dma = true) ?search ?jobs ~sizes program =
+  (* The reuse analysis and the program timeline are size-independent:
+     hoist them out of the per-size loop and share the (immutable)
+     result across every point — and across every worker domain. *)
+  let reuse = Mapping.precompute program in
   let point onchip_bytes =
     let hierarchy = Mhla_arch.Presets.two_level ~dma ~onchip_bytes () in
-    { onchip_bytes; point_result = run ?config ?order program hierarchy }
+    {
+      onchip_bytes;
+      point_result = run ?config ?order ?search ~reuse program hierarchy;
+    }
   in
-  List.map point sizes
+  Mhla_util.Domain_pool.map ?jobs point sizes
 
 let pareto_energy points =
   let to_point p =

@@ -25,11 +25,14 @@ val run :
   ?order:Prefetch.order ->
   ?search:search ->
   ?defer_writebacks:bool ->
+  ?reuse:Mapping.reuse ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
   result
 (** [search] defaults to [Greedy]; [defer_writebacks] (default [false])
-    also lets TE hide buffer drains (see {!Prefetch.run}). *)
+    also lets TE hide buffer drains (see {!Prefetch.run}). [reuse]
+    shares a {!Mapping.precompute} of the same program (the sweep
+    hoists one across all its points). *)
 
 (** Normalised views used by the paper's figures (baseline = 1.0). *)
 
@@ -60,10 +63,18 @@ val sweep :
   ?config:Assign.config ->
   ?order:Prefetch.order ->
   ?dma:bool ->
+  ?search:search ->
+  ?jobs:int ->
   sizes:int list ->
   Mhla_ir.Program.t ->
   sweep_point list
-(** Two-level platforms of each size ([dma] defaults to [true]). *)
+(** Two-level platforms of each size ([dma] defaults to [true]).
+
+    Points are independent, so they run on a {!Mhla_util.Domain_pool}
+    of [jobs] worker domains (default
+    [Domain.recommended_domain_count]); the reuse analysis is computed
+    once and shared. Results come back in [sizes] order and are
+    identical for every [jobs] value — [jobs:1] is plain [List.map]. *)
 
 val pareto_energy : sweep_point list -> sweep_point Mhla_util.Pareto.t
 (** Frontier of (on-chip bytes, energy after step 1). *)

@@ -9,6 +9,10 @@ type chain_link = { candidate : Candidate.t; layer : int }
 
 type placement = Direct | Chain of chain_link list
 
+type reuse = { infos : Analysis.info list; schedule : Schedule.t }
+
+(* [t] is declared after [reuse] so its [infos]/[schedule] labels win
+   unqualified disambiguation throughout the rest of this file. *)
 type t = {
   program : Mhla_ir.Program.t;
   hierarchy : Hierarchy.t;
@@ -19,8 +23,13 @@ type t = {
   schedule : Schedule.t;
 }
 
-let direct ?(transfer_mode = Candidate.Full) program hierarchy =
-  let infos = Analysis.analyze program in
+let precompute program : reuse =
+  { infos = Analysis.analyze program; schedule = Schedule.of_program program }
+
+let direct ?(transfer_mode = Candidate.Full) ?reuse program hierarchy =
+  let ({ infos; schedule } : reuse) =
+    match reuse with Some r -> r | None -> precompute program
+  in
   {
     program;
     hierarchy;
@@ -28,7 +37,7 @@ let direct ?(transfer_mode = Candidate.Full) program hierarchy =
     infos;
     placements = List.map (fun (i : Analysis.info) -> (i.ref_, Direct)) infos;
     array_layers = [];
-    schedule = Schedule.of_program program;
+    schedule;
   }
 
 let find_info t ref_ =
@@ -121,14 +130,13 @@ type block_transfer = {
   is_writeback : bool;
 }
 
-let chain_transfers t info links =
-  let home = array_layer t info.Analysis.array in
+let transfers_of_chain ~transfer_mode ~home links =
   let rec walk = function
     | [] -> []
     | link :: rest ->
       let src = match rest with [] -> home | next :: _ -> next.layer in
       let c = link.candidate in
-      let total = Candidate.total_bytes t.transfer_mode c in
+      let total = Candidate.total_bytes transfer_mode c in
       let issues = c.Candidate.issues in
       let bt =
         {
@@ -149,70 +157,73 @@ let chain_transfers t info links =
 (* A promoted array pays one whole-array fill (it is read on-chip) and,
    when written, one whole-array drain; both stream against the
    off-chip store. Conservative for pure temporaries, but safe. *)
-let promoted_array_transfers t =
+let promoted_transfers t ~array ~level =
   let main = Hierarchy.main_memory_level t.hierarchy in
-  let transfers_for (array, level) =
-    let decl =
-      match Mhla_ir.Program.find_array t.program array with
-      | Some d -> d
-      | None -> assert false
-    in
-    let bytes = Mhla_ir.Array_decl.size_bytes decl in
-    let any dir =
-      List.exists
-        (fun (i : Analysis.info) -> i.array = array && i.direction = dir)
+  let decl =
+    match Mhla_ir.Program.find_array t.program array with
+    | Some d -> d
+    | None -> assert false
+  in
+  let bytes = Mhla_ir.Array_decl.size_bytes decl in
+  let any dir =
+    List.exists
+      (fun (i : Analysis.info) -> i.array = array && i.direction = dir)
+      t.infos
+  in
+  let mk suffix is_writeback =
+    (* Promoted arrays move as one whole-array stream; reuse the
+       level-0 candidate of any access for bookkeeping fields. *)
+    let proxy =
+      List.find_map
+        (fun (i : Analysis.info) ->
+          if i.array = array then
+            List.find_opt
+              (fun (c : Candidate.t) -> c.Candidate.level = 0)
+              i.candidates
+          else None)
         t.infos
     in
-    let mk suffix is_writeback =
-      (* Promoted arrays move as one whole-array stream; reuse the
-         level-0 candidate of any access for bookkeeping fields. *)
-      let proxy =
-        List.find_map
-          (fun (i : Analysis.info) ->
-            if i.array = array then
-              List.find_opt
-                (fun (c : Candidate.t) -> c.Candidate.level = 0)
-                i.candidates
-            else None)
-          t.infos
-      in
-      match proxy with
-      | None -> None
-      | Some c ->
-        Some
-          {
-            bt_id = array ^ suffix;
-            bt_candidate = c;
-            src_layer = main;
-            dst_layer = level;
-            issues = 1;
-            bytes_per_issue = bytes;
-            total_bytes = bytes;
-            is_writeback;
-          }
-    in
-    List.filter_map Fun.id
-      [
-        (if any Mhla_ir.Access.Read then mk ":fill" false else None);
-        (if any Mhla_ir.Access.Write then mk ":drain" true else None);
-      ]
+    match proxy with
+    | None -> None
+    | Some c ->
+      Some
+        {
+          bt_id = array ^ suffix;
+          bt_candidate = c;
+          src_layer = main;
+          dst_layer = level;
+          issues = 1;
+          bytes_per_issue = bytes;
+          total_bytes = bytes;
+          is_writeback;
+        }
   in
-  List.concat_map transfers_for t.array_layers
+  List.filter_map Fun.id
+    [
+      (if any Mhla_ir.Access.Read then mk ":fill" false else None);
+      (if any Mhla_ir.Access.Write then mk ":drain" true else None);
+    ]
+
+let promoted_array_transfers t =
+  List.concat_map
+    (fun (array, level) -> promoted_transfers t ~array ~level)
+    t.array_layers
 
 (* Two chain links whose candidates share a [share_key] and endpoints
    hold the same data in the same rhythm: one buffer, one transfer
    stream. Keep the first occurrence. *)
+let bt_dedupe_key bt =
+  let c = bt.bt_candidate in
+  ( c.Candidate.share_key,
+    c.Candidate.direction = Mhla_ir.Access.Write,
+    bt.src_layer,
+    bt.dst_layer )
+
 let dedupe_transfers bts =
   let seen = Hashtbl.create 16 in
   List.filter
     (fun bt ->
-      let c = bt.bt_candidate in
-      let key =
-        ( c.Candidate.share_key,
-          c.Candidate.direction = Mhla_ir.Access.Write,
-          bt.src_layer,
-          bt.dst_layer )
-      in
+      let key = bt_dedupe_key bt in
       if Hashtbl.mem seen key then false
       else begin
         Hashtbl.add seen key ();
@@ -226,7 +237,11 @@ let block_transfers t =
       (fun (ref_, placement) ->
         match placement with
         | Direct -> []
-        | Chain links -> chain_transfers t (find_info t ref_) links)
+        | Chain links ->
+          let info = find_info t ref_ in
+          transfers_of_chain ~transfer_mode:t.transfer_mode
+            ~home:(array_layer t info.Analysis.array)
+            links)
       t.placements
   in
   dedupe_transfers chains @ promoted_array_transfers t

@@ -21,6 +21,17 @@ type placement =
           array's layer. Levels strictly decrease and layers strictly
           increase along the list. *)
 
+type reuse = {
+  infos : Mhla_reuse.Analysis.info list;
+  schedule : Mhla_lifetime.Schedule.t;
+}
+(** The size-independent part of building a mapping: reuse analysis and
+    the program timeline. Both depend only on the program, so one
+    {!precompute} can be shared across every hierarchy of a budget
+    sweep instead of being re-derived per point. *)
+
+(** Declared after {!reuse} so the shared [infos]/[schedule] labels
+    resolve to [t] in unannotated client code. *)
 type t = private {
   program : Mhla_ir.Program.t;
   hierarchy : Mhla_arch.Hierarchy.t;
@@ -32,13 +43,20 @@ type t = private {
   schedule : Mhla_lifetime.Schedule.t;  (** cached program timeline *)
 }
 
+val precompute : Mhla_ir.Program.t -> reuse
+(** Run {!Mhla_reuse.Analysis.analyze} and
+    {!Mhla_lifetime.Schedule.of_program} once. *)
+
 val direct :
   ?transfer_mode:Mhla_reuse.Candidate.transfer_mode ->
+  ?reuse:reuse ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
   t
 (** The out-of-the-box mapping: every access Direct, every array
-    off-chip. [transfer_mode] defaults to [Full]. *)
+    off-chip. [transfer_mode] defaults to [Full]. [reuse] (when given)
+    must be {!precompute} of the same program; it skips the analysis
+    and scheduling passes. *)
 
 val with_placement : t -> Mhla_reuse.Analysis.access_ref -> placement -> t
 (** Functional update; validates the chain shape.
@@ -74,6 +92,31 @@ type block_transfer = {
 val block_transfers : t -> block_transfer list
 (** All copy-chain refills and write-backs, plus the initial fill /
     final drain of arrays promoted on-chip. Deterministic order. *)
+
+(** {2 Per-unit transfer derivation}
+
+    [block_transfers] composes the three functions below; the
+    incremental cost engine calls them directly to rebuild only the
+    transfers a move invalidated. *)
+
+val transfers_of_chain :
+  transfer_mode:Mhla_reuse.Candidate.transfer_mode ->
+  home:int ->
+  chain_link list ->
+  block_transfer list
+(** The refill/write-back streams of one placement chain, innermost
+    link first; [home] is the level holding the owning array (the
+    outermost link's source). *)
+
+val promoted_transfers :
+  t -> array:string -> level:int -> block_transfer list
+(** The whole-array fill/drain streams of one promoted array. Depends
+    on the array's accesses, not on any placement. *)
+
+val bt_dedupe_key : block_transfer -> string * bool * int * int
+(** [(share_key, is_write, src, dst)] — two chain transfers with equal
+    keys move the same data in the same rhythm and are counted once
+    (first occurrence wins, in [block_transfers] order). *)
 
 val layer_blocks : t -> level:int -> Mhla_lifetime.Occupancy.block list
 (** The buffers and promoted arrays living on one on-chip layer, with

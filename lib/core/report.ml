@@ -32,8 +32,17 @@ let detailed ~name (r : Explore.result) =
   line "%s" (Fmt.str "%a" Cost.pp_breakdown r.Explore.ideal);
   line "-- mapping --";
   line "%s" (Fmt.str "%a" Mapping.pp r.Explore.assign.Assign.mapping);
-  line "-- assignment steps (%d evaluations) --"
-    r.Explore.assign.Assign.evaluations;
+  (let a = r.Explore.assign in
+   let total = a.Assign.cache_hits + a.Assign.cache_misses in
+   if total = 0 then
+     line "-- assignment steps (%d evaluations, all full) --"
+       a.Assign.evaluations
+   else
+     line
+       "-- assignment steps (%d evaluations; engine cache %d hits / %d \
+        misses, %.1f%% hit rate) --"
+       a.Assign.evaluations a.Assign.cache_hits a.Assign.cache_misses
+       (100. *. float_of_int a.Assign.cache_hits /. float_of_int total));
   List.iter
     (fun (s : Assign.step) ->
       line "  %s (gain %.1f)" s.Assign.description s.Assign.gain)

@@ -1,4 +1,5 @@
 module Cost = Mhla_core.Cost
+module Engine = Mhla_core.Engine
 module Mapping = Mhla_core.Mapping
 module Prefetch = Mhla_core.Prefetch
 
@@ -17,7 +18,66 @@ let within_bound c =
 
 let agrees c = within_bound c && c.zero_fault_consistent
 
-type report = { checks : bt_check list; disagreements : bt_check list }
+type engine_check = {
+  engine_objective : float;
+  oracle_objective : float;
+  engine_consistent : bool;
+}
+
+(* Churn an incremental engine through a round trip of every placement
+   and every array promotion, bit-comparing its cached objective
+   against the from-scratch oracle after each commit. Any drift in the
+   dirty-tracking (a contribution not invalidated, a fold order that
+   diverged) surfaces as a [Float.equal] failure. *)
+let check_engine ?(objective = Cost.Energy_delay) (m : Mapping.t) =
+  let e = Engine.create ~objective m in
+  let consistent = ref true in
+  let agree () =
+    let engine_v = Engine.objective_value e in
+    let oracle_v = Cost.scalar objective (Cost.evaluate (Engine.mapping e)) in
+    if not (Float.equal engine_v oracle_v) then consistent := false
+  in
+  agree ();
+  let commit move =
+    Engine.commit e move;
+    agree ()
+  in
+  List.iter
+    (fun (ref_, placement) ->
+      if placement <> Mapping.Direct then begin
+        commit (Engine.Set_placement (ref_, Mapping.Direct));
+        commit (Engine.Set_placement (ref_, placement))
+      end)
+    m.Mapping.placements;
+  let on_chip = Mhla_arch.Hierarchy.on_chip_levels m.Mapping.hierarchy in
+  List.iter
+    (fun (array, level) ->
+      commit (Engine.Set_array (array, None));
+      commit (Engine.Set_array (array, Some level)))
+    m.Mapping.array_layers;
+  (match on_chip with
+  | first :: _ ->
+    (* Also push every unpromoted array on-chip and back: exercises
+       the promoted fill/drain cache from a cold start. *)
+    List.iter
+      (fun array ->
+        if List.assoc_opt array m.Mapping.array_layers = None then begin
+          commit (Engine.Set_array (array, Some first));
+          commit (Engine.Set_array (array, None))
+        end)
+      (Mhla_ir.Program.array_names m.Mapping.program)
+  | [] -> ());
+  {
+    engine_objective = Engine.objective_value e;
+    oracle_objective = Cost.scalar objective (Cost.evaluate (Engine.mapping e));
+    engine_consistent = !consistent;
+  }
+
+type report = {
+  checks : bt_check list;
+  disagreements : bt_check list;
+  engine : engine_check;
+}
 
 let check_of_plan (m : Mapping.t) (plan : Prefetch.plan) =
   let bt = plan.Prefetch.bt in
@@ -60,7 +120,7 @@ let check_of_plan (m : Mapping.t) (plan : Prefetch.plan) =
       && faultless.Pipeline.failed_attempts = 0;
   }
 
-let crosscheck m (schedule : Prefetch.schedule) =
+let crosscheck ?objective m (schedule : Prefetch.schedule) =
   let checks =
     List.filter_map
       (fun (p : Prefetch.plan) ->
@@ -68,7 +128,11 @@ let crosscheck m (schedule : Prefetch.schedule) =
         else None)
       schedule.Prefetch.plans
   in
-  { checks; disagreements = List.filter (fun c -> not (agrees c)) checks }
+  {
+    checks;
+    disagreements = List.filter (fun c -> not (agrees c)) checks;
+    engine = check_engine ?objective m;
+  }
 
 let pp_check ppf c =
   Fmt.pf ppf "%s: simulated stall %d, analytic %d (bound %d)%s %s" c.check_id

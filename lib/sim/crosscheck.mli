@@ -27,10 +27,36 @@ val agrees : bt_check -> bool
 (** {!within_bound} and [zero_fault_consistent]; checks failing either
     way land in [disagreements]. *)
 
-type report = { checks : bt_check list; disagreements : bt_check list }
+type engine_check = {
+  engine_objective : float;  (** incremental engine, after churn *)
+  oracle_objective : float;  (** from-scratch [Cost.evaluate], same point *)
+  engine_consistent : bool;
+      (** the two were [Float.equal] (bit-identical) after {e every}
+          commit of the churn, not just at the end *)
+}
+
+val check_engine :
+  ?objective:Mhla_core.Cost.objective -> Mhla_core.Mapping.t -> engine_check
+(** Drive an incremental {!Mhla_core.Engine} through a round trip of
+    every placement and every array promotion of the mapping (plus a
+    cold promote/demote of each unpromoted array), comparing its cached
+    objective against the oracle after each commit. [objective]
+    defaults to [Energy_delay]. Engine drift is reported as a
+    disagreement in {!crosscheck}'s report alongside the zero-fault
+    check. *)
+
+type report = {
+  checks : bt_check list;
+  disagreements : bt_check list;
+  engine : engine_check;  (** incremental-vs-oracle cost drift *)
+}
 
 val crosscheck :
-  Mhla_core.Mapping.t -> Mhla_core.Prefetch.schedule -> report
-(** One check per TE plan with at least one issue. *)
+  ?objective:Mhla_core.Cost.objective ->
+  Mhla_core.Mapping.t ->
+  Mhla_core.Prefetch.schedule ->
+  report
+(** One check per TE plan with at least one issue, plus
+    {!check_engine} on the mapping. *)
 
 val pp_check : bt_check Fmt.t

@@ -1,0 +1,35 @@
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let map ?jobs f xs =
+  let n = List.length xs in
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> recommended_jobs ()
+  in
+  let jobs = min jobs n in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let out = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (* Distinct indices: no two domains ever write the same slot. *)
+          (out.(i) <- (try Some (Ok (f input.(i))) with e -> Some (Error e)));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list out
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false (* the cursor covered every index *))
+  end

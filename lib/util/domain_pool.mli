@@ -1,0 +1,25 @@
+(** A small OCaml 5 [Domain]-based worker pool.
+
+    [map] fans independent pure tasks out across CPU cores and returns
+    the results in input order, so a parallel run is observationally
+    identical to [List.map] — the property the exploration sweeps rely
+    on for [jobs:1 ≡ jobs:N] determinism. Tasks must not share mutable
+    state; everything this repository parallelises (per-size-budget
+    exploration runs) only reads immutable programs and analyses. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the number of workers that
+    saturates the hardware without oversubscribing it. Always >= 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] using at most
+    [jobs] domains (default {!recommended_jobs}; values < 1 are clamped
+    to 1) and returns the results in the order of [xs]. Work is
+    distributed dynamically (an atomic cursor), so uneven task costs
+    balance across workers. With [jobs = 1] (or a singleton/empty list)
+    no domain is spawned and the call is exactly [List.map f xs].
+
+    If one or more tasks raise, every task still runs to completion
+    (or failure) and the exception of the {e earliest} failing input is
+    re-raised in the caller — deterministic regardless of worker
+    interleaving. *)

@@ -25,11 +25,18 @@ echo "== CLI smoke =="
 dune exec -- bin/mhla_cli.exe list >/dev/null
 dune exec -- bin/mhla_cli.exe robustness motion_estimation --trials 2 \
   >/dev/null
+dune exec -- bin/mhla_cli.exe sweep motion_estimation -j 2 --min 256 \
+  --max 1024 >/dev/null
+dune exec -- bin/mhla_cli.exe run motion_estimation --search annealing \
+  >/dev/null
 rc=0
 dune exec -- bin/mhla_cli.exe run no_such_app >/dev/null 2>&1 || rc=$?
 if [ "$rc" -ne 2 ]; then
   echo "expected exit 2 for an unknown application, got $rc" >&2
   exit 1
 fi
+
+echo "== bench smoke (EXT-ENGINE) =="
+dune exec -- bench/main.exe EXT-ENGINE >/dev/null
 
 echo "CI OK"

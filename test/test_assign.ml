@@ -250,6 +250,88 @@ let test_anneal_escapes_known_local_optimum () =
     (sa.Assign.breakdown.Cost.total_cycles
     < greedy.Assign.breakdown.Cost.total_cycles)
 
+(* --- incremental engine vs oracle -------------------------------------- *)
+
+(* Everything that could reveal a divergent search decision: the chosen
+   placements in infos order, the promoted arrays, every applied step
+   (description, gain, objective), and the final cost breakdown. *)
+let fingerprint (r : Assign.result) =
+  let m = r.Assign.mapping in
+  ( List.map
+      (fun (info : Analysis.info) ->
+        Mapping.placement_of m info.Analysis.ref_)
+      m.Mapping.infos,
+    m.Mapping.array_layers,
+    r.Assign.steps,
+    r.Assign.breakdown )
+
+let test_greedy_engine_equals_oracle_on_apps () =
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let program = Lazy.force app.Mhla_apps.Defs.small in
+      let h =
+        Presets.two_level ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let engine = Assign.greedy program h in
+      let oracle = Assign.greedy ~oracle:true program h in
+      Alcotest.(check bool)
+        (app.Mhla_apps.Defs.name ^ ": identical result") true
+        (fingerprint engine = fingerprint oracle);
+      Alcotest.(check int)
+        (app.Mhla_apps.Defs.name ^ ": same evaluation count")
+        oracle.Assign.evaluations engine.Assign.evaluations)
+    Mhla_apps.Registry.all
+
+let test_greedy_engine_equals_oracle_on_kernel () =
+  List.iter
+    (fun budget ->
+      let program = conv () in
+      let h = Presets.two_level ~onchip_bytes:budget () in
+      List.iter
+        (fun config ->
+          let engine = Assign.greedy ~config program h in
+          let oracle = Assign.greedy ~config ~oracle:true program h in
+          Alcotest.(check bool)
+            (Printf.sprintf "budget %d: identical result" budget)
+            true
+            (fingerprint engine = fingerprint oracle))
+        [ Assign.default_config; cycles_config ])
+    [ 64; 512; 4096 ]
+
+let test_anneal_engine_equals_oracle () =
+  let program = conv () in
+  List.iter
+    (fun (budget, seed) ->
+      let h = Presets.two_level ~onchip_bytes:budget () in
+      let engine =
+        Assign.simulated_annealing ~seed ~iterations:600 program h
+      in
+      let oracle =
+        Assign.simulated_annealing ~oracle:true ~seed ~iterations:600
+          program h
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "budget %d seed %Ld: identical result" budget seed)
+        true
+        (fingerprint engine = fingerprint oracle))
+    [ (128, 7L); (512, 7L); (512, 1234L) ]
+
+let test_result_evaluation_accounting () =
+  let program = conv () in
+  let h = Presets.two_level ~onchip_bytes:512 () in
+  let engine = Assign.greedy program h in
+  let oracle = Assign.greedy ~oracle:true program h in
+  Alcotest.(check int) "oracle: every evaluation is full"
+    oracle.Assign.evaluations oracle.Assign.full_evaluations;
+  Alcotest.(check int) "oracle: no cache traffic" 0
+    (oracle.Assign.cache_hits + oracle.Assign.cache_misses);
+  Alcotest.(check int) "engine: no full evaluations" 0
+    engine.Assign.full_evaluations;
+  Alcotest.(check bool) "engine: cache exercised" true
+    (engine.Assign.cache_hits > 0 && engine.Assign.cache_misses > 0);
+  Alcotest.(check bool) "engine: hits dominate on repeated probing" true
+    (engine.Assign.cache_hits > engine.Assign.cache_misses)
+
 let prop_greedy_never_worse_than_direct =
   QCheck2.Test.make ~name:"assign: greedy never worse than out-of-the-box"
     ~count:25
@@ -300,6 +382,17 @@ let () =
             test_anneal_competitive_with_greedy;
           Alcotest.test_case "escapes local optimum" `Slow
             test_anneal_escapes_known_local_optimum;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "greedy = oracle on all apps" `Quick
+            test_greedy_engine_equals_oracle_on_apps;
+          Alcotest.test_case "greedy = oracle on kernel" `Quick
+            test_greedy_engine_equals_oracle_on_kernel;
+          Alcotest.test_case "annealing = oracle" `Quick
+            test_anneal_engine_equals_oracle;
+          Alcotest.test_case "evaluation accounting" `Quick
+            test_result_evaluation_accounting;
         ] );
       ( "exhaustive",
         [

@@ -105,6 +105,41 @@ let test_sweep_no_dma () =
       (List.length p.Explore.point_result.Explore.te.Prefetch.plans)
   | _ -> Alcotest.fail "expected one point"
 
+(* Everything a diverging worker could corrupt: the budget, the final
+   breakdowns, the applied assignment steps and the promoted arrays. *)
+let sweep_fingerprint points =
+  List.map
+    (fun (p : Explore.sweep_point) ->
+      let r = p.Explore.point_result in
+      ( p.Explore.onchip_bytes,
+        r.Explore.after_assign,
+        r.Explore.after_te,
+        r.Explore.assign.Assign.steps,
+        r.Explore.assign.Assign.mapping.Mhla_core.Mapping.array_layers ))
+    points
+
+let test_sweep_jobs_equality () =
+  let sizes = [ 128; 256; 512; 1024 ] in
+  let sequential = Explore.sweep ~jobs:1 ~sizes (kernel ()) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs:1 = jobs:%d" jobs)
+        true
+        (sweep_fingerprint sequential
+        = sweep_fingerprint (Explore.sweep ~jobs ~sizes (kernel ()))))
+    [ 2; 4 ];
+  Alcotest.(check bool) "jobs:1 = default jobs" true
+    (sweep_fingerprint sequential
+    = sweep_fingerprint (Explore.sweep ~sizes (kernel ())))
+
+let test_sweep_more_jobs_than_sizes () =
+  let sizes = [ 128; 512 ] in
+  let points = Explore.sweep ~jobs:16 ~sizes (kernel ()) in
+  Alcotest.(check (list int)) "one point per size, in order" sizes
+    (List.map (fun (p : Explore.sweep_point) -> p.Explore.onchip_bytes)
+       points)
+
 let test_pareto_frontiers () =
   let sizes = [ 128; 256; 512; 1024; 2048 ] in
   let points = Explore.sweep ~sizes (kernel ()) in
@@ -190,6 +225,9 @@ let () =
         [
           Alcotest.test_case "points" `Quick test_sweep_points;
           Alcotest.test_case "no dma" `Quick test_sweep_no_dma;
+          Alcotest.test_case "jobs equality" `Quick test_sweep_jobs_equality;
+          Alcotest.test_case "more jobs than sizes" `Quick
+            test_sweep_more_jobs_than_sizes;
           Alcotest.test_case "pareto" `Quick test_pareto_frontiers;
         ] );
       ( "report",

@@ -10,6 +10,9 @@ module Analysis = Mhla_reuse.Analysis
 module Candidate = Mhla_reuse.Candidate
 module Assign = Mhla_core.Assign
 module Cost = Mhla_core.Cost
+module Engine = Mhla_core.Engine
+module Mapping = Mhla_core.Mapping
+module Prng = Mhla_util.Prng
 module Explore = Mhla_core.Explore
 module Prefetch = Mhla_core.Prefetch
 module Presets = Mhla_arch.Presets
@@ -284,7 +287,51 @@ let prop_crosscheck_agrees =
             Mhla_sim.Crosscheck.crosscheck r.Explore.assign.Assign.mapping
               r.Explore.te
           in
-          report.Mhla_sim.Crosscheck.disagreements = [])
+          report.Mhla_sim.Crosscheck.disagreements = []
+          && report.Mhla_sim.Crosscheck.engine
+               .Mhla_sim.Crosscheck.engine_consistent)
+        p)
+
+(* The incremental engine's whole contract: probing a move returns the
+   bit-exact scalar a from-scratch [Cost.evaluate] of the moved mapping
+   would, and committed state never drifts from the full recompute —
+   across random move sequences, not just the ones the searches take. *)
+let prop_engine_matches_oracle =
+  QCheck2.Test.make ~name:"fuzz: engine probe/commit = full recompute"
+    ~count:60
+    QCheck2.Gen.(triple gen_program (int_range 16 512) (int_range 0 10_000))
+    (fun (p, budget, seed) ->
+      with_program
+        (fun p ->
+          let hierarchy = Presets.two_level ~onchip_bytes:budget () in
+          let config = Assign.default_config in
+          let objective = config.Assign.objective in
+          let m = ref (Mapping.direct p hierarchy) in
+          let engine = Engine.create ~objective !m in
+          let rng = Prng.create ~seed:(Int64.of_int seed) in
+          let ok = ref true in
+          for _ = 1 to 12 do
+            match Assign.moves config !m with
+            | [] -> ()
+            | moves ->
+              let mv = Prng.pick rng moves in
+              let next = Assign.apply_move !m mv in
+              let full = Cost.scalar objective (Cost.evaluate next) in
+              let probed = Engine.probe engine mv in
+              if not (Float.equal probed full) then ok := false;
+              (* A probe must leave the engine untouched... *)
+              let here = Cost.scalar objective (Cost.evaluate !m) in
+              if not (Float.equal (Engine.objective_value engine) here) then
+                ok := false;
+              (* ...and a commit must advance it exactly to [next]. *)
+              if Prng.bool rng then begin
+                Engine.commit engine mv;
+                m := next;
+                if not (Float.equal (Engine.objective_value engine) full)
+                then ok := false
+              end
+          done;
+          !ok)
         p)
 
 let prop_emit_well_formed =
@@ -389,6 +436,7 @@ let () =
           qc prop_interp_matches_static;
           qc prop_pipeline_invariants;
           qc prop_crosscheck_agrees;
+          qc prop_engine_matches_oracle;
           qc prop_emit_well_formed;
           qc prop_delta_mode_never_more_traffic;
           qc prop_faulty_deterministic_and_finite;

@@ -322,7 +322,27 @@ let test_crosscheck_agrees () =
   List.iter
     (fun c ->
       Alcotest.(check bool) "within bound" true (Crosscheck.within_bound c))
-    report.Crosscheck.checks
+    report.Crosscheck.checks;
+  Alcotest.(check bool) "incremental engine never drifts" true
+    report.Crosscheck.engine.Crosscheck.engine_consistent
+
+let test_check_engine_kernel_and_apps () =
+  let consistent name (m : Mhla_core.Mapping.t) =
+    let c = Crosscheck.check_engine m in
+    Alcotest.(check bool) (name ^ ": consistent under churn") true
+      c.Crosscheck.engine_consistent;
+    Alcotest.(check bool) (name ^ ": objectives bit-equal") true
+      (Float.equal c.Crosscheck.engine_objective
+         c.Crosscheck.oracle_objective)
+  in
+  let r = Explore.run (kernel ()) (Presets.two_level ~onchip_bytes:512 ()) in
+  consistent "kernel" r.Explore.assign.Assign.mapping;
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let program = Lazy.force app.Mhla_apps.Defs.small in
+      let r = Explore.run program (Presets.two_level ~onchip_bytes:256 ()) in
+      consistent app.Mhla_apps.Defs.name r.Explore.assign.Assign.mapping)
+    Mhla_apps.Registry.all
 
 let test_robustness_report () =
   let r = Explore.run (kernel ()) (Presets.two_level ~onchip_bytes:512 ()) in
@@ -446,6 +466,8 @@ let () =
       ( "crosscheck",
         [
           Alcotest.test_case "kernel agrees" `Quick test_crosscheck_agrees;
+          Alcotest.test_case "engine check, kernel and apps" `Quick
+            test_check_engine_kernel_and_apps;
           Alcotest.test_case "saturation flagged" `Quick
             test_crosscheck_catches_saturation;
           Alcotest.test_case "all apps agree" `Quick test_crosscheck_all_apps;

@@ -330,6 +330,62 @@ let test_table_rejects_bad_row () =
     (invalid "Table.add_row" "2 cells for 1 columns") (fun () ->
       Table.add_row t [ "x"; "y" ])
 
+(* --- Domain_pool ------------------------------------------------------- *)
+
+module Domain_pool = Mhla_util.Domain_pool
+
+let test_pool_recommended_jobs () =
+  Alcotest.(check bool) "at least one worker" true
+    (Domain_pool.recommended_jobs () >= 1)
+
+let test_pool_matches_list_map () =
+  let xs = List.init 37 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs %d = List.map" jobs)
+        expected
+        (Domain_pool.map ~jobs f xs))
+    [ 1; 2; 4; 100 ];
+  Alcotest.(check (list int)) "default jobs = List.map" expected
+    (Domain_pool.map f xs)
+
+let test_pool_order_with_uneven_work () =
+  (* Cheap and expensive tasks interleaved: dynamic scheduling must not
+     leak completion order into the result order. *)
+  let xs = List.init 24 (fun i -> i) in
+  let f x =
+    let spin = if x mod 2 = 0 then 20_000 else 1 in
+    let acc = ref 0 in
+    for k = 1 to spin do
+      acc := !acc + ((x + k) mod 7)
+    done;
+    (x, !acc land 0)
+  in
+  Alcotest.(check (list (pair int int)))
+    "input order preserved" (List.map f xs)
+    (Domain_pool.map ~jobs:4 f xs)
+
+let test_pool_edge_cases () =
+  Alcotest.(check (list int)) "empty list" []
+    (Domain_pool.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ]
+    (Domain_pool.map ~jobs:4 (fun x -> x * 3) [ 3 ]);
+  Alcotest.(check (list int)) "jobs clamped below one" [ 2; 4 ]
+    (Domain_pool.map ~jobs:(-3) (fun x -> 2 * x) [ 1; 2 ])
+
+let test_pool_raises_earliest_failure () =
+  let f x = if x mod 2 = 0 then failwith (string_of_int x) else x in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs %d: earliest failing input wins" jobs)
+        (Failure "2")
+        (fun () -> ignore (Domain_pool.map ~jobs f [ 1; 2; 3; 4; 5; 6 ])))
+    [ 1; 3 ]
+
 let test_table_cells () =
   Alcotest.(check string) "float" "1.50" (Table.cell_float 1.5);
   Alcotest.(check string) "float decimals" "1.5"
@@ -395,6 +451,18 @@ let () =
           Alcotest.test_case "pretty" `Quick test_json_pretty_indents;
           Alcotest.test_case "float roundtrip" `Quick
             test_json_float_roundtrip;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "recommended jobs" `Quick
+            test_pool_recommended_jobs;
+          Alcotest.test_case "matches List.map" `Quick
+            test_pool_matches_list_map;
+          Alcotest.test_case "order with uneven work" `Quick
+            test_pool_order_with_uneven_work;
+          Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
+          Alcotest.test_case "earliest failure wins" `Quick
+            test_pool_raises_earliest_failure;
         ] );
       ( "table",
         [
