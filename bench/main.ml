@@ -5,7 +5,8 @@
    Usage: dune exec bench/main.exe [-- SECTION ...]
    Sections: FIG2 FIG3 TAB1 EXT-PARETO EXT-ORDER EXT-INPLACE EXT-GREEDY
    EXT-XVAL EXT-MODE EXT-CACHE EXT-3LEVEL EXT-MULTITASK EXT-TILE
-   EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT MICRO (default: all). *)
+   EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT EXT-TRACE MICRO
+   (default: all). *)
 
 module Apps = Mhla_apps.Registry
 module Assign = Mhla_core.Assign
@@ -775,6 +776,73 @@ let micro () =
     tests;
   Table.print table
 
+let ext_trace () =
+  section "EXT-TRACE"
+    "Telemetry overhead. The solver stack is instrumented end to end\n\
+     against Mhla_obs.Telemetry; with the default noop sink every site\n\
+     is a single tag test and the args thunks are never forced, so the\n\
+     instrumented flow must stay within noise (<2%) of free. The\n\
+     collector column shows the full recording cost for scale.";
+  let module Telemetry = Mhla_obs.Telemetry in
+  let calls = 10_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to calls do
+    Telemetry.instant Telemetry.noop ~cat:"bench" "x"
+      ~args:(fun () -> [ ("i", Telemetry.Int i) ])
+  done;
+  Printf.printf "noop instant dispatch: %.2f ns/call over %d calls\n\n"
+    ((Unix.gettimeofday () -. t0) /. float_of_int calls *. 1e9)
+    calls;
+  let rate seconds f =
+    let t0 = Unix.gettimeofday () in
+    let rounds = ref 0 in
+    while Unix.gettimeofday () -. t0 < seconds do
+      f ();
+      incr rounds
+    done;
+    float_of_int !rounds /. (Unix.gettimeofday () -. t0)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("noop runs/s", Table.Right);
+          ("collector runs/s", Table.Right);
+          ("recording overhead", Table.Right);
+          ("events/run", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let app = Apps.find_exn name in
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let noop_rate =
+        rate 0.4 (fun () ->
+            ignore (Explore.run program hierarchy : Explore.result))
+      in
+      let coll_rate =
+        rate 0.4 (fun () ->
+            let t = Telemetry.collector () in
+            ignore (Explore.run ~telemetry:t program hierarchy
+                    : Explore.result))
+      in
+      let events =
+        let t = Telemetry.collector () in
+        ignore (Explore.run ~telemetry:t program hierarchy : Explore.result);
+        List.length (Telemetry.events t)
+      in
+      Table.add_row table
+        [ name;
+          Table.cell_float ~decimals:1 noop_rate;
+          Table.cell_float ~decimals:1 coll_rate;
+          Table.cell_percent (100. *. ((noop_rate /. coll_rate) -. 1.));
+          Table.cell_int events ])
+    [ "motion_estimation"; "mp3_filterbank"; "voice_compression" ];
+  Table.print table
+
 let sections =
   [ ("FIG2", fig2);
     ("FIG3", fig3);
@@ -793,6 +861,7 @@ let sections =
     ("EXT-ENGINE", ext_engine);
     ("EXT-WB", ext_wb);
     ("EXT-FAULT", ext_fault);
+    ("EXT-TRACE", ext_trace);
     ("MICRO", micro) ]
 
 let () =

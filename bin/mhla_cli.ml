@@ -20,6 +20,8 @@ module Explore = Mhla_core.Explore
 module Prefetch = Mhla_core.Prefetch
 module Report = Mhla_core.Report
 module Table = Mhla_util.Table
+module Telemetry = Mhla_obs.Telemetry
+module Trace_export = Mhla_obs.Trace_export
 
 (* Every subcommand body runs under [guarded]: a structured error is
    rendered with its context and hint on stderr and mapped to its
@@ -115,13 +117,62 @@ let search_arg =
     value & opt search_conv Explore.Greedy
     & info [ "search" ] ~docv:"ENGINE" ~doc)
 
-let debug_arg =
-  let doc = "Print the tool's internal decisions (moves, TE plans)." in
-  Arg.(value & flag & info [ "debug" ] ~doc)
+(* --- telemetry plumbing ------------------------------------------------ *)
 
-let setup_logs debug =
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some (if debug then Logs.Debug else Logs.Warning))
+(* One verbosity ladder shared by every subcommand: -q silences the
+   report, -v expands it, --debug additionally streams each telemetry
+   event to stderr as it is recorded. *)
+type verbosity = Quiet | Normal | Verbose | Debug
+
+let verbosity_term =
+  let quiet =
+    Arg.(value & flag
+         & info [ "q"; "quiet" ] ~doc:"Suppress the report; errors only.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full report.") in
+  let debug =
+    Arg.(value & flag
+         & info [ "debug" ]
+             ~doc:"Stream the tool's internal decisions (moves, TE plans, \
+                   spans) to stderr as telemetry events.")
+  in
+  let combine q v d =
+    if d then Debug else if v then Verbose else if q then Quiet else Normal
+  in
+  Term.(const combine $ quiet $ verbose $ debug)
+
+let trace_arg =
+  let doc =
+    "Record a Chrome trace_event JSON file of the run (spans, counters, \
+     decision events); load it in Perfetto (ui.perfetto.dev) or \
+     chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Pick the sink a subcommand runs under: the zero-cost noop unless the
+   user asked for a trace file or a --debug event stream. The trace file
+   is written even when the run fails — the events up to the error are
+   exactly what one wants to see then. *)
+let with_telemetry ~trace ~verbosity f =
+  match (trace, verbosity) with
+  | None, (Quiet | Normal | Verbose) -> f Telemetry.noop
+  | _ ->
+    let on_event =
+      match verbosity with
+      | Debug -> Some (fun e -> Fmt.epr "%a@." Telemetry.pp_event e)
+      | Quiet | Normal | Verbose -> None
+    in
+    let t = Telemetry.collector ?on_event () in
+    Fun.protect
+      ~finally:(fun () ->
+        match trace with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> Trace_export.write oc t))
+      (fun () -> f t)
 
 let config_of objective transfer_mode =
   { Assign.default_config with Assign.objective; transfer_mode }
@@ -170,30 +221,33 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let run_cmd =
-  let run name onchip dma objective mode search verbose json debug =
+  let run name onchip dma objective mode search json verbosity trace =
     guarded @@ fun () ->
-    setup_logs debug;
     let app = find_app name in
     validate_onchip onchip;
     let program = Lazy.force app.Mhla_apps.Defs.program in
     let hierarchy = hierarchy_of app ~onchip ~dma in
     let config = config_of objective mode in
-    let result = Explore.run ~config ~search program hierarchy in
+    let result =
+      with_telemetry ~trace ~verbosity @@ fun telemetry ->
+      Explore.run ~config ~search ~telemetry program hierarchy
+    in
     if json then
       print_endline
         (Mhla_util.Json.to_string ~indent:2
            (Report.result_to_json ~name result))
-    else if verbose then print_endline (Report.detailed ~name result)
-    else print_endline (Report.summary ~name result)
-  in
-  let verbose_arg =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full report.")
+    else begin
+      match verbosity with
+      | Quiet -> ()
+      | Verbose | Debug -> print_endline (Report.detailed ~name result)
+      | Normal -> print_endline (Report.summary ~name result)
+    end
   in
   let doc = "Run the two-step MHLA+TE flow on an application." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
-      $ search_arg $ verbose_arg $ json_arg $ debug_arg)
+      $ search_arg $ json_arg $ verbosity_term $ trace_arg)
 
 let emit_cmd =
   let run name onchip dma objective mode =
@@ -217,7 +271,8 @@ let emit_cmd =
       const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg)
 
 let sweep_cmd =
-  let run name min_bytes max_bytes dma objective mode jobs json =
+  let run name min_bytes max_bytes dma objective mode jobs json verbosity
+      trace =
     guarded @@ fun () ->
     let app = find_app name in
     (match jobs with
@@ -228,11 +283,14 @@ let sweep_cmd =
     let program = Lazy.force app.Mhla_apps.Defs.program in
     let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes ~max_bytes in
     let config = config_of objective mode in
-    let points = Explore.sweep ~config ~dma ?jobs ~sizes program in
+    let points =
+      with_telemetry ~trace ~verbosity @@ fun telemetry ->
+      Explore.sweep ~config ~dma ?jobs ~telemetry ~sizes program
+    in
     if json then
       print_endline
         (Mhla_util.Json.to_string ~indent:2 (Report.sweep_to_json points))
-    else Table.print (Report.sweep_table points)
+    else if verbosity <> Quiet then Table.print (Report.sweep_table points)
   in
   let min_arg =
     Arg.(value & opt int 128 & info [ "min" ] ~docv:"BYTES"
@@ -253,7 +311,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ app_arg $ min_arg $ max_arg $ dma_arg $ objective_arg
-      $ mode_arg $ jobs_arg $ json_arg)
+      $ mode_arg $ jobs_arg $ json_arg $ verbosity_term $ trace_arg)
 
 let figures_cmd =
   let run json =
@@ -285,7 +343,7 @@ let figures_cmd =
 
 let robustness_cmd =
   let run name onchip dma objective mode seed trials jitter failure retries
-      patience json =
+      patience json verbosity trace =
     guarded @@ fun () ->
     let app = find_app name in
     validate_onchip onchip;
@@ -300,20 +358,23 @@ let robustness_cmd =
     let program = Lazy.force app.Mhla_apps.Defs.program in
     let hierarchy = hierarchy_of app ~onchip ~dma in
     let config = config_of objective mode in
-    let result = Explore.run ~config program hierarchy in
     let report =
-      Mhla_sim.Robustness.analyze ~trials ~faults
+      with_telemetry ~trace ~verbosity @@ fun telemetry ->
+      let result = Explore.run ~config ~telemetry program hierarchy in
+      Mhla_sim.Robustness.analyze ~trials ~telemetry ~faults
         result.Explore.assign.Assign.mapping result.Explore.te
     in
     if json then
       print_endline
         (Mhla_util.Json.to_string ~indent:2
            (Mhla_sim.Robustness.to_json report))
-    else if report.Mhla_sim.Robustness.plans = [] then
-      print_endline
-        "no prefetch streams to stress (TE planned no block transfers)"
+    else if report.Mhla_sim.Robustness.plans = [] then begin
+      if verbosity <> Quiet then
+        print_endline
+          "no prefetch streams to stress (TE planned no block transfers)"
+    end
     else begin
-      Fmt.pr "%a@." Mhla_sim.Robustness.pp report;
+      if verbosity <> Quiet then Fmt.pr "%a@." Mhla_sim.Robustness.pp report;
       if not report.Mhla_sim.Robustness.all_zero_fault_consistent then begin
         prerr_endline "mhla: zero-fault simulation drifted from Pipeline.run";
         exit (Error.exit_code
@@ -363,7 +424,7 @@ let robustness_cmd =
     Term.(
       const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
       $ seed_arg $ trials_arg $ jitter_arg $ failure_arg $ retries_arg
-      $ patience_arg $ json_arg)
+      $ patience_arg $ json_arg $ verbosity_term $ trace_arg)
 
 let () =
   let doc =

@@ -9,7 +9,7 @@ module Cost = Mhla_core.Cost
 module Explore = Mhla_core.Explore
 module Table = Mhla_util.Table
 
-let () =
+let main () =
   let app = Mhla_apps.Registry.find_exn "mp3_filterbank" in
   let program = Lazy.force app.Mhla_apps.Defs.program in
   let budget = app.Mhla_apps.Defs.onchip_bytes in
@@ -68,3 +68,12 @@ let () =
      tag energy, never conflict-miss, and (with TE) overlap their\n\
      transfers with compute.  The cache's advantage - needing no\n\
      analysis - is exactly what MHLA automates away."
+
+(* Structured-error guard: render Mhla_util.Error values with their
+   context and hint, and exit with the error kind's code. *)
+let () =
+  match Mhla_util.Error.catch main with
+  | Ok () -> ()
+  | Error e ->
+    prerr_endline (Mhla_util.Error.to_string e);
+    exit (Mhla_util.Error.exit_code e)

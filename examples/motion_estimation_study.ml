@@ -13,7 +13,7 @@ module Prefetch = Mhla_core.Prefetch
 
 let header title = Printf.printf "\n=== %s ===\n" title
 
-let () =
+let main () =
   let app = Mhla_apps.Registry.find_exn "motion_estimation" in
   let program = Lazy.force app.Mhla_apps.Defs.program in
   let hierarchy =
@@ -74,3 +74,12 @@ let () =
     (Explore.te_extra_gain_percent result);
   Printf.printf "  ideal (0-wait) : %d\n"
     result.Explore.ideal.Cost.total_cycles
+
+(* Structured-error guard: render Mhla_util.Error values with their
+   context and hint, and exit with the error kind's code. *)
+let () =
+  match Mhla_util.Error.catch main with
+  | Ok () -> ()
+  | Error e ->
+    prerr_endline (Mhla_util.Error.to_string e);
+    exit (Mhla_util.Error.exit_code e)

@@ -33,5 +33,14 @@ let study name =
       best.Pareto.y
   | None -> ()
 
-let () =
+let main () =
   List.iter study [ "motion_estimation"; "cavity_detector"; "jpeg_encoder" ]
+
+(* Structured-error guard: render Mhla_util.Error values with their
+   context and hint, and exit with the error kind's code. *)
+let () =
+  match Mhla_util.Error.catch main with
+  | Ok () -> ()
+  | Error e ->
+    prerr_endline (Mhla_util.Error.to_string e);
+    exit (Mhla_util.Error.exit_code e)

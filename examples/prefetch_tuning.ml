@@ -40,7 +40,7 @@ let show_schedule title schedule =
   | [] -> print_endline "  (no DMA block transfers: TE not applicable)"
   | plans -> List.iter (fun p -> Fmt.pr "  %a@." Prefetch.pp_plan p) plans
 
-let () =
+let main () =
   let budget = 512 in
   let with_dma = Mhla_arch.Presets.two_level ~onchip_bytes:budget () in
   let mapping = (Assign.greedy kernel with_dma).Assign.mapping in
@@ -86,3 +86,12 @@ let () =
     (Cost.evaluate mapping).Cost.total_cycles
     (Prefetch.evaluate mapping te).Cost.total_cycles
     (Cost.ideal mapping).Cost.total_cycles
+
+(* Structured-error guard: render Mhla_util.Error values with their
+   context and hint, and exit with the error kind's code. *)
+let () =
+  match Mhla_util.Error.catch main with
+  | Ok () -> ()
+  | Error e ->
+    prerr_endline (Mhla_util.Error.to_string e);
+    exit (Mhla_util.Error.exit_code e)

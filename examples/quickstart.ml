@@ -21,9 +21,18 @@ let kernel =
                           rd "coeff" [ i "ky"; i "kx" ];
                           wr "out" [ i "y"; i "x" ] ] ] ] ] ] ]
 
-let () =
+let main () =
   let hierarchy = Mhla_arch.Presets.two_level ~onchip_bytes:1024 () in
   let result = Mhla_core.Explore.run kernel hierarchy in
   print_endline (Mhla_core.Report.summary ~name:"conv3x3" result);
   print_newline ();
   print_endline (Mhla_core.Report.detailed ~name:"conv3x3" result)
+
+(* Structured-error guard: render Mhla_util.Error values with their
+   context and hint, and exit with the error kind's code. *)
+let () =
+  match Mhla_util.Error.catch main with
+  | Ok () -> ()
+  | Error e ->
+    prerr_endline (Mhla_util.Error.to_string e);
+    exit (Mhla_util.Error.exit_code e)

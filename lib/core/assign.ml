@@ -1,10 +1,7 @@
 module Analysis = Mhla_reuse.Analysis
 module Candidate = Mhla_reuse.Candidate
 module Hierarchy = Mhla_arch.Hierarchy
-
-let log_src = Logs.Src.create "mhla.assign" ~doc:"MHLA step 1"
-
-module Log = (val Logs.src_log log_src)
+module Telemetry = Mhla_obs.Telemetry
 
 type config = {
   objective : Cost.objective;
@@ -177,8 +174,15 @@ let improves ~current ~candidate =
    evaluation, so the two flavours take identical decisions and return
    identical mappings — the property the test suite pins down. *)
 
-let greedy ?(config = default_config) ?(oracle = false) ?reuse program
-    hierarchy =
+let greedy ?(config = default_config) ?(oracle = false)
+    ?(telemetry = Telemetry.noop) ?reuse program hierarchy =
+  Telemetry.span telemetry ~cat:"assign" "assign.greedy"
+    ~args:(fun () ->
+      [ ("oracle", Telemetry.Bool oracle);
+        ( "objective",
+          Telemetry.Str (Fmt.str "%a" Cost.pp_objective config.objective) )
+      ])
+  @@ fun () ->
   let evaluations = ref 0 in
   let start =
     Mapping.direct ~transfer_mode:config.transfer_mode ?reuse program
@@ -192,9 +196,12 @@ let greedy ?(config = default_config) ?(oracle = false) ?reuse program
         objective_after = value;
       }
     in
-    Log.debug (fun m ->
-        m "greedy: %s (objective %.6g -> %.6g)" step.description current
-          value);
+    Telemetry.instant telemetry ~cat:"assign" "greedy.step"
+      ~args:(fun () ->
+        [ ("move", Telemetry.Str step.description);
+          ("gain", Telemetry.Float step.gain);
+          ("objective_before", Telemetry.Float current);
+          ("objective_after", Telemetry.Float value) ]);
     step
   in
   if oracle then begin
@@ -226,7 +233,9 @@ let greedy ?(config = default_config) ?(oracle = false) ?reuse program
       steps !evaluations
   end
   else begin
-    let engine = Engine.create ~objective:config.objective start in
+    let engine =
+      Engine.create ~telemetry ~objective:config.objective start
+    in
     let alts = all_alternatives config start in
     let rec descend current steps =
       let m = Engine.mapping engine in
@@ -259,8 +268,15 @@ let greedy ?(config = default_config) ?(oracle = false) ?reuse program
       !evaluations
   end
 
-let simulated_annealing ?(config = default_config) ?(oracle = false) ?reuse
-    ?(seed = 42L) ?(iterations = 4000) program hierarchy =
+let simulated_annealing ?(config = default_config) ?(oracle = false)
+    ?(telemetry = Telemetry.noop) ?reuse ?(seed = 42L) ?(iterations = 4000)
+    program hierarchy =
+  Telemetry.span telemetry ~cat:"assign" "assign.anneal"
+    ~args:(fun () ->
+      [ ("oracle", Telemetry.Bool oracle);
+        ("seed", Telemetry.Str (Int64.to_string seed));
+        ("iterations", Telemetry.Int iterations) ])
+  @@ fun () ->
   let prng = Mhla_util.Prng.create ~seed in
   let evaluations = ref 0 in
   let full_evaluations = ref 0 in
@@ -270,7 +286,7 @@ let simulated_annealing ?(config = default_config) ?(oracle = false) ?reuse
   in
   let engine =
     if oracle then None
-    else Some (Engine.create ~objective:config.objective start)
+    else Some (Engine.create ~telemetry ~objective:config.objective start)
   in
   let objective_full m =
     incr evaluations;
@@ -302,7 +318,7 @@ let simulated_annealing ?(config = default_config) ?(oracle = false) ?reuse
      independent so they are computed once (structurally identical to
      what per-iteration [moves] would build). *)
   let alts = all_alternatives config start in
-  for _ = 1 to iterations do
+  for iter = 1 to iterations do
     (match moves_with ~alts config !current with
     | [] -> ()
     | all_moves ->
@@ -321,6 +337,13 @@ let simulated_annealing ?(config = default_config) ?(oracle = false) ?reuse
           delta < 0.
           || Mhla_util.Prng.float prng < exp (-.delta /. !temperature)
         in
+        Telemetry.instant telemetry ~cat:"assign"
+          (if accept then "anneal.accept" else "anneal.reject")
+          ~args:(fun () ->
+            [ ("iteration", Telemetry.Int iter);
+              ("temperature", Telemetry.Float !temperature);
+              ("delta", Telemetry.Float delta);
+              ("objective", Telemetry.Float value) ]);
         if accept then begin
           (match engine with None -> () | Some e -> Engine.commit e move);
           current := next;
@@ -329,6 +352,11 @@ let simulated_annealing ?(config = default_config) ?(oracle = false) ?reuse
             let improvement = !best_value -. value in
             best := next;
             best_value := value;
+            Telemetry.instant telemetry ~cat:"assign" "anneal.best"
+              ~args:(fun () ->
+                [ ("iteration", Telemetry.Int iter);
+                  ("move", Telemetry.Str (describe_move move));
+                  ("objective", Telemetry.Float value) ]);
             steps :=
               {
                 description = describe_move move;

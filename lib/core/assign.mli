@@ -76,6 +76,7 @@ val feasible : config -> Mapping.t -> bool
 val greedy :
   ?config:config ->
   ?oracle:bool ->
+  ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
@@ -85,7 +86,9 @@ val greedy :
     [Cost.evaluate] calls; both flavours return identical results (the
     engine is bit-exact), the oracle flavour exists as the reference to
     test against. [reuse] shares a precomputed analysis/schedule (see
-    {!Mapping.precompute}). *)
+    {!Mapping.precompute}). [telemetry] (default noop) records an
+    [assign.greedy] span, one [greedy.step] event per applied move and
+    the engine's spans/counters; it never changes the result. *)
 
 val exhaustive :
   ?config:config ->
@@ -100,6 +103,7 @@ val exhaustive :
 val simulated_annealing :
   ?config:config ->
   ?oracle:bool ->
+  ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
   ?seed:int64 ->
   ?iterations:int ->
@@ -113,4 +117,8 @@ val simulated_annealing :
     defaults to [4000]. Escapes the local optima steepest descent can
     fall into (see the EXT-SEARCH bench), at ~30x the evaluations.
     [oracle]/[reuse] as in {!greedy}; both flavours draw the same
-    pseudo-random sequence and take identical decisions. *)
+    pseudo-random sequence and take identical decisions. [telemetry]
+    records an [assign.anneal] span and per-iteration
+    [anneal.accept]/[anneal.reject] events carrying the temperature,
+    plus [anneal.best] marks on improvements — the annealing trajectory
+    as observable data. *)

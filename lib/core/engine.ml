@@ -1,5 +1,6 @@
 module Analysis = Mhla_reuse.Analysis
 module Hierarchy = Mhla_arch.Hierarchy
+module Telemetry = Mhla_obs.Telemetry
 
 type move =
   | Set_placement of Analysis.access_ref * Mapping.placement
@@ -10,6 +11,7 @@ type stats = {
   commits : int;
   contribs_reused : int;
   contribs_recomputed : int;
+  entries_invalidated : int;
 }
 
 (* One cached block-transfer contribution, exactly the tuple
@@ -50,6 +52,7 @@ type counters = {
   mutable n_commits : int;
   mutable n_reused : int;
   mutable n_recomputed : int;
+  mutable n_invalidated : int;
 }
 
 type t = {
@@ -74,6 +77,7 @@ type t = {
   dma : Mhla_arch.Dma.t option;
   compute : int;
   counters : counters;
+  telemetry : Telemetry.t;
 }
 
 let array_layer t array =
@@ -192,6 +196,9 @@ let apply_internal t move =
       | None -> removed
       | Some level -> (array, level) :: removed);
     let dirty = indices_of_array t array in
+    t.counters.n_invalidated <- t.counters.n_invalidated + List.length dirty;
+    Telemetry.count t.telemetry ~cat:"engine" "engine.entries_invalidated"
+      (List.length dirty);
     let saved =
       List.map
         (fun i ->
@@ -269,7 +276,7 @@ let totals t =
   in
   (breakdown, !folded)
 
-let create ~objective (m : Mapping.t) =
+let create ?(telemetry = Telemetry.noop) ~objective (m : Mapping.t) =
   let entries =
     Array.of_list
       (List.map
@@ -312,10 +319,18 @@ let create ~objective (m : Mapping.t) =
          else None);
       compute = Mhla_ir.Program.total_work_cycles m.Mapping.program;
       counters =
-        { n_probes = 0; n_commits = 0; n_reused = 0; n_recomputed = 0 };
+        {
+          n_probes = 0;
+          n_commits = 0;
+          n_reused = 0;
+          n_recomputed = 0;
+          n_invalidated = 0;
+        };
+      telemetry;
     }
   in
-  Array.iter (refresh t) t.entries;
+  Telemetry.span telemetry ~cat:"engine" "engine.create" (fun () ->
+      Array.iter (refresh t) t.entries);
   t
 
 let mapping t = t.mapping
@@ -324,27 +339,46 @@ let breakdown t = fst (totals t)
 
 let objective_value t = Cost.scalar t.objective (breakdown t)
 
+let move_kind = function
+  | Set_placement _ -> "set_placement"
+  | Set_array _ -> "set_array"
+
 let probe t move =
-  t.counters.n_probes <- t.counters.n_probes + 1;
-  let before = t.counters.n_recomputed in
-  let undo = apply_internal t move in
-  let b, folded = totals t in
-  undo ();
-  let recomputed = t.counters.n_recomputed - before in
-  t.counters.n_reused <- t.counters.n_reused + max 0 (folded - recomputed);
-  Cost.scalar t.objective b
+  Telemetry.span t.telemetry ~cat:"engine" "engine.probe"
+    ~args:(fun () -> [ ("move", Telemetry.Str (move_kind move)) ])
+    (fun () ->
+      t.counters.n_probes <- t.counters.n_probes + 1;
+      let before = t.counters.n_recomputed in
+      let undo = apply_internal t move in
+      let b, folded = totals t in
+      undo ();
+      let recomputed = t.counters.n_recomputed - before in
+      let reused = max 0 (folded - recomputed) in
+      t.counters.n_reused <- t.counters.n_reused + reused;
+      if Telemetry.enabled t.telemetry then begin
+        Telemetry.count t.telemetry ~cat:"engine" "engine.probes" 1;
+        Telemetry.count t.telemetry ~cat:"engine" "engine.cache_hits" reused;
+        Telemetry.count t.telemetry ~cat:"engine" "engine.cache_misses"
+          recomputed
+      end;
+      Cost.scalar t.objective b)
 
 let commit t move =
-  (* Validate through the real [Mapping] update first: if it rejects
-     the move we raise before any cached state is dirtied. *)
-  let mapping' =
-    match move with
-    | Set_placement (r, p) -> Mapping.with_placement t.mapping r p
-    | Set_array (a, l) -> Mapping.with_array_layer t.mapping ~array:a ~layer:l
-  in
-  ignore (apply_internal t move : unit -> unit);
-  t.mapping <- mapping';
-  t.counters.n_commits <- t.counters.n_commits + 1
+  Telemetry.span t.telemetry ~cat:"engine" "engine.commit"
+    ~args:(fun () -> [ ("move", Telemetry.Str (move_kind move)) ])
+    (fun () ->
+      (* Validate through the real [Mapping] update first: if it rejects
+         the move we raise before any cached state is dirtied. *)
+      let mapping' =
+        match move with
+        | Set_placement (r, p) -> Mapping.with_placement t.mapping r p
+        | Set_array (a, l) ->
+          Mapping.with_array_layer t.mapping ~array:a ~layer:l
+      in
+      ignore (apply_internal t move : unit -> unit);
+      t.mapping <- mapping';
+      t.counters.n_commits <- t.counters.n_commits + 1;
+      Telemetry.count t.telemetry ~cat:"engine" "engine.commits" 1)
 
 let stats t =
   {
@@ -352,4 +386,5 @@ let stats t =
     commits = t.counters.n_commits;
     contribs_reused = t.counters.n_reused;
     contribs_recomputed = t.counters.n_recomputed;
+    entries_invalidated = t.counters.n_invalidated;
   }

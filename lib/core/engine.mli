@@ -35,19 +35,31 @@ type move =
 
 (** Counters accumulated since {!create}. [contribs_reused] vs
     [contribs_recomputed] is the cache hit/miss split over the
-    per-unit contributions folded by probes. *)
+    per-unit contributions folded by probes; [entries_invalidated]
+    counts cached access entries dirtied by [Set_array] applications
+    (the cost of whole-array moves under dirty tracking). *)
 type stats = {
   probes : int;
   commits : int;
   contribs_reused : int;
   contribs_recomputed : int;
+  entries_invalidated : int;
 }
 
 type t
 
-val create : objective:Cost.objective -> Mapping.t -> t
+val create :
+  ?telemetry:Mhla_obs.Telemetry.t ->
+  objective:Cost.objective ->
+  Mapping.t ->
+  t
 (** An engine positioned on the given mapping. All contributions are
-    computed once, eagerly. *)
+    computed once, eagerly. [telemetry] (default
+    {!Mhla_obs.Telemetry.noop}) receives [engine.create] /
+    [engine.probe] / [engine.commit] spans and the
+    [engine.probes]/[engine.commits]/[engine.cache_hits]/
+    [engine.cache_misses]/[engine.entries_invalidated] counters; a
+    disabled sink leaves every result bit-identical. *)
 
 val mapping : t -> Mapping.t
 (** The mapping the engine is positioned on — the genuine [Mapping.t],

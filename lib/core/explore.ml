@@ -1,3 +1,5 @@
+module Telemetry = Mhla_obs.Telemetry
+
 type result = {
   program : Mhla_ir.Program.t;
   hierarchy : Mhla_arch.Hierarchy.t;
@@ -11,24 +13,35 @@ type result = {
 
 type search = Greedy | Annealing of { seed : int64; iterations : int }
 
-let run ?config ?order ?(search = Greedy) ?defer_writebacks ?reuse program
-    hierarchy =
+let run ?config ?order ?(search = Greedy) ?defer_writebacks
+    ?(telemetry = Telemetry.noop) ?reuse program hierarchy =
+  Telemetry.span telemetry ~cat:"explore" "explore.run"
+    ~args:(fun () ->
+      [ ("program", Telemetry.Str program.Mhla_ir.Program.name) ])
+  @@ fun () ->
+  let stage name f = Telemetry.span telemetry ~cat:"explore" name f in
   let transfer_mode =
     match config with
     | Some c -> c.Assign.transfer_mode
     | None -> Assign.default_config.Assign.transfer_mode
   in
   let baseline =
+    stage "explore.baseline" @@ fun () ->
     Cost.evaluate (Mapping.direct ~transfer_mode ?reuse program hierarchy)
   in
   let assign =
+    stage "explore.assign" @@ fun () ->
     match search with
-    | Greedy -> Assign.greedy ?config ?reuse program hierarchy
+    | Greedy -> Assign.greedy ?config ~telemetry ?reuse program hierarchy
     | Annealing { seed; iterations } ->
-      Assign.simulated_annealing ?config ?reuse ~seed ~iterations program
-        hierarchy
+      Assign.simulated_annealing ?config ~telemetry ?reuse ~seed ~iterations
+        program hierarchy
   in
-  let te = Prefetch.run ?order ?defer_writebacks assign.Assign.mapping in
+  let te =
+    stage "explore.te" @@ fun () ->
+    Prefetch.run ?order ?defer_writebacks ~telemetry assign.Assign.mapping
+  in
+  stage "explore.evaluate" @@ fun () ->
   {
     program;
     hierarchy;
@@ -73,19 +86,40 @@ let energy_gain_percent r =
 
 type sweep_point = { onchip_bytes : int; point_result : result }
 
-let sweep ?config ?order ?(dma = true) ?search ?jobs ~sizes program =
+let sweep ?config ?order ?(dma = true) ?search ?jobs
+    ?(telemetry = Telemetry.noop) ~sizes program =
+  Telemetry.span telemetry ~cat:"sweep" "explore.sweep"
+    ~args:(fun () ->
+      [ ("program", Telemetry.Str program.Mhla_ir.Program.name);
+        ("points", Telemetry.Int (List.length sizes)) ])
+  @@ fun () ->
   (* The reuse analysis and the program timeline are size-independent:
      hoist them out of the per-size loop and share the (immutable)
      result across every point — and across every worker domain. *)
-  let reuse = Mapping.precompute program in
-  let point onchip_bytes =
+  let reuse =
+    Telemetry.span telemetry ~cat:"sweep" "sweep.precompute" @@ fun () ->
+    Mapping.precompute program
+  in
+  let point child onchip_bytes =
+    Telemetry.span child ~cat:"sweep" "sweep.point"
+      ~args:(fun () -> [ ("onchip_bytes", Telemetry.Int onchip_bytes) ])
+    @@ fun () ->
     let hierarchy = Mhla_arch.Presets.two_level ~dma ~onchip_bytes () in
     {
       onchip_bytes;
-      point_result = run ?config ?order ?search ~reuse program hierarchy;
+      point_result =
+        run ?config ?order ?search ~telemetry:child ~reuse program hierarchy;
     }
   in
-  Mhla_util.Domain_pool.map ?jobs point sizes
+  (* Each worker domain records into its own child sink (sinks are not
+     thread-safe); the children merge back in worker order after the
+     join, which makes the final event multiset independent of [jobs]. *)
+  Mhla_util.Domain_pool.map_with ?jobs
+    ~init:(fun i -> Telemetry.child telemetry ~tid:(i + 1))
+    ~around:(fun child k ->
+      Telemetry.span child ~cat:"sweep" "sweep.worker" k)
+    ~finish:(Telemetry.merge_children telemetry)
+    point sizes
 
 let pareto_energy points =
   let to_point p =

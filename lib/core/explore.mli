@@ -25,6 +25,7 @@ val run :
   ?order:Prefetch.order ->
   ?search:search ->
   ?defer_writebacks:bool ->
+  ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
@@ -32,7 +33,11 @@ val run :
 (** [search] defaults to [Greedy]; [defer_writebacks] (default [false])
     also lets TE hide buffer drains (see {!Prefetch.run}). [reuse]
     shares a {!Mapping.precompute} of the same program (the sweep
-    hoists one across all its points). *)
+    hoists one across all its points). [telemetry] (default noop) wraps
+    each pipeline stage in a span ([explore.run] around
+    [explore.baseline] / [explore.assign] / [explore.te] /
+    [explore.evaluate]) and is passed down to {!Assign} and
+    {!Prefetch}; it never changes the result. *)
 
 (** Normalised views used by the paper's figures (baseline = 1.0). *)
 
@@ -65,6 +70,7 @@ val sweep :
   ?dma:bool ->
   ?search:search ->
   ?jobs:int ->
+  ?telemetry:Mhla_obs.Telemetry.t ->
   sizes:int list ->
   Mhla_ir.Program.t ->
   sweep_point list
@@ -74,7 +80,14 @@ val sweep :
     of [jobs] worker domains (default
     [Domain.recommended_domain_count]); the reuse analysis is computed
     once and shared. Results come back in [sizes] order and are
-    identical for every [jobs] value — [jobs:1] is plain [List.map]. *)
+    identical for every [jobs] value — [jobs:1] is plain [List.map].
+
+    [telemetry] (default noop) gives each worker domain its own child
+    sink (one [sweep.worker] span per worker, a [sweep.point] span with
+    the on-chip size around every point, and the full per-point event
+    stream inside it); the children are merged back into the parent
+    deterministically in worker order after the join, so the merged
+    event multiset is identical for every [jobs] value. *)
 
 val pareto_energy : sweep_point list -> sweep_point Mhla_util.Pareto.t
 (** Frontier of (on-chip bytes, energy after step 1). *)

@@ -3,12 +3,15 @@ module Candidate = Mhla_reuse.Candidate
 module Hierarchy = Mhla_arch.Hierarchy
 module Occupancy = Mhla_lifetime.Occupancy
 module Schedule = Mhla_lifetime.Schedule
-
-let log_src = Logs.Src.create "mhla.prefetch" ~doc:"MHLA step 2 (TE)"
-
-module Log = (val Logs.src_log log_src)
+module Telemetry = Mhla_obs.Telemetry
 
 type limit = Fully_hidden | Size_bound | Dependency_bound | Not_extendable
+
+let limit_label = function
+  | Fully_hidden -> "fully-hidden"
+  | Size_bound -> "size-bound"
+  | Dependency_bound -> "dependency-bound"
+  | Not_extendable -> "not-extendable"
 
 type plan = {
   bt : Mapping.block_transfer;
@@ -137,7 +140,9 @@ let sort_plans order raw =
   | By_time -> by (fun (_, t, _, _) -> float_of_int t)
 
 let run ?(order = By_time_over_size) ?(policy = Occupancy.In_place)
-    ?(defer_writebacks = false) (m : Mapping.t) =
+    ?(defer_writebacks = false) ?(telemetry = Telemetry.noop)
+    (m : Mapping.t) =
+  Telemetry.span telemetry ~cat:"te" "te.run" @@ fun () ->
   let sched = m.Mapping.schedule in
   let eligible =
     List.filter
@@ -226,10 +231,21 @@ let run ?(order = By_time_over_size) ?(policy = Occupancy.In_place)
         dma_priority = priority;
       }
     in
-    Log.debug (fun m ->
-        m "te: %s hides %d/%d cycles (%d extra buffers, prio %d)"
-          bt.Mapping.bt_id plan.hidden_cycles plan.bt_time plan.extra_buffers
-          plan.dma_priority);
+    (* One event per block transfer: the TE decision and everything
+       that shaped it, the per-BT attribution the analytic report
+       aggregates away. *)
+    Telemetry.instant telemetry ~cat:"te" "te.plan"
+      ~args:(fun () ->
+        [ ("bt", Telemetry.Str bt.Mapping.bt_id);
+          ("bt_time", Telemetry.Int plan.bt_time);
+          ("sort_factor", Telemetry.Float plan.sort_factor);
+          ("freedom", Telemetry.Str (String.concat "," plan.freedom));
+          ("granted", Telemetry.Str (String.concat "," plan.extended));
+          ("extra_buffers", Telemetry.Int plan.extra_buffers);
+          ("hidden_cycles", Telemetry.Int plan.hidden_cycles);
+          ("limit", Telemetry.Str (limit_label plan.limit));
+          ("dma_priority", Telemetry.Int plan.dma_priority);
+          ("writeback", Telemetry.Bool bt.Mapping.is_writeback) ]);
     (extras, plan :: plans, priority + 1)
   in
   let _, plans, _ = List.fold_left extend ([], [], 0) ordered in
@@ -250,11 +266,7 @@ let total_hidden_cycles schedule =
     (fun acc p -> acc + (p.bt.Mapping.issues * p.hidden_cycles))
     0 schedule.plans
 
-let pp_limit ppf = function
-  | Fully_hidden -> Fmt.string ppf "fully-hidden"
-  | Size_bound -> Fmt.string ppf "size-bound"
-  | Dependency_bound -> Fmt.string ppf "dependency-bound"
-  | Not_extendable -> Fmt.string ppf "not-extendable"
+let pp_limit ppf l = Fmt.string ppf (limit_label l)
 
 let pp_plan ppf p =
   Fmt.pf ppf

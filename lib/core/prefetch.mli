@@ -57,6 +57,7 @@ val run :
   ?order:order ->
   ?policy:Mhla_lifetime.Occupancy.policy ->
   ?defer_writebacks:bool ->
+  ?telemetry:Mhla_obs.Telemetry.t ->
   Mapping.t ->
   schedule
 (** Defaults: the paper's [By_time_over_size] order, in-place sizing,
@@ -67,7 +68,10 @@ val run :
     extra iteration per granted loop) so the same compute hides it; a
     drain may not cross any other access to an overlapping region of
     the array, and drains only use the buffer slack the prefetches
-    leave behind (fetches always plan first). *)
+    leave behind (fetches always plan first). [telemetry] (default
+    noop) records a [te.run] span and one [te.plan] event per block
+    transfer carrying [bt_time], [sort_factor], the granted loops and
+    the stopping [limit]. *)
 
 val hidden_per_issue : schedule -> string -> int
 (** Lookup for {!Cost.evaluate}: hidden cycles of a BT by id, [0] for

@@ -1,0 +1,47 @@
+module Json = Mhla_util.Json
+
+let value_to_json = function
+  | Telemetry.Int n -> Json.int n
+  | Telemetry.Float f -> Json.float f
+  | Telemetry.Str s -> Json.str s
+  | Telemetry.Bool b -> Json.bool b
+
+let event_to_json (e : Telemetry.event) =
+  let args =
+    match e.Telemetry.args with
+    | [] -> []
+    | kvs ->
+      [ ( "args",
+          Json.obj (List.map (fun (k, v) -> (k, value_to_json v)) kvs) ) ]
+  in
+  (* Instants carry the "t" (thread) scope so viewers draw them on
+     their track rather than across the whole timeline. *)
+  let scope =
+    match e.Telemetry.kind with
+    | Telemetry.Instant -> [ ("s", Json.str "t") ]
+    | _ -> []
+  in
+  Json.obj
+    ([ ("name", Json.str e.Telemetry.name);
+       ( "cat",
+         Json.str (if e.Telemetry.cat = "" then "mhla" else e.Telemetry.cat)
+       );
+       ("ph", Json.str (Telemetry.kind_label e.Telemetry.kind));
+       ("ts", Json.float (float_of_int e.Telemetry.ts_ns /. 1e3));
+       ("pid", Json.int 1);
+       ("tid", Json.int e.Telemetry.tid) ]
+    @ scope @ args)
+
+let counters_json t =
+  Json.obj
+    (List.map (fun (k, v) -> (k, Json.float v)) (Telemetry.counter_values t))
+
+let to_json t =
+  Json.obj
+    [ ("traceEvents", Json.arr (List.map event_to_json (Telemetry.events t)));
+      ("displayTimeUnit", Json.str "ms");
+      ("otherData", Json.obj [ ("counters", counters_json t) ]) ]
+
+let write oc t =
+  Json.to_channel ~indent:1 oc (to_json t);
+  output_char oc '\n'

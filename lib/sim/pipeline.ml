@@ -1,3 +1,5 @@
+module Telemetry = Mhla_obs.Telemetry
+
 type params = {
   issues : int;
   transfer_cycles : int;
@@ -25,8 +27,14 @@ let validate p =
    CPU at the start of iteration [it - lookahead] (time 0 when that is
    in the past), runs on a single serial DMA channel, and must finish
    before iteration [it] begins computing. *)
-let run p =
+let run ?(telemetry = Telemetry.noop) p =
   validate p;
+  Telemetry.span telemetry ~cat:"sim" "sim.pipeline"
+    ~args:(fun () ->
+      [ ("issues", Telemetry.Int p.issues);
+        ("lookahead", Telemetry.Int p.lookahead);
+        ("channels", Telemetry.Int p.channels) ])
+  @@ fun () ->
   let completion = Array.make p.issues 0 in
   let cpu = ref 0 in
   let channel_free = Array.make p.channels 0 in
@@ -44,7 +52,13 @@ let run p =
     let start = max !cpu channel_free.(c) in
     channel_free.(c) <- start + p.transfer_cycles;
     dma_busy := !dma_busy + p.transfer_cycles;
-    completion.(j) <- channel_free.(c)
+    completion.(j) <- channel_free.(c);
+    Telemetry.instant telemetry ~cat:"sim" "dma.issue"
+      ~args:(fun () ->
+        [ ("transfer", Telemetry.Int j);
+          ("channel", Telemetry.Int c);
+          ("start", Telemetry.Int start);
+          ("finish", Telemetry.Int channel_free.(c)) ])
   in
   for it = 0 to p.issues - 1 do
     (* Transfers whose initiation point is this iteration's start:
@@ -57,9 +71,18 @@ let run p =
     else if it + p.lookahead < p.issues then issue (it + p.lookahead);
     let ready = completion.(it) in
     if ready > !cpu then begin
+      Telemetry.instant telemetry ~cat:"sim" "dma.stall"
+        ~args:(fun () ->
+          [ ("iteration", Telemetry.Int it);
+            ("cycles", Telemetry.Int (ready - !cpu)) ]);
       stalls := !stalls + (ready - !cpu);
       cpu := ready
     end;
+    Telemetry.instant telemetry ~cat:"sim" "dma.complete"
+      ~args:(fun () ->
+        [ ("transfer", Telemetry.Int it);
+          ("ready", Telemetry.Int ready);
+          ("consumed_at", Telemetry.Int !cpu) ]);
     cpu := !cpu + p.compute_cycles
   done;
   { total_cycles = !cpu; stall_cycles = !stalls; dma_busy_cycles = !dma_busy }
@@ -81,9 +104,16 @@ type fault_outcome = {
    refetch (CPU pays setup and waits out the whole transfer) instead of
    blocking forever. [deadline_patience] applies the same fallback to
    transfers that are merely late. *)
-let run_faulty f p =
+let run_faulty ?(telemetry = Telemetry.noop) f p =
   validate p;
   Faults.validate f;
+  Telemetry.span telemetry ~cat:"sim" "sim.pipeline_faulty"
+    ~args:(fun () ->
+      [ ("issues", Telemetry.Int p.issues);
+        ("lookahead", Telemetry.Int p.lookahead);
+        ("channels", Telemetry.Int p.channels);
+        ("seed", Telemetry.Str (Int64.to_string f.Faults.seed)) ])
+  @@ fun () ->
   let completion = Array.make p.issues 0 in
   let cpu = ref 0 in
   let channel_free = Array.make p.channels 0 in
@@ -116,19 +146,38 @@ let run_faulty f p =
         if attempt >= f.Faults.max_retries then max_int
         else begin
           incr retries;
+          Telemetry.instant telemetry ~cat:"sim" "dma.retry"
+            ~args:(fun () ->
+              [ ("transfer", Telemetry.Int j);
+                ("attempt", Telemetry.Int attempt);
+                ("channel", Telemetry.Int c);
+                ("failed_at", Telemetry.Int finish) ]);
           attempt_loop (attempt + 1)
             (finish + Faults.backoff_cycles f ~attempt)
         end
       end
-      else finish
+      else begin
+        Telemetry.instant telemetry ~cat:"sim" "dma.issue"
+          ~args:(fun () ->
+            [ ("transfer", Telemetry.Int j);
+              ("channel", Telemetry.Int c);
+              ("attempt", Telemetry.Int attempt);
+              ("start", Telemetry.Int start);
+              ("finish", Telemetry.Int finish) ]);
+        finish
+      end
     in
     completion.(j) <- attempt_loop 0 !cpu
   in
   (* Synchronous refetch: the CPU reprograms the engine and sits out
      the whole nominal transfer. The wait is a stall; the reissued
      burst is real bus traffic. *)
-  let fallback () =
+  let fallback ~it ~reason =
     incr fallbacks;
+    Telemetry.instant telemetry ~cat:"sim" "dma.fallback"
+      ~args:(fun () ->
+        [ ("iteration", Telemetry.Int it);
+          ("reason", Telemetry.Str reason) ]);
     cpu := !cpu + p.setup_cycles;
     stalls := !stalls + p.transfer_cycles;
     cpu := !cpu + p.transfer_cycles;
@@ -141,12 +190,16 @@ let run_faulty f p =
       done
     else if it + p.lookahead < p.issues then issue (it + p.lookahead);
     let ready = completion.(it) in
-    if ready = max_int then fallback ()
+    if ready = max_int then fallback ~it ~reason:"retries-exhausted"
     else begin
       match f.Faults.deadline_patience with
-      | Some d when ready - !cpu > d -> fallback ()
+      | Some d when ready - !cpu > d -> fallback ~it ~reason:"deadline"
       | _ ->
         if ready > !cpu then begin
+          Telemetry.instant telemetry ~cat:"sim" "dma.stall"
+            ~args:(fun () ->
+              [ ("iteration", Telemetry.Int it);
+                ("cycles", Telemetry.Int (ready - !cpu)) ]);
           stalls := !stalls + (ready - !cpu);
           cpu := ready
         end

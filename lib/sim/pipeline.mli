@@ -25,8 +25,12 @@ type outcome = {
   dma_busy_cycles : int;
 }
 
-val run : params -> outcome
-(** @raise Mhla_util.Error.Error on negative parameters or [issues <= 0]. *)
+val run : ?telemetry:Mhla_obs.Telemetry.t -> params -> outcome
+(** [telemetry] (default noop) records a [sim.pipeline] span and one
+    [dma.issue] / [dma.complete] event per transfer plus a [dma.stall]
+    event per stalled iteration, all carrying simulated-cycle
+    timestamps in their args; it never changes the outcome.
+    @raise Mhla_util.Error.Error on negative parameters or [issues <= 0]. *)
 
 type fault_outcome = {
   fault_result : outcome;  (** cycles as measured under faults *)
@@ -39,7 +43,8 @@ type fault_outcome = {
   jitter_total_cycles : int;  (** extra latency injected across attempts *)
 }
 
-val run_faulty : Faults.t -> params -> fault_outcome
+val run_faulty :
+  ?telemetry:Mhla_obs.Telemetry.t -> Faults.t -> params -> fault_outcome
 (** [run] with every DMA attempt filtered through the fault model:
     latency jitter stretches attempts, failed attempts occupy their
     channel then retry after capped exponential backoff, and outage
@@ -48,6 +53,10 @@ val run_faulty : Faults.t -> params -> fault_outcome
     to a synchronous refetch (setup + full transfer, all stall)
     instead of diverging. Deterministic in the fault seed.
     Under {!Faults.none} this is exactly {!run}, cycle for cycle.
+    [telemetry] records a [sim.pipeline_faulty] span and, on top of the
+    fault-free event stream, one [dma.retry] event per re-issued
+    attempt and one [dma.fallback] event (with its reason) per degraded
+    iteration.
     @raise Mhla_util.Error.Error on invalid [params] or fault model. *)
 
 val pp_fault_outcome : fault_outcome Fmt.t

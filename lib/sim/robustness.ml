@@ -2,6 +2,7 @@ module Error = Mhla_util.Error
 module Json = Mhla_util.Json
 module Stats = Mhla_util.Stats
 module Table = Mhla_util.Table
+module Telemetry = Mhla_obs.Telemetry
 
 type plan_robustness = {
   check_id : string;
@@ -35,11 +36,29 @@ let trial_faults (f : Faults.t) ~trial =
           (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int trial));
     }
 
-let plan_of_check trials faults (c : Crosscheck.bt_check) =
+let plan_of_check telemetry trials faults (c : Crosscheck.bt_check) =
+  Telemetry.span telemetry ~cat:"sim" "robustness.stream"
+    ~args:(fun () ->
+      [ ("transfer", Telemetry.Str c.Crosscheck.check_id);
+        ("trials", Telemetry.Int trials) ])
+  @@ fun () ->
   let stalls =
+    (* Per-transfer events over [trials * issues] attempts would swamp
+       a trace: the trials run silent and each contributes one summary
+       event instead. *)
     List.init trials (fun trial ->
         let f = trial_faults faults ~trial in
-        Pipeline.run_faulty f c.Crosscheck.params)
+        let t = Pipeline.run_faulty f c.Crosscheck.params in
+        Telemetry.instant telemetry ~cat:"sim" "robustness.trial"
+          ~args:(fun () ->
+            [ ("transfer", Telemetry.Str c.Crosscheck.check_id);
+              ("trial", Telemetry.Int trial);
+              ("stall_cycles",
+               Telemetry.Int t.Pipeline.fault_result.Pipeline.stall_cycles);
+              ("retries", Telemetry.Int t.Pipeline.retries);
+              ("fallbacks", Telemetry.Int t.Pipeline.fallbacks);
+              ("failed_attempts", Telemetry.Int t.Pipeline.failed_attempts) ]);
+        t)
   in
   let stall_of (t : Pipeline.fault_outcome) =
     t.Pipeline.fault_result.Pipeline.stall_cycles
@@ -71,13 +90,18 @@ let plan_of_check trials faults (c : Crosscheck.bt_check) =
     total_failed_attempts = sum (fun t -> t.Pipeline.failed_attempts);
   }
 
-let analyze ?(trials = 16) ~faults m schedule =
+let analyze ?(trials = 16) ?(telemetry = Telemetry.noop) ~faults m schedule =
   if trials < 1 then
     Error.invalidf ~context:"Robustness.analyze"
       "trials must be >= 1 (got %d)" trials;
   Faults.validate faults;
+  Telemetry.span telemetry ~cat:"sim" "robustness.analyze"
+    ~args:(fun () ->
+      [ ("trials", Telemetry.Int trials);
+        ("seed", Telemetry.Str (Int64.to_string faults.Faults.seed)) ])
+  @@ fun () ->
   let checks = (Crosscheck.crosscheck m schedule).Crosscheck.checks in
-  let plans = List.map (plan_of_check trials faults) checks in
+  let plans = List.map (plan_of_check telemetry trials faults) checks in
   {
     faults;
     trials;

@@ -41,6 +41,7 @@ val trial_faults : Faults.t -> trial:int -> Faults.t
 
 val analyze :
   ?trials:int ->
+  ?telemetry:Mhla_obs.Telemetry.t ->
   faults:Faults.t ->
   Mhla_core.Mapping.t ->
   Mhla_core.Prefetch.schedule ->
@@ -48,6 +49,12 @@ val analyze :
 (** One entry per TE plan with at least one issue (the same streams
     {!Crosscheck.crosscheck} validates), each run [trials] times
     (default 16) under the reseeded fault model.
+
+    [telemetry] (default noop) records a [robustness.analyze] span, one
+    [robustness.stream] span per transfer and one [robustness.trial]
+    summary event per trial (stall, retries, fallbacks). The trials
+    themselves run with telemetry off — per-attempt events over
+    [trials * issues] attempts would swamp a trace.
     @raise Mhla_util.Error.Error if [trials < 1] or the fault model is
     invalid. *)
 

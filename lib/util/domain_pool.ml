@@ -1,35 +1,58 @@
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let map ?jobs f xs =
+let map_with ?jobs ~init ?(around = fun _ k -> k ()) ~finish f xs =
   let n = List.length xs in
   let jobs =
     match jobs with
     | Some j -> max 1 j
     | None -> recommended_jobs ()
   in
-  let jobs = min jobs n in
-  if jobs <= 1 then List.map f xs
+  let jobs = min jobs (max n 1) in
+  if jobs <= 1 then begin
+    let ctx = init 0 in
+    let out = ref [] in
+    around ctx (fun () -> out := List.map (f ctx) xs);
+    finish [ ctx ];
+    !out
+  end
   else begin
     let input = Array.of_list xs in
     let out = Array.make n None in
     let cursor = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          (* Distinct indices: no two domains ever write the same slot. *)
-          (out.(i) <- (try Some (Ok (f input.(i))) with e -> Some (Error e)));
-          go ()
-        end
-      in
-      go ()
+    (* Contexts are created in the parent, in worker order, before any
+       domain spawns — deterministic however the items land. *)
+    let ctxs = Array.init jobs init in
+    let worker i () =
+      around ctxs.(i) (fun () ->
+          let rec go () =
+            let k = Atomic.fetch_and_add cursor 1 in
+            if k < n then begin
+              (* Distinct indices: no two domains ever write the same
+                 slot. *)
+              (out.(k) <-
+                (try Some (Ok (f ctxs.(i) input.(k)))
+                 with e -> Some (Error e)));
+              go ()
+            end
+          in
+          go ())
     in
-    let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let spawned = List.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    worker 0 ();
     List.iter Domain.join spawned;
+    (* Merge worker contexts before any failure re-raises, so e.g.
+       telemetry collected up to the failure is not lost. *)
+    finish (Array.to_list ctxs);
     Array.to_list out
     |> List.map (function
          | Some (Ok v) -> v
          | Some (Error e) -> raise e
          | None -> assert false (* the cursor covered every index *))
   end
+
+let map ?jobs f xs =
+  map_with ?jobs
+    ~init:(fun _ -> ())
+    ~finish:(fun _ -> ())
+    (fun () x -> f x)
+    xs

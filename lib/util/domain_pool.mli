@@ -11,6 +11,32 @@ val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the number of workers that
     saturates the hardware without oversubscribing it. Always >= 1. *)
 
+val map_with :
+  ?jobs:int ->
+  init:(int -> 'c) ->
+  ?around:('c -> (unit -> unit) -> unit) ->
+  finish:('c list -> unit) ->
+  ('c -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** {!map} with a per-worker context threaded through, the hook the
+    telemetry layer uses to give every domain its own child sink:
+
+    - [init i] builds worker [i]'s context — called {e in the parent},
+      in worker order, before any domain spawns;
+    - [around ctx k] wraps worker [i]'s whole drain loop [k], {e inside
+      its domain} (default: just run [k]) — e.g. a per-worker span;
+    - [f ctx x] maps one item using the worker's context;
+    - [finish ctxs] runs in the parent after all workers joined, with
+      the contexts in worker order — e.g. a deterministic merge. It
+      runs before any task failure is re-raised, so context state
+      gathered up to a failure survives.
+
+    Contexts must not be shared across workers; everything else is as
+    {!map} (ordering, dynamic balancing, earliest-failure re-raise).
+    With one worker the call degrades to [List.map (f (init 0))]
+    wrapped in [around]/[finish] — no domain is spawned. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs] using at most
     [jobs] domains (default {!recommended_jobs}; values < 1 are clamped

@@ -24,66 +24,76 @@ let bool b = Bool b
 
 let null = Null
 
-let escape buf s =
-  Buffer.add_char buf '"';
+(* Emission is written against an output sink (a char writer and a
+   string writer) so [to_string] and the streaming [to_channel] share
+   one renderer and cannot drift. *)
+let escape ~char ~string s =
+  char '"';
   String.iter
     (fun c ->
       match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
+      | '"' -> string "\\\""
+      | '\\' -> string "\\\\"
+      | '\n' -> string "\\n"
+      | '\r' -> string "\\r"
+      | '\t' -> string "\\t"
       | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
+        string (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> char c)
     s;
-  Buffer.add_char buf '"'
+  char '"'
 
-let to_string ?(indent = 0) t =
-  let buf = Buffer.create 1024 in
+let emit_to ~char ~string ~indent t =
+  let escape = escape ~char ~string in
   let pretty = indent > 0 in
   let pad level =
     if pretty then begin
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf (String.make (level * indent) ' ')
+      char '\n';
+      string (String.make (level * indent) ' ')
     end
   in
   let rec emit level = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (string_of_bool b)
-    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Null -> string "null"
+    | Bool b -> string (string_of_bool b)
+    | Int n -> string (string_of_int n)
     | Float f ->
       (* Shortest representation that round-trips. *)
       let s = Printf.sprintf "%.17g" f in
       let shorter = Printf.sprintf "%.12g" f in
-      Buffer.add_string buf
-        (if float_of_string shorter = f then shorter else s)
-    | Str s -> escape buf s
-    | Arr [] -> Buffer.add_string buf "[]"
+      string (if float_of_string shorter = f then shorter else s)
+    | Str s -> escape s
+    | Arr [] -> string "[]"
     | Arr items ->
-      Buffer.add_char buf '[';
+      char '[';
       List.iteri
         (fun k item ->
-          if k > 0 then Buffer.add_char buf ',';
+          if k > 0 then char ',';
           pad (level + 1);
           emit (level + 1) item)
         items;
       pad level;
-      Buffer.add_char buf ']'
-    | Obj [] -> Buffer.add_string buf "{}"
+      char ']'
+    | Obj [] -> string "{}"
     | Obj fields ->
-      Buffer.add_char buf '{';
+      char '{';
       List.iteri
         (fun k (name, value) ->
-          if k > 0 then Buffer.add_char buf ',';
+          if k > 0 then char ',';
           pad (level + 1);
-          escape buf name;
-          Buffer.add_string buf (if pretty then ": " else ":");
+          escape name;
+          string (if pretty then ": " else ":");
           emit (level + 1) value)
         fields;
       pad level;
-      Buffer.add_char buf '}'
+      char '}'
   in
-  emit 0 t;
+  emit 0 t
+
+let to_string ?(indent = 0) t =
+  let buf = Buffer.create 1024 in
+  emit_to ~char:(Buffer.add_char buf) ~string:(Buffer.add_string buf) ~indent
+    t;
   Buffer.contents buf
+
+let to_channel ?(indent = 0) oc t =
+  emit_to ~char:(output_char oc) ~string:(output_string oc) ~indent t

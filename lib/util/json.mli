@@ -25,3 +25,9 @@ val null : t
 val to_string : ?indent:int -> t -> string
 (** Render; [indent] > 0 pretty-prints with that many spaces per level
     (default 0 = compact). *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+(** Stream the same rendering as {!to_string} directly to a channel,
+    without materialising the whole document in memory — the path large
+    sweep reports and traces take. Byte-identical to writing
+    [to_string ?indent t]. *)

@@ -36,7 +36,27 @@ if [ "$rc" -ne 2 ]; then
   exit 1
 fi
 
-echo "== bench smoke (EXT-ENGINE) =="
-dune exec -- bench/main.exe EXT-ENGINE >/dev/null
+echo "== trace smoke =="
+trace=/tmp/mhla_ci_trace.json
+dune exec -- bin/mhla_cli.exe run motion_estimation --trace "$trace" \
+  >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$trace" >/dev/null || {
+    echo "trace is not well-formed JSON" >&2
+    exit 1
+  }
+else
+  echo "   (python3 not installed: skipping JSON validation)"
+fi
+for key in '"traceEvents"' '"ph"' '"displayTimeUnit"' '"otherData"'; do
+  grep -q "$key" "$trace" || {
+    echo "trace is missing required key $key" >&2
+    exit 1
+  }
+done
+rm -f "$trace"
+
+echo "== bench smoke (EXT-ENGINE, EXT-TRACE) =="
+dune exec -- bench/main.exe EXT-ENGINE EXT-TRACE >/dev/null
 
 echo "CI OK"
