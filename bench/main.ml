@@ -5,7 +5,7 @@
    Usage: dune exec bench/main.exe [-- SECTION ...]
    Sections: FIG2 FIG3 TAB1 EXT-PARETO EXT-ORDER EXT-INPLACE EXT-GREEDY
    EXT-XVAL EXT-MODE EXT-CACHE EXT-3LEVEL EXT-MULTITASK EXT-TILE
-   EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT EXT-TRACE MICRO
+   EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT EXT-TRACE EXT-CHECK MICRO
    (default: all). *)
 
 module Apps = Mhla_apps.Registry
@@ -843,6 +843,59 @@ let ext_trace () =
     [ "motion_estimation"; "mp3_filterbank"; "voice_compression" ];
   Table.print table
 
+let ext_check () =
+  section "EXT-CHECK"
+    "Static verifier cost: one full pass-suite run (bounds, dma-race,\n\
+     capacity, lints) over each application's solved mapping and TE\n\
+     schedule, timed over a 0.25 s window per pass. The verifier\n\
+     re-derives subscript ranges, freedom loops and layer peaks from\n\
+     the IR, so its cost scales with program size, not solver effort.";
+  let module Pass = Mhla_analysis.Pass in
+  let module Verify = Mhla_analysis.Verify in
+  let us_over seconds f =
+    let t0 = Unix.gettimeofday () in
+    let rounds = ref 0 in
+    while Unix.gettimeofday () -. t0 < seconds do
+      f ();
+      incr rounds
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    1e6 *. elapsed /. float_of_int !rounds
+  in
+  let table =
+    Table.create
+      ~columns:
+        (("application", Table.Left)
+         :: List.map (fun n -> (n ^ " us", Table.Right)) Verify.pass_names
+        @ [ ("suite us", Table.Right);
+            ("errors", Table.Right);
+            ("warnings", Table.Right) ])
+  in
+  List.iter
+    (fun (name, (r : Explore.result)) ->
+      let subject =
+        Pass.of_mapping ~schedule:r.Explore.te r.Explore.assign.Assign.mapping
+      in
+      let per_pass =
+        List.map
+          (fun pass ->
+            Table.cell_float ~decimals:1
+              (us_over 0.25 (fun () ->
+                   ignore (Verify.run ~only:[ pass ] subject : Verify.report))))
+          Verify.pass_names
+      in
+      let suite =
+        us_over 0.25 (fun () -> ignore (Verify.run subject : Verify.report))
+      in
+      let report = Verify.run subject in
+      Table.add_row table
+        (name :: per_pass
+        @ [ Table.cell_float ~decimals:1 suite;
+            Table.cell_int (List.length (Verify.errors report));
+            Table.cell_int (List.length (Verify.warnings report)) ]))
+    (Lazy.force default_results);
+  Table.print table
+
 let sections =
   [ ("FIG2", fig2);
     ("FIG3", fig3);
@@ -862,6 +915,7 @@ let sections =
     ("EXT-WB", ext_wb);
     ("EXT-FAULT", ext_fault);
     ("EXT-TRACE", ext_trace);
+    ("EXT-CHECK", ext_check);
     ("MICRO", micro) ]
 
 let () =

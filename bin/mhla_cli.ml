@@ -8,12 +8,16 @@
      sweep APP [--min/--max]   trade-off exploration over on-chip sizes
      figures                   regenerate the paper's Figures 2 and 3
      robustness APP [--seed]   fault-injected TE stall inflation (EXT-FAULT)
+     check APP [--Werror] ...  static verification of the solver output
 
-   Exit codes: 0 success, 2 invalid input, 3 unsupported request,
-   4 capacity exceeded, 70 internal error (see Mhla_util.Error). *)
+   Exit codes: 0 success, 1 check found errors, 2 invalid input,
+   3 unsupported request, 4 capacity exceeded, 70 internal error (see
+   Mhla_util.Error). *)
 
 module Apps = Mhla_apps.Registry
 module Assign = Mhla_core.Assign
+module Check = Mhla_analysis.Verify
+module Check_pass = Mhla_analysis.Pass
 module Cost = Mhla_core.Cost
 module Error = Mhla_util.Error
 module Explore = Mhla_core.Explore
@@ -426,6 +430,180 @@ let robustness_cmd =
       $ seed_arg $ trials_arg $ jitter_arg $ failure_arg $ retries_arg
       $ patience_arg $ json_arg $ verbosity_term $ trace_arg)
 
+(* --- check ------------------------------------------------------------- *)
+
+(* Seeded corruptions for the self-test gate: each breaks exactly the
+   invariant one verifier pass re-derives, so that pass must catch it.
+   CI uses these to prove the checkers are live, not vacuous. *)
+type mutation = No_mutation | Mutate_bounds | Mutate_te | Mutate_capacity
+
+let mutation_conv =
+  Arg.enum
+    [ ("none", No_mutation); ("bounds", Mutate_bounds); ("te", Mutate_te);
+      ("capacity", Mutate_capacity) ]
+
+(* Push one subscript past its declared extent: the first access's
+   first subscript [e] becomes [e + dim0], so its maximum lands at or
+   beyond the bound (MHLA001). *)
+let mutate_bounds (program : Mhla_ir.Program.t) =
+  let module P = Mhla_ir.Program in
+  let corrupted = ref false in
+  let corrupt_access (a : Mhla_ir.Access.t) =
+    if !corrupted then a
+    else begin
+      corrupted := true;
+      let decl =
+        match P.find_array program a.Mhla_ir.Access.array with
+        | Some d -> d
+        | None -> assert false (* the program validated *)
+      in
+      let index =
+        match a.Mhla_ir.Access.index with
+        | e :: rest ->
+          Mhla_ir.Affine.offset (List.hd decl.Mhla_ir.Array_decl.dims) e
+          :: rest
+        | [] -> []
+      in
+      Mhla_ir.Access.make ~array:a.Mhla_ir.Access.array
+        ~direction:a.Mhla_ir.Access.direction ~index
+    end
+  in
+  let corrupt_stmt (s : Mhla_ir.Stmt.t) =
+    Mhla_ir.Stmt.make ~name:s.Mhla_ir.Stmt.name
+      ~work_cycles:s.Mhla_ir.Stmt.work_cycles
+      ~accesses:(List.map corrupt_access s.Mhla_ir.Stmt.accesses)
+  in
+  let rec corrupt_node = function
+    | P.Stmt s -> P.Stmt (corrupt_stmt s)
+    | P.Loop l -> P.Loop { l with P.body = List.map corrupt_node l.P.body }
+  in
+  let body = List.map corrupt_node program.P.body in
+  if not !corrupted then
+    Error.invalidf ~context:"mhla check"
+      "--mutate bounds: %s has no array accesses" program.P.name;
+  P.make_exn ~name:(program.P.name ^ "+oob") ~arrays:program.P.arrays ~body
+
+(* Extend the highest-priority plan one loop past its recomputed
+   freedom — the dependency-crossing prefetch MHLA101 exists to catch.
+   Buffers are provisioned to match the bogus grant so the race is the
+   defect, not the buffer count. *)
+let mutate_te (m : Mhla_core.Mapping.t) (schedule : Prefetch.schedule) =
+  match schedule.Prefetch.plans with
+  | [] ->
+    Error.invalidf ~context:"mhla check"
+      ~hint:"pick an application whose TE step plans block transfers"
+      "--mutate te: the schedule has no plans to corrupt"
+  | plan :: rest ->
+    let freedom = Mhla_analysis.Dma_race.freedom_of_plan m plan in
+    let enclosing =
+      let stmt =
+        plan.Prefetch.bt.Mhla_core.Mapping.bt_candidate
+          .Mhla_reuse.Candidate.stmt
+      in
+      match Mhla_ir.Program.find_context m.Mhla_core.Mapping.program ~stmt with
+      | Some ctx -> List.rev_map fst ctx.Mhla_ir.Program.loops
+      | None -> []
+    in
+    let bogus =
+      match List.find_opt (fun it -> not (List.mem it freedom)) enclosing with
+      | Some it -> it
+      | None -> "__phantom"
+    in
+    let extended = freedom @ [ bogus ] in
+    let plan =
+      { plan with Prefetch.extended; extra_buffers = List.length extended }
+    in
+    { schedule with Prefetch.plans = plan :: rest }
+
+(* Swap in a hierarchy one byte smaller than the recomputed peak while
+   keeping every placement: the capacity pass must flag the layer
+   (MHLA201). *)
+let mutate_capacity (m : Mhla_core.Mapping.t) schedule policy =
+  let peaks = Mhla_analysis.Capacity.recomputed_peaks ~schedule ~policy m in
+  let peak = List.fold_left (fun acc (_, p) -> max acc p) 0 peaks in
+  if peak <= 1 then
+    Error.invalidf ~context:"mhla check"
+      ~hint:"pick an application that places copies on-chip"
+      "--mutate capacity: nothing lives on-chip (peak %dB)" peak;
+  let hierarchy =
+    Mhla_arch.Presets.two_level
+      ~dma:(Mhla_arch.Hierarchy.has_dma m.Mhla_core.Mapping.hierarchy)
+      ~onchip_bytes:(peak - 1) ()
+  in
+  Mhla_core.Mapping.with_hierarchy m hierarchy
+
+let check_cmd =
+  let run name onchip dma objective mode search json werror only skip mutate
+      verbosity trace =
+    guarded @@ fun () ->
+    let app = find_app name in
+    validate_onchip onchip;
+    let program = Lazy.force app.Mhla_apps.Defs.program in
+    let hierarchy = hierarchy_of app ~onchip ~dma in
+    let config = config_of objective mode in
+    let policy = config.Assign.policy in
+    let report =
+      with_telemetry ~trace ~verbosity @@ fun telemetry ->
+      let result = Explore.run ~config ~search ~telemetry program hierarchy in
+      let mapping = result.Explore.assign.Assign.mapping in
+      let te = result.Explore.te in
+      let subject =
+        match mutate with
+        | No_mutation -> Check_pass.of_mapping ~schedule:te ~policy mapping
+        | Mutate_bounds -> Check_pass.subject ~policy (mutate_bounds program)
+        | Mutate_te ->
+          Check_pass.of_mapping ~schedule:(mutate_te mapping te) ~policy
+            mapping
+        | Mutate_capacity ->
+          Check_pass.of_mapping ~schedule:te ~policy
+            (mutate_capacity mapping te policy)
+      in
+      let only = match only with [] -> None | l -> Some l in
+      let skip = match skip with [] -> None | l -> Some l in
+      let report = Check.run ?only ?skip ~telemetry subject in
+      if werror then Check.promote_warnings report else report
+    in
+    if json then
+      print_endline
+        (Mhla_util.Json.to_string ~indent:2 (Check.report_to_json report))
+    else if verbosity <> Quiet then Fmt.pr "%a@." Check.pp_report report;
+    if not (Check.ok report) then exit 1
+  in
+  let werror_arg =
+    Arg.(value & flag
+         & info [ "Werror" ]
+             ~doc:"Treat Warning diagnostics as Errors (fail the run).")
+  in
+  let pass_arg =
+    Arg.(value & opt_all string []
+         & info [ "pass" ] ~docv:"NAME"
+             ~doc:"Run only the named pass (repeatable): bounds, dma-race, \
+                   capacity or lints. Default: all.")
+  in
+  let skip_arg =
+    Arg.(value & opt_all string []
+         & info [ "skip" ] ~docv:"NAME"
+             ~doc:"Skip the named pass (repeatable).")
+  in
+  let mutate_arg =
+    Arg.(value & opt mutation_conv No_mutation
+         & info [ "mutate" ] ~docv:"KIND"
+             ~doc:"Self-test: corrupt the solver output before checking \
+                   (bounds, te or capacity) — the run must then exit 1. \
+                   Default: none.")
+  in
+  let doc =
+    "Statically verify a solved application: re-derive subscript bounds, \
+     DMA-race freedom and layer occupancy from the program alone and \
+     check the solver's mapping and TE schedule against them; also lint \
+     the program. Exits 1 on any Error diagnostic."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
+      $ search_arg $ json_arg $ werror_arg $ pass_arg $ skip_arg $ mutate_arg
+      $ verbosity_term $ trace_arg)
+
 let () =
   let doc =
     "memory hierarchy layer assignment and prefetching (MHLA with Time \
@@ -436,4 +614,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; figures_cmd;
-            robustness_cmd ]))
+            robustness_cmd; check_cmd ]))

@@ -1,0 +1,79 @@
+module Affine = Mhla_ir.Affine
+module Array_decl = Mhla_ir.Array_decl
+module Program = Mhla_ir.Program
+
+let name = "bounds"
+
+let diag ~code ?loc fmt =
+  Diagnostic.makef ~code ~severity:Diagnostic.Error ~pass:name ?loc fmt
+
+let check_access program (ctx : Program.context) k (a : Mhla_ir.Access.t) =
+  let stmt = ctx.Program.stmt.Mhla_ir.Stmt.name in
+  let loc ?dim () =
+    Diagnostic.location ~array:a.Mhla_ir.Access.array ~stmt ~access_index:k
+      ?dim ()
+  in
+  match Program.find_array program a.Mhla_ir.Access.array with
+  | None ->
+    [ diag ~code:"MHLA003" ~loc:(loc ()) "access names an undeclared array" ]
+  | Some decl ->
+    let dims = decl.Array_decl.dims in
+    if List.length a.Mhla_ir.Access.index <> List.length dims then
+      [
+        diag ~code:"MHLA003" ~loc:(loc ())
+          "access has %d subscripts, array has rank %d"
+          (List.length a.Mhla_ir.Access.index)
+          (List.length dims);
+      ]
+    else begin
+      (* An iterator outside the enclosing loops would be a validation
+         failure upstream; range it over a single point here so the
+         checker stays total. *)
+      let trip iter =
+        match List.assoc_opt iter ctx.Program.loops with
+        | Some t -> t
+        | None -> 1
+      in
+      let check_dim d (e, extent) =
+        let lo = Affine.min_value e ~trip in
+        let hi = Affine.max_value e ~trip in
+        let out_high =
+          if hi >= extent then
+            Some
+              (diag ~code:"MHLA001" ~loc:(loc ~dim:d ())
+                 "subscript sweeps [%d, %d] but the dimension extent is %d"
+                 lo hi extent)
+          else None
+        in
+        let out_low =
+          if lo < 0 then
+            Some
+              (diag ~code:"MHLA002" ~loc:(loc ~dim:d ())
+                 "subscript sweeps [%d, %d], below the array" lo hi)
+          else None
+        in
+        List.filter_map Fun.id [ out_high; out_low ]
+      in
+      List.concat
+        (List.mapi check_dim (List.combine a.Mhla_ir.Access.index dims))
+    end
+
+let run (s : Pass.subject) =
+  Program.fold_stmts s.Pass.program ~init:[] ~f:(fun acc ctx ->
+      let here =
+        List.concat
+          (List.mapi
+             (check_access s.Pass.program ctx)
+             ctx.Program.stmt.Mhla_ir.Stmt.accesses)
+      in
+      acc @ here)
+
+let pass =
+  {
+    Pass.name;
+    description =
+      "every affine subscript's value range over the full loop domains \
+       stays within the declared dimension extents";
+    codes = [ "MHLA001"; "MHLA002"; "MHLA003" ];
+    run;
+  }

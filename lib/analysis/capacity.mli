@@ -1,0 +1,27 @@
+(** Layer-capacity checker.
+
+    Recomputes every on-chip layer's peak occupancy from first
+    principles: a fresh program timeline
+    ({!Mhla_lifetime.Schedule.of_program}), the lifetime interval and
+    buffer size of every placed copy (shared buffers appear once, over
+    the hull of their sharers' lifetimes) and of every promoted array,
+    {e plus} the extra double buffers every granted Time-Extension loop
+    keeps alive — then folds them through
+    {!Mhla_lifetime.Occupancy.peak_bytes} under the subject's sizing
+    policy and flags any layer whose peak exceeds its capacity: the
+    user constraint both solver steps promised to respect.
+
+    Needs the mapping; the schedule is optional (no TE buffers without
+    it).
+
+    Code: [MHLA201]. *)
+
+val pass : Pass.t
+
+val recomputed_peaks :
+  ?schedule:Mhla_core.Prefetch.schedule ->
+  policy:Mhla_lifetime.Occupancy.policy ->
+  Mhla_core.Mapping.t ->
+  (int * int) list
+(** [(level, peak_bytes)] for every on-chip level — exposed for tests
+    and the bench. *)

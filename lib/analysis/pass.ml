@@ -1,0 +1,20 @@
+type subject = {
+  program : Mhla_ir.Program.t;
+  mapping : Mhla_core.Mapping.t option;
+  schedule : Mhla_core.Prefetch.schedule option;
+  policy : Mhla_lifetime.Occupancy.policy;
+}
+
+let subject ?mapping ?schedule ?(policy = Mhla_lifetime.Occupancy.In_place)
+    program =
+  { program; mapping; schedule; policy }
+
+let of_mapping ?schedule ?policy (m : Mhla_core.Mapping.t) =
+  subject ~mapping:m ?schedule ?policy m.Mhla_core.Mapping.program
+
+type t = {
+  name : string;
+  description : string;
+  codes : string list;
+  run : subject -> Diagnostic.t list;
+}

@@ -1,0 +1,46 @@
+(** Pass registry and check driver.
+
+    Runs the registered checker passes over a {!Pass.subject} and
+    collects their diagnostics into a {!report}. Passes can be enabled
+    ([?only]) or disabled ([?skip]) by name; every pass runs inside a
+    telemetry span and bumps the [analysis.diagnostics] counter with
+    what it found, so a traced [mhla check] shows where verification
+    time goes. *)
+
+val passes : Pass.t list
+(** The registry, in execution order: [bounds], [dma-race], [capacity],
+    [lints]. *)
+
+val pass_names : string list
+
+type report = {
+  subject : string;  (** the program's name *)
+  diagnostics : Diagnostic.t list;  (** in pass, then emission order *)
+  passes_run : string list;
+}
+
+val run :
+  ?only:string list ->
+  ?skip:string list ->
+  ?telemetry:Mhla_obs.Telemetry.t ->
+  Pass.subject ->
+  report
+(** [only] (default: all) restricts the registry to the named passes,
+    [skip] then removes names; execution order is always registry
+    order.
+    @raise Mhla_util.Error.Error for a name not in the registry. *)
+
+val promote_warnings : report -> report
+(** The [--Werror] promotion applied to every diagnostic. *)
+
+val errors : report -> Diagnostic.t list
+
+val warnings : report -> Diagnostic.t list
+
+val ok : report -> bool
+(** No [Error]-severity diagnostics. *)
+
+val pp_report : report Fmt.t
+(** One line per diagnostic followed by a summary line. *)
+
+val report_to_json : report -> Mhla_util.Json.t

@@ -52,16 +52,22 @@ let extent e ~trip ~free =
   in
   String_map.fold widen e.coeffs 0
 
+let checked_trip ~context trip name =
+  let n = trip name in
+  if n <= 0 then
+    Mhla_util.Error.invalidf ~context "iterator %s has trip %d" name n;
+  n
+
 let min_value e ~trip =
   let lower name c acc =
-    let n = trip name in
+    let n = checked_trip ~context:"Affine.min_value" trip name in
     if c < 0 then acc + (c * (n - 1)) else acc
   in
   String_map.fold lower e.coeffs e.const
 
 let max_value e ~trip =
   let upper name c acc =
-    let n = trip name in
+    let n = checked_trip ~context:"Affine.max_value" trip name in
     if c > 0 then acc + (c * (n - 1)) else acc
   in
   String_map.fold upper e.coeffs e.const
@@ -75,9 +81,21 @@ let subst ~iter ~replacement e =
   end
 
 let rename f e =
-  String_map.fold
-    (fun name c acc -> add acc (var ~coeff:c (f name)))
-    e.coeffs (const e.const)
+  let add_renamed name c (sources, coeffs) =
+    let name' = f name in
+    (match String_map.find_opt name' sources with
+    | Some other ->
+      Mhla_util.Error.invalidf ~context:"Affine.rename"
+        ~hint:"use distinct target names for every iterator"
+        "mapping is not injective: %s and %s both rename to %s" other name
+        name'
+    | None -> ());
+    (String_map.add name' name sources, String_map.add name' c coeffs)
+  in
+  let _, coeffs =
+    String_map.fold add_renamed e.coeffs (String_map.empty, String_map.empty)
+  in
+  { e with coeffs }
 
 let equal a b = a.const = b.const && String_map.equal ( = ) a.coeffs b.coeffs
 

@@ -44,10 +44,12 @@ val extent : t -> trip:(string -> int) -> free:(string -> bool) -> int
     @raise Mhla_util.Error.Error if a free iterator has [trip i <= 0]. *)
 
 val min_value : t -> trip:(string -> int) -> int
-(** Smallest value when {e all} iterators sweep their full range. *)
+(** Smallest value when {e all} iterators sweep their full range.
+    @raise Mhla_util.Error.Error if any iterator has [trip i <= 0]. *)
 
 val max_value : t -> trip:(string -> int) -> int
-(** Largest value when {e all} iterators sweep their full range. *)
+(** Largest value when {e all} iterators sweep their full range.
+    @raise Mhla_util.Error.Error if any iterator has [trip i <= 0]. *)
 
 val subst : iter:string -> replacement:t -> t -> t
 (** Replace one iterator by an affine expression: the subscript-rewrite
@@ -55,7 +57,9 @@ val subst : iter:string -> replacement:t -> t -> t
 
 val rename : (string -> string) -> t -> t
 (** Rename every iterator. The mapping must be injective on the
-    expression's iterators (colliding names would merge coefficients). *)
+    expression's iterators (colliding names would merge coefficients).
+    @raise Mhla_util.Error.Error when two iterators rename to the same
+    target. *)
 
 val equal : t -> t -> bool
 

@@ -73,10 +73,22 @@ let check_engine ?(objective = Cost.Energy_delay) (m : Mapping.t) =
     engine_consistent = !consistent;
   }
 
+type analysis_check = {
+  analysis_errors : Mhla_analysis.Diagnostic.t list;
+  analysis_clean : bool;
+}
+
+let check_analysis ?policy (m : Mapping.t) schedule =
+  let subject = Mhla_analysis.Pass.of_mapping ~schedule ?policy m in
+  let report = Mhla_analysis.Verify.run subject in
+  let analysis_errors = Mhla_analysis.Verify.errors report in
+  { analysis_errors; analysis_clean = analysis_errors = [] }
+
 type report = {
   checks : bt_check list;
   disagreements : bt_check list;
   engine : engine_check;
+  analysis : analysis_check;
 }
 
 let check_of_plan (m : Mapping.t) (plan : Prefetch.plan) =
@@ -132,6 +144,7 @@ let crosscheck ?objective m (schedule : Prefetch.schedule) =
     checks;
     disagreements = List.filter (fun c -> not (agrees c)) checks;
     engine = check_engine ?objective m;
+    analysis = check_analysis m schedule;
   }
 
 let pp_check ppf c =

@@ -45,10 +45,28 @@ val check_engine :
     disagreement in {!crosscheck}'s report alongside the zero-fault
     check. *)
 
+type analysis_check = {
+  analysis_errors : Mhla_analysis.Diagnostic.t list;
+      (** [Error]-severity diagnostics from the full static-verifier
+          pass suite (warnings and infos are not collected here) *)
+  analysis_clean : bool;  (** [analysis_errors = []] *)
+}
+
+val check_analysis :
+  ?policy:Mhla_lifetime.Occupancy.policy ->
+  Mhla_core.Mapping.t ->
+  Mhla_core.Prefetch.schedule ->
+  analysis_check
+(** Run every {!Mhla_analysis.Verify} pass over the solved mapping and
+    its TE schedule. A fuzz-generated solver output that fails to
+    verify clean is a solver bug — the static verifier doubles as a
+    bug detector for {!Mhla_core.Assign} and {!Mhla_core.Prefetch}. *)
+
 type report = {
   checks : bt_check list;
   disagreements : bt_check list;
   engine : engine_check;  (** incremental-vs-oracle cost drift *)
+  analysis : analysis_check;  (** static verifier on the same outputs *)
 }
 
 val crosscheck :
@@ -57,6 +75,7 @@ val crosscheck :
   Mhla_core.Prefetch.schedule ->
   report
 (** One check per TE plan with at least one issue, plus
-    {!check_engine} on the mapping. *)
+    {!check_engine} on the mapping and {!check_analysis} on the
+    mapping/schedule pair. *)
 
 val pp_check : bt_check Fmt.t

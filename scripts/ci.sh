@@ -36,6 +36,36 @@ if [ "$rc" -ne 2 ]; then
   exit 1
 fi
 
+echo "== check gate =="
+# The static verifier must accept every bundled application...
+for app in $(dune exec -- bin/mhla_cli.exe list 2>/dev/null \
+    | tail -n +3 | awk '{print $1}'); do
+  dune exec -- bin/mhla_cli.exe check "$app" -q || {
+    echo "mhla check $app reported errors" >&2
+    exit 1
+  }
+done
+# ...emit well-formed JSON...
+if command -v python3 >/dev/null 2>&1; then
+  dune exec -- bin/mhla_cli.exe check motion_estimation --json \
+    | python3 -m json.tool >/dev/null || {
+    echo "mhla check --json is not well-formed JSON" >&2
+    exit 1
+  }
+else
+  echo "   (python3 not installed: skipping JSON validation)"
+fi
+# ...and catch a seeded corruption: a TE extension pushed across a data
+# dependency must fail the gate with exit 1 (a silent checker is worse
+# than none).
+rc=0
+dune exec -- bin/mhla_cli.exe check motion_estimation --mutate te -q \
+  >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "expected exit 1 for the seeded TE race, got $rc" >&2
+  exit 1
+fi
+
 echo "== trace smoke =="
 trace=/tmp/mhla_ci_trace.json
 dune exec -- bin/mhla_cli.exe run motion_estimation --trace "$trace" \
@@ -56,7 +86,7 @@ for key in '"traceEvents"' '"ph"' '"displayTimeUnit"' '"otherData"'; do
 done
 rm -f "$trace"
 
-echo "== bench smoke (EXT-ENGINE, EXT-TRACE) =="
-dune exec -- bench/main.exe EXT-ENGINE EXT-TRACE >/dev/null
+echo "== bench smoke (EXT-ENGINE, EXT-TRACE, EXT-CHECK) =="
+dune exec -- bench/main.exe EXT-ENGINE EXT-TRACE EXT-CHECK >/dev/null
 
 echo "CI OK"

@@ -1,0 +1,413 @@
+(* Tests for the static verifier (EXT-CHECK): the diagnostics model,
+   each checker pass against seeded defects with exact expected codes,
+   and the verifier-accepts-solver property over the whole registry.
+
+   The mutation tests are the teeth: every invariant a pass re-derives
+   is broken on purpose in an otherwise-valid solver output, and the
+   pass must name the defect by its catalogued code. A checker that
+   stays silent on its own seeded defect is vacuous. *)
+
+let invalid ?hint context message =
+  Mhla_util.Error.(Error (make ?hint Invalid_input ~context message))
+
+let internal context message =
+  Mhla_util.Error.(Error (make Internal ~context message))
+
+module Apps = Mhla_apps.Registry
+module Assign = Mhla_core.Assign
+module Build = Mhla_ir.Build
+module Capacity = Mhla_analysis.Capacity
+module Defs = Mhla_apps.Defs
+module Diagnostic = Mhla_analysis.Diagnostic
+module Dma_race = Mhla_analysis.Dma_race
+module Explore = Mhla_core.Explore
+module Mapping = Mhla_core.Mapping
+module Pass = Mhla_analysis.Pass
+module Prefetch = Mhla_core.Prefetch
+module Presets = Mhla_arch.Presets
+module Verify = Mhla_analysis.Verify
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let code_of (d : Diagnostic.t) = d.Diagnostic.code
+
+let codes (r : Verify.report) = List.map code_of r.Verify.diagnostics
+
+let has_code c r = List.mem c (codes r)
+
+let error_codes r = List.map code_of (Verify.errors r)
+
+(* Solve one registry application end to end (both steps). *)
+let solved ?(search = Explore.Greedy) name =
+  let app = Apps.find_exn name in
+  let r =
+    Explore.run ~search
+      (Lazy.force app.Defs.program)
+      (Presets.two_level ~onchip_bytes:app.Defs.onchip_bytes ())
+  in
+  (r.Explore.assign.Assign.mapping, r.Explore.te)
+
+(* --- diagnostics model ------------------------------------------------- *)
+
+let test_catalogue () =
+  let cs = List.map (fun (c, _, _) -> c) Diagnostic.catalogue in
+  Alcotest.(check (list string))
+    "catalogue sorted and duplicate-free"
+    (List.sort_uniq String.compare cs)
+    cs;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " catalogued") true (List.mem c cs))
+    [ "MHLA001"; "MHLA002"; "MHLA003"; "MHLA101"; "MHLA102"; "MHLA103";
+      "MHLA104"; "MHLA201"; "MHLA301"; "MHLA302"; "MHLA303"; "MHLA304";
+      "MHLA305"; "MHLA306" ];
+  (* Every pass declares only catalogued codes, and every catalogued
+     code has exactly one owning pass — the catalogue is authoritative
+     both ways. *)
+  let declared =
+    List.concat_map (fun (p : Pass.t) -> p.Pass.codes) Verify.passes
+  in
+  Alcotest.(check (list string))
+    "every code owned by exactly one pass"
+    cs
+    (List.sort String.compare declared)
+
+let test_make_rejects_unknown_code () =
+  Alcotest.check_raises "uncatalogued code"
+    (internal "Diagnostic.make" "code MHLA999 is not in the catalogue")
+    (fun () ->
+      ignore
+        (Diagnostic.make ~code:"MHLA999" ~severity:Diagnostic.Error
+           ~pass:"bounds" "nope"))
+
+let test_severity_order () =
+  let open Diagnostic in
+  Alcotest.(check bool) "error > warning" true
+    (compare_severity Error Warning > 0);
+  Alcotest.(check bool) "warning > info" true
+    (compare_severity Warning Info > 0);
+  Alcotest.(check string) "labels" "error,warning,info"
+    (String.concat "," (List.map severity_label [ Error; Warning; Info ]))
+
+let test_promote_warnings () =
+  let d =
+    Diagnostic.make ~code:"MHLA301" ~severity:Diagnostic.Warning ~pass:"lints"
+      "dead"
+  in
+  let p = Diagnostic.promote_warnings d in
+  Alcotest.(check bool) "warning promoted" true (Diagnostic.is_error p);
+  let i =
+    Diagnostic.make ~code:"MHLA303" ~severity:Diagnostic.Info ~pass:"lints"
+      "unused"
+  in
+  Alcotest.(check bool) "info untouched" false
+    (Diagnostic.is_error (Diagnostic.promote_warnings i))
+
+let test_diagnostic_json () =
+  let d =
+    Diagnostic.make ~code:"MHLA001" ~severity:Diagnostic.Error ~pass:"bounds"
+      ~loc:(Diagnostic.location ~array:"a" ~dim:0 ())
+      "out of bounds"
+  in
+  let s = Mhla_util.Json.to_string (Diagnostic.to_json d) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " serialised") true (contains ~needle s))
+    [ "MHLA001"; "error"; "bounds"; "out of bounds" ]
+
+(* --- bounds ------------------------------------------------------------ *)
+
+let oob_high_program () =
+  let open Build in
+  program "oob_high"
+    ~arrays:[ array "a" [ 8 ] ]
+    [ loop "i" 8 [ stmt "s" [ rd "a" [ i "i" +$ c 8 ] ] ] ]
+
+let oob_low_program () =
+  let open Build in
+  program "oob_low"
+    ~arrays:[ array "a" [ 8 ] ]
+    [ loop "i" 8 [ stmt "s" [ rd "a" [ i "i" -$ c 1 ] ] ] ]
+
+let test_bounds_detects_overflow () =
+  let r = Verify.run ~only:[ "bounds" ] (Pass.subject (oob_high_program ())) in
+  Alcotest.(check (list string)) "MHLA001 fired" [ "MHLA001" ] (codes r);
+  let d = List.hd r.Verify.diagnostics in
+  Alcotest.(check bool) "error severity" true (Diagnostic.is_error d);
+  Alcotest.(check (option string)) "array located" (Some "a")
+    d.Diagnostic.loc.Diagnostic.array;
+  Alcotest.(check (option int)) "dimension located" (Some 0)
+    d.Diagnostic.loc.Diagnostic.dim
+
+let test_bounds_detects_underflow () =
+  let r = Verify.run ~only:[ "bounds" ] (Pass.subject (oob_low_program ())) in
+  Alcotest.(check (list string)) "MHLA002 fired" [ "MHLA002" ] (codes r)
+
+let test_bounds_accepts_in_range () =
+  let open Build in
+  let p =
+    program "inrange"
+      ~arrays:[ array "a" [ 8 ] ]
+      [ loop "i" 8 [ stmt "s" [ rd "a" [ i "i" ] ] ] ]
+  in
+  let r = Verify.run ~only:[ "bounds" ] (Pass.subject p) in
+  Alcotest.(check (list string)) "silent on valid program" [] (codes r)
+
+(* --- dma-race ---------------------------------------------------------- *)
+
+(* A plan with at least one granted extension loop, from any registry
+   application: the corruption targets below need real structure. *)
+let extended_plan () =
+  let pick name =
+    let m, te = solved name in
+    match
+      List.find_opt
+        (fun (p : Prefetch.plan) -> p.Prefetch.extended <> [])
+        te.Prefetch.plans
+    with
+    | Some p -> Some (m, te, p)
+    | None -> None
+  in
+  match List.find_map pick Apps.names with
+  | Some x -> x
+  | None -> Alcotest.fail "no registry app grants any TE extension"
+
+let with_plan (te : Prefetch.schedule) plan =
+  {
+    te with
+    Prefetch.plans =
+      List.map
+        (fun (p : Prefetch.plan) ->
+          if p.Prefetch.bt.Mapping.bt_id = plan.Prefetch.bt.Mapping.bt_id
+          then plan
+          else p)
+        te.Prefetch.plans;
+  }
+
+let verify_schedule m te = Verify.run ~only:[ "dma-race" ] (Pass.of_mapping ~schedule:te m)
+
+let test_race_accepts_solver_schedule () =
+  let m, te, _ = extended_plan () in
+  Alcotest.(check (list string)) "solver schedule races nothing" []
+    (codes (verify_schedule m te))
+
+let test_race_detects_dependency_crossing () =
+  let m, te, plan = extended_plan () in
+  let freedom = Dma_race.freedom_of_plan m plan in
+  let extended = freedom @ [ "__phantom" ] in
+  let bad =
+    { plan with Prefetch.extended; extra_buffers = List.length extended }
+  in
+  let r = verify_schedule m (with_plan te bad) in
+  Alcotest.(check (list string)) "MHLA101 fired" [ "MHLA101" ] (error_codes r)
+
+let test_race_detects_buffer_shortfall () =
+  let m, te, plan = extended_plan () in
+  let bad =
+    { plan with Prefetch.extra_buffers = List.length plan.Prefetch.extended - 1 }
+  in
+  let r = verify_schedule m (with_plan te bad) in
+  Alcotest.(check bool) "MHLA102 fired" true (has_code "MHLA102" r)
+
+let test_race_detects_overclaimed_hiding () =
+  let m, te, plan = extended_plan () in
+  let bad = { plan with Prefetch.hidden_cycles = 1_000_000_000 } in
+  let r = verify_schedule m (with_plan te bad) in
+  Alcotest.(check bool) "MHLA103 fired" true (has_code "MHLA103" r)
+
+let test_race_detects_ineligible_plan () =
+  let m, te, plan = extended_plan () in
+  let bad =
+    { plan with Prefetch.bt = { plan.Prefetch.bt with Mapping.src_layer = 0 } }
+  in
+  let r = verify_schedule m (with_plan te bad) in
+  Alcotest.(check bool) "MHLA104 fired" true (has_code "MHLA104" r)
+
+let test_freedom_matches_solver () =
+  (* The verifier's independent freedom recomputation must agree with
+     the solver's own bookkeeping on every plan of every application —
+     the strongest evidence the re-derivation mirrors the real
+     dependence structure rather than approximating it. *)
+  List.iter
+    (fun name ->
+      let m, te = solved name in
+      List.iter
+        (fun (p : Prefetch.plan) ->
+          Alcotest.(check (list string))
+            (name ^ "/" ^ p.Prefetch.bt.Mapping.bt_id ^ ": freedom agrees")
+            p.Prefetch.freedom
+            (Dma_race.freedom_of_plan m p))
+        te.Prefetch.plans)
+    Apps.names
+
+(* --- capacity ---------------------------------------------------------- *)
+
+let test_capacity_accepts_solver_mapping () =
+  let m, te = solved "motion_estimation" in
+  let r = Verify.run ~only:[ "capacity" ] (Pass.of_mapping ~schedule:te m) in
+  Alcotest.(check (list string)) "solver mapping fits" [] (codes r)
+
+let test_capacity_detects_overflow () =
+  let m, te = solved "motion_estimation" in
+  let peaks =
+    Capacity.recomputed_peaks ~schedule:te
+      ~policy:Mhla_lifetime.Occupancy.In_place m
+  in
+  let peak = List.fold_left (fun acc (_, p) -> max acc p) 0 peaks in
+  Alcotest.(check bool) "something lives on-chip" true (peak > 1);
+  let tight =
+    Mapping.with_hierarchy m (Presets.two_level ~onchip_bytes:(peak - 1) ())
+  in
+  let r =
+    Verify.run ~only:[ "capacity" ] (Pass.of_mapping ~schedule:te tight)
+  in
+  Alcotest.(check (list string)) "MHLA201 fired" [ "MHLA201" ] (codes r);
+  let d = List.hd r.Verify.diagnostics in
+  Alcotest.(check (option int)) "layer located" (Some 0)
+    d.Diagnostic.loc.Diagnostic.layer
+
+(* --- lints ------------------------------------------------------------- *)
+
+let test_lints () =
+  let open Build in
+  let p =
+    program "linty"
+      ~arrays:
+        [ array "dead" [ 4 ]; array "wo" [ 4 ]; array "src" [ 4 ] ]
+      [ loop "once" 1
+          [ loop "u" 4
+              [ loop "i" 4
+                  [ stmt "s" [ rd "src" [ i "i" ]; wr "wo" [ i "i" ] ] ] ] ] ]
+  in
+  let r = Verify.run ~only:[ "lints" ] (Pass.subject p) in
+  Alcotest.(check bool) "lints are never errors" true (Verify.ok r);
+  List.iter
+    (fun c -> Alcotest.(check bool) (c ^ " fired") true (has_code c r))
+    [ "MHLA301" (* dead *); "MHLA302" (* wo *); "MHLA303" (* u unused *);
+      "MHLA304" (* once: trip 1 *) ]
+
+(* --- driver ------------------------------------------------------------ *)
+
+let test_only_and_skip () =
+  let p = oob_high_program () in
+  let r = Verify.run ~only:[ "bounds" ] (Pass.subject p) in
+  Alcotest.(check (list string)) "only bounds ran" [ "bounds" ]
+    r.Verify.passes_run;
+  let r = Verify.run ~skip:[ "lints"; "bounds" ] (Pass.subject p) in
+  Alcotest.(check (list string)) "skip removes passes"
+    [ "dma-race"; "capacity" ] r.Verify.passes_run;
+  Alcotest.(check bool) "skipping bounds hides the defect" true
+    (Verify.ok r);
+  Alcotest.check_raises "unknown pass name"
+    (invalid ~hint:"passes: bounds, dma-race, capacity, lints" "Verify.run"
+       "unknown pass \"typo\" in skip")
+    (fun () -> ignore (Verify.run ~skip:[ "typo" ] (Pass.subject p)))
+
+let test_werror_promotion () =
+  let m, te = solved "motion_estimation" in
+  let r = Verify.run (Pass.of_mapping ~schedule:te m) in
+  Alcotest.(check bool) "clean before promotion" true (Verify.ok r);
+  Alcotest.(check bool) "has warnings to promote" true
+    (Verify.warnings r <> []);
+  let promoted = Verify.promote_warnings r in
+  Alcotest.(check bool) "promotion fails the report" false
+    (Verify.ok promoted)
+
+let test_report_json_and_pp () =
+  let m, te = solved "motion_estimation" in
+  let r = Verify.run (Pass.of_mapping ~schedule:te m) in
+  let s = Mhla_util.Json.to_string (Verify.report_to_json r) in
+  Alcotest.(check bool) "json mentions the subject" true
+    (contains ~needle:"motion_estimation" s);
+  let text = Fmt.str "%a" Verify.pp_report r in
+  Alcotest.(check bool) "summary says OK" true (contains ~needle:"OK" text)
+
+(* --- verifier accepts the solver (whole registry) ---------------------- *)
+
+let searches =
+  [ ("greedy", Explore.Greedy);
+    ("anneal", Explore.Annealing { seed = 7L; iterations = 800 }) ]
+
+let test_verifier_accepts_solver () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (sname, search) ->
+          let m, te = solved ~search name in
+          let with_te = Verify.run (Pass.of_mapping ~schedule:te m) in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/%s with TE: no errors" name sname)
+            [] (error_codes with_te);
+          let without = Verify.run (Pass.of_mapping m) in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/%s without TE: no errors" name sname)
+            [] (error_codes without))
+        searches)
+    Apps.names
+
+let test_crosscheck_hook () =
+  let m, te = solved "cavity_detector" in
+  let check = Mhla_sim.Crosscheck.check_analysis m te in
+  Alcotest.(check bool) "solver output verifies clean" true
+    check.Mhla_sim.Crosscheck.analysis_clean;
+  let report = Mhla_sim.Crosscheck.crosscheck m te in
+  Alcotest.(check bool) "crosscheck carries the analysis verdict" true
+    report.Mhla_sim.Crosscheck.analysis.Mhla_sim.Crosscheck.analysis_clean
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "catalogue" `Quick test_catalogue;
+          Alcotest.test_case "unknown code rejected" `Quick
+            test_make_rejects_unknown_code;
+          Alcotest.test_case "severity order" `Quick test_severity_order;
+          Alcotest.test_case "promote warnings" `Quick test_promote_warnings;
+          Alcotest.test_case "json" `Quick test_diagnostic_json;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "overflow" `Quick test_bounds_detects_overflow;
+          Alcotest.test_case "underflow" `Quick test_bounds_detects_underflow;
+          Alcotest.test_case "in range" `Quick test_bounds_accepts_in_range;
+        ] );
+      ( "dma-race",
+        [
+          Alcotest.test_case "accepts solver" `Quick
+            test_race_accepts_solver_schedule;
+          Alcotest.test_case "dependency crossing" `Quick
+            test_race_detects_dependency_crossing;
+          Alcotest.test_case "buffer shortfall" `Quick
+            test_race_detects_buffer_shortfall;
+          Alcotest.test_case "overclaimed hiding" `Quick
+            test_race_detects_overclaimed_hiding;
+          Alcotest.test_case "ineligible plan" `Quick
+            test_race_detects_ineligible_plan;
+          Alcotest.test_case "freedom matches solver" `Quick
+            test_freedom_matches_solver;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "accepts solver" `Quick
+            test_capacity_accepts_solver_mapping;
+          Alcotest.test_case "overflow" `Quick test_capacity_detects_overflow;
+        ] );
+      ("lints", [ Alcotest.test_case "program lints" `Quick test_lints ]);
+      ( "driver",
+        [
+          Alcotest.test_case "only / skip" `Quick test_only_and_skip;
+          Alcotest.test_case "Werror" `Quick test_werror_promotion;
+          Alcotest.test_case "report json / pp" `Quick
+            test_report_json_and_pp;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "verifier accepts solver" `Slow
+            test_verifier_accepts_solver;
+          Alcotest.test_case "crosscheck hook" `Quick test_crosscheck_hook;
+        ] );
+    ]

@@ -289,7 +289,9 @@ let prop_crosscheck_agrees =
           in
           report.Mhla_sim.Crosscheck.disagreements = []
           && report.Mhla_sim.Crosscheck.engine
-               .Mhla_sim.Crosscheck.engine_consistent)
+               .Mhla_sim.Crosscheck.engine_consistent
+          && report.Mhla_sim.Crosscheck.analysis
+               .Mhla_sim.Crosscheck.analysis_clean)
         p)
 
 (* The incremental engine's whole contract: probing a move returns the

@@ -63,6 +63,30 @@ let test_affine_min_max () =
   Alcotest.(check int) "min of -2i+5" (-13) (Affine.min_value e ~trip);
   Alcotest.(check int) "max of -2i+5" 5 (Affine.max_value e ~trip)
 
+let test_affine_min_max_trip_guard () =
+  (* A non-positive trip is a caller bug; min/max must refuse it with a
+     structured error instead of silently treating the range as empty. *)
+  let e = Affine.var "i" in
+  Alcotest.check_raises "min_value trip 0"
+    (invalid "Affine.min_value" "iterator i has trip 0") (fun () ->
+      ignore (Affine.min_value e ~trip:(fun _ -> 0)));
+  Alcotest.check_raises "max_value trip -3"
+    (invalid "Affine.max_value" "iterator i has trip -3") (fun () ->
+      ignore (Affine.max_value e ~trip:(fun _ -> -3)))
+
+let test_affine_rename () =
+  let e = Affine.add (Affine.var ~coeff:2 "i") (Affine.var "j") in
+  let r = Affine.rename (fun n -> n ^ "'") e in
+  Alcotest.(check (list string)) "renamed iterators" [ "i'"; "j'" ]
+    (Affine.iterators r);
+  Alcotest.(check int) "coeff follows the rename" 2 (Affine.coeff r "i'");
+  (* Colliding targets would silently merge coefficients; the mapping
+     must be rejected as non-injective instead. *)
+  Alcotest.check_raises "non-injective mapping"
+    (invalid ~hint:"use distinct target names for every iterator"
+       "Affine.rename" "mapping is not injective: i and j both rename to k")
+    (fun () -> ignore (Affine.rename (fun _ -> "k") e))
+
 let test_affine_equal_compare () =
   let a = Affine.add (Affine.var "i") (Affine.const 1) in
   let b = Affine.offset 1 (Affine.var "i") in
@@ -304,6 +328,9 @@ let () =
             test_affine_iterators_sorted;
           Alcotest.test_case "extent" `Quick test_affine_extent;
           Alcotest.test_case "min / max" `Quick test_affine_min_max;
+          Alcotest.test_case "min / max trip guard" `Quick
+            test_affine_min_max_trip_guard;
+          Alcotest.test_case "rename" `Quick test_affine_rename;
           Alcotest.test_case "equal / compare" `Quick
             test_affine_equal_compare;
           qc prop_eval_additive;
