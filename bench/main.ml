@@ -5,8 +5,8 @@
    Usage: dune exec bench/main.exe [-- SECTION ...]
    Sections: FIG2 FIG3 TAB1 EXT-PARETO EXT-ORDER EXT-INPLACE EXT-GREEDY
    EXT-XVAL EXT-MODE EXT-CACHE EXT-3LEVEL EXT-MULTITASK EXT-TILE
-   EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT EXT-TRACE EXT-CHECK MICRO
-   (default: all). *)
+   EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT EXT-TRACE EXT-CHECK EXT-GEN
+   MICRO (default: all). *)
 
 module Apps = Mhla_apps.Registry
 module Assign = Mhla_core.Assign
@@ -896,6 +896,63 @@ let ext_check () =
     (Lazy.force default_results);
   Table.print table
 
+let ext_gen () =
+  section "EXT-GEN"
+    "Seeded workload generator + differential fuzz battery (mhla fuzz):\n\
+     per difficulty profile, programs generated per second and full\n\
+     differential cases per second (solve, engine churn, pipeline\n\
+     cross-validation, verifier on greedy and annealing outputs, trace\n\
+     interpreter, fault injection). Case throughput bounds how many\n\
+     programs the CI fuzz gate can afford.";
+  let module Gen = Mhla_gen.Generate in
+  let module Oracle = Mhla_gen.Oracle in
+  let rate_over seconds f =
+    let t0 = Unix.gettimeofday () in
+    let rounds = ref 0 in
+    while Unix.gettimeofday () -. t0 < seconds do
+      f !rounds;
+      incr rounds
+    done;
+    float_of_int !rounds /. (Unix.gettimeofday () -. t0)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [ ("profile", Table.Left);
+          ("gen programs/s", Table.Right);
+          ("fuzz cases/s", Table.Right);
+          ("mean accesses", Table.Right);
+          ("mean arrays", Table.Right) ]
+  in
+  List.iter
+    (fun (name, profile) ->
+      let seed_of k = Int64.of_int (1 + k) in
+      let gen_rate =
+        rate_over 0.3 (fun k ->
+            ignore (Gen.case ~profile ~seed:(seed_of k) () : Gen.case))
+      in
+      let case_rate =
+        rate_over 0.5 (fun k ->
+            ignore
+              (Oracle.run_case ~profile ~seed:(seed_of k) ()
+                : Oracle.outcome))
+      in
+      let sample = List.init 50 (fun k -> Gen.case ~profile ~seed:(seed_of k) ()) in
+      let mean f =
+        Mhla_util.Stats.mean
+          (List.map (fun (c : Gen.case) -> float_of_int (f c.Gen.program)) sample)
+      in
+      Table.add_row table
+        [ name;
+          Table.cell_float ~decimals:0 gen_rate;
+          Table.cell_float ~decimals:0 case_rate;
+          Table.cell_float
+            (mean Mhla_ir.Program.total_access_count);
+          Table.cell_float
+            (mean (fun p -> List.length p.Mhla_ir.Program.arrays)) ])
+    (List.filter (fun (_, p) -> p <> Gen.Mixed) Gen.all_profiles);
+  Table.print table
+
 let sections =
   [ ("FIG2", fig2);
     ("FIG3", fig3);
@@ -916,6 +973,7 @@ let sections =
     ("EXT-FAULT", ext_fault);
     ("EXT-TRACE", ext_trace);
     ("EXT-CHECK", ext_check);
+    ("EXT-GEN", ext_gen);
     ("MICRO", micro) ]
 
 let () =

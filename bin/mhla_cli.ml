@@ -37,13 +37,9 @@ let guarded f =
     prerr_endline (Error.to_string e);
     exit (Error.exit_code e)
 
-let find_app name =
-  match Apps.find name with
-  | Some app -> app
-  | None ->
-    Error.invalidf ~context:"mhla"
-      ~hint:("available: " ^ String.concat ", " Apps.names)
-      "unknown application %S" name
+(* Name resolution lives in the registry (Apps.find_exn) so the CLI,
+   benchmarks and tests all report unknown names the same way. *)
+let find_app = Apps.find_exn
 
 let validate_onchip onchip =
   match onchip with
@@ -604,6 +600,136 @@ let check_cmd =
       $ search_arg $ json_arg $ werror_arg $ pass_arg $ skip_arg $ mutate_arg
       $ verbosity_term $ trace_arg)
 
+(* --- fuzz -------------------------------------------------------------- *)
+
+module Gen = Mhla_gen.Generate
+module Oracle = Mhla_gen.Oracle
+
+let fuzz_cmd =
+  let run seed count profile jobs replay mutate verbosity =
+    guarded @@ fun () ->
+    if count < 1 then
+      Error.invalidf ~context:"mhla fuzz"
+        ~hint:"pass --count a positive number of programs"
+        "count must be at least 1 (got %d)" count;
+    (match jobs with
+    | Some j when j < 1 ->
+      Error.invalidf ~context:"mhla fuzz" ~hint:"pass -j a positive worker count"
+        "jobs must be at least 1 (got %d)" j
+    | _ -> ());
+    let seeds =
+      match replay with
+      | Some s -> [ s ]
+      | None ->
+        (* Case seeds come from a root PRNG stream, so --seed N --count K
+           names the same K cases on every machine. *)
+        let rng = Mhla_util.Prng.create ~seed in
+        let rec draw k acc =
+          if k = count then List.rev acc
+          else
+            let s = Mhla_util.Prng.next_int64 rng in
+            draw (k + 1) (s :: acc)
+        in
+        draw 0 []
+    in
+    let outcomes =
+      Mhla_util.Domain_pool.map ?jobs
+        (fun case_seed -> Oracle.run_case ~mutate ~profile ~seed:case_seed ())
+        seeds
+    in
+    match
+      List.find_opt
+        (fun (o : Oracle.outcome) -> o.Oracle.failures <> [])
+        outcomes
+    with
+    | None ->
+      if verbosity <> Quiet then
+        Fmt.pr "fuzz: %d program(s) x %d checks OK (profile %s, seed %Ld)@."
+          (List.length seeds)
+          (List.length Oracle.check_names)
+          (Gen.profile_name profile) seed
+    | Some o ->
+      let failing =
+        List.sort_uniq compare
+          (List.map (fun (f : Oracle.failure) -> f.Oracle.check) o.Oracle.failures)
+      in
+      Fmt.epr "mhla fuzz: counterexample at seed %Ld (profile %s, on-chip %dB)@."
+        o.Oracle.seed
+        (Gen.profile_name o.Oracle.profile)
+        o.Oracle.onchip_bytes;
+      List.iter
+        (fun (f : Oracle.failure) ->
+          Fmt.epr "  %s: %s@." f.Oracle.check f.Oracle.detail)
+        o.Oracle.failures;
+      let shrunk =
+        Oracle.shrink_counterexample ~mutate ~profile:o.Oracle.profile ~failing
+          o.Oracle.program
+      in
+      Fmt.epr
+        "@.shrunk reproducer (%d -> %d dynamic accesses, budget %dB, paste \
+         into a test):@.%s@."
+        (Mhla_ir.Program.total_access_count o.Oracle.program)
+        (Mhla_ir.Program.total_access_count shrunk)
+        (Gen.budget_for ~profile:o.Oracle.profile shrunk)
+        (Mhla_gen.Snippet.to_build shrunk);
+      (* '=' syntax: a negative seed after a space would parse as an
+         option name. *)
+      Fmt.epr "@.replay: mhla fuzz --replay=%Ld --profile %s%s@." o.Oracle.seed
+        (Gen.profile_name o.Oracle.profile)
+        (match mutate with
+        | Oracle.No_mutation -> ""
+        | Oracle.Drift_engine -> " --mutate engine"
+        | Oracle.Drift_interp -> " --mutate interp");
+      exit 1
+  in
+  let seed_arg =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"INT64"
+             ~doc:"Root seed of the case-seed stream.")
+  in
+  let count_arg =
+    Arg.(value & opt int 50
+         & info [ "count" ] ~docv:"N" ~doc:"Programs to generate and check.")
+  in
+  let profile_arg =
+    Arg.(value & opt (enum Gen.all_profiles) Gen.Mixed
+         & info [ "profile" ] ~docv:"PROFILE"
+             ~doc:"Difficulty profile: reuse-rich, capacity-tight, te-hostile \
+                   or mixed (resolved per seed).")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains checking cases in parallel; defaults to the \
+                   machine's recommended domain count. Results are identical \
+                   for every $(docv).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some int64) None
+         & info [ "replay" ] ~docv:"SEED"
+             ~doc:"Re-run exactly one case seed (as printed by a failing run) \
+                   instead of drawing --count seeds from --seed.")
+  in
+  let mutate_arg =
+    Arg.(value & opt (enum Oracle.mutation_names) Oracle.No_mutation
+         & info [ "mutate" ] ~docv:"KIND"
+             ~doc:"Self-test: seed a deliberate drift into one differential \
+                   (engine or interp) — the run must then exit 1 with a \
+                   shrunk counterexample. Default: none.")
+  in
+  let doc =
+    "Differential fuzzing: generate seeded random in-bounds programs, solve \
+     each on a two-level DMA platform, and assert every cross-model \
+     invariant (incremental engine vs Cost.evaluate, simulated vs analytic \
+     stalls, static verifier on greedy and annealing outputs, trace \
+     interpreter vs predicted access counts, fault-injected degradation). \
+     On a failure, prints a shrunk Build-DSL reproducer and exits 1."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seed_arg $ count_arg $ profile_arg $ jobs_arg $ replay_arg
+      $ mutate_arg $ verbosity_term)
+
 let () =
   let doc =
     "memory hierarchy layer assignment and prefetching (MHLA with Time \
@@ -614,4 +740,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; figures_cmd;
-            robustness_cmd; check_cmd ]))
+            robustness_cmd; check_cmd; fuzz_cmd ]))

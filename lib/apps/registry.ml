@@ -11,14 +11,16 @@ let all =
     Voice_compression.app;
   ]
 
-let find name = List.find_opt (fun (a : Defs.t) -> a.Defs.name = name) all
+let names = List.map (fun (a : Defs.t) -> a.Defs.name) all
+
+let find_opt name = List.find_opt (fun (a : Defs.t) -> a.Defs.name = name) all
+
+let find = find_opt
 
 let find_exn name =
-  match find name with
+  match find_opt name with
   | Some app -> app
   | None ->
-    Mhla_util.Error.invalidf ~context:"Registry.find_exn"
-      ~hint:"run `mhla list` for the available names"
-      "unknown application %s" name
-
-let names = List.map (fun (a : Defs.t) -> a.Defs.name) all
+    Mhla_util.Error.invalidf ~context:"mhla"
+      ~hint:("available: " ^ String.concat ", " names)
+      "unknown application %S" name

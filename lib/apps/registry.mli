@@ -1,11 +1,44 @@
-(** The nine real-life applications of the paper's evaluation. *)
+(** The nine real-life applications of the paper's evaluation.
+
+    Every consumer (CLI, benchmarks, tests) resolves application names
+    through this module — keep the string matching here, not at call
+    sites. Each model is a loop-nest abstraction of a published
+    kernel, with trip counts and access patterns taken from the cited
+    formulation; see each module's header comment for the derivation.
+
+    Provenance, in figure order:
+    - [motion_estimation] — full-search block motion estimation, QCIF
+      frames, 16x16 macroblocks, +/-8 search range; the paper's running
+      example (video encoding).
+    - [qsdpcm] — quadtree-structured DPCM video coder, the
+      hierarchical motion-estimation front-end (video encoding).
+    - [cavity_detector] — four-pass cavity detection on 128x128
+      medical images (image processing).
+    - [wavelet_2d] — two-level 2-D discrete wavelet transform over a
+      128x128 image (image compression).
+    - [jpeg_encoder] — 8x8 block DCT, quantisation and entropy stage
+      over a 144x176 frame (image compression).
+    - [edge_detection] — Gaussian blur, Sobel gradients and threshold
+      over a 128x128 image (image processing).
+    - [adpcm_coder] — IMA-ADPCM speech coder over a sample stream
+      (audio).
+    - [mp3_filterbank] — polyphase analysis filterbank, 32 sub-bands,
+      512-tap window (audio).
+    - [voice_compression] — LPC front-end: autocorrelation plus
+      Levinson-Durbin over 160-sample frames (speech coding). *)
 
 val all : Defs.t list
 (** In the order used by the figures. *)
 
+val find_opt : string -> Defs.t option
+(** [None] for an unknown name. *)
+
 val find : string -> Defs.t option
+(** Alias of {!find_opt}. *)
 
 val find_exn : string -> Defs.t
-(** @raise Mhla_util.Error.Error for an unknown application name. *)
+(** @raise Mhla_util.Error.Error for an unknown application name,
+    with the available names in the hint (exit code 2 under the CLI's
+    error mapping). *)
 
 val names : string list

@@ -1,0 +1,137 @@
+module Cost = Mhla_core.Cost
+module Crosscheck = Mhla_sim.Crosscheck
+module Engine = Mhla_core.Engine
+module Explore = Mhla_core.Explore
+module Faults = Mhla_sim.Faults
+module Robustness = Mhla_sim.Robustness
+
+type mutation = No_mutation | Drift_engine | Drift_interp
+
+let mutation_names =
+  [ ("none", No_mutation); ("engine", Drift_engine); ("interp", Drift_interp) ]
+
+type failure = { check : string; detail : string }
+
+let check_names =
+  [
+    "engine"; "xval"; "verifier-greedy"; "verifier-anneal"; "interp"; "faults";
+  ]
+
+(* Kept low: the annealing leg runs once per fuzz case, and the CI gate
+   runs 200 cases. The point is differential coverage of the annealing
+   code path, not search quality. *)
+let anneal_iterations = 300
+
+let fault_model =
+  Faults.make
+    ~jitter:(Faults.Uniform { max_extra_cycles = 8 })
+    ~failure_permille:20 ~max_retries:3 ~deadline_patience:5_000 ~seed:0x5EEDL
+    ()
+
+let failures ?(mutate = No_mutation) ~onchip_bytes program =
+  try
+    let hierarchy = Mhla_arch.Presets.two_level ~onchip_bytes () in
+    let r = Explore.run program hierarchy in
+    let m = r.Explore.assign.Mhla_core.Assign.mapping in
+    let te = r.Explore.te in
+    let fails = ref [] in
+    let fail check detail = fails := { check; detail } :: !fails in
+    let report = Crosscheck.crosscheck m te in
+    if not report.Crosscheck.engine.Crosscheck.engine_consistent then
+      fail "engine"
+        (Fmt.str "engine %.17g <> oracle %.17g after churn"
+           report.Crosscheck.engine.Crosscheck.engine_objective
+           report.Crosscheck.engine.Crosscheck.oracle_objective);
+    (match mutate with
+    | Drift_engine ->
+      (* Seeded drift: shift the oracle by +1.0 so the differential
+         must trip — the gate's self-test, not a real invariant. *)
+      let objective = Cost.Energy_delay in
+      let engine_v = Engine.objective_value (Engine.create ~objective m) in
+      let drifted = Cost.scalar objective (Cost.evaluate m) +. 1.0 in
+      if not (Float.equal engine_v drifted) then
+        fail "engine"
+          (Fmt.str "engine %.17g <> drifted oracle %.17g (seeded +1.0 drift)"
+             engine_v drifted)
+    | No_mutation | Drift_interp -> ());
+    List.iter
+      (fun c ->
+        fail "xval" (Fmt.str "%a" Crosscheck.pp_check c))
+      report.Crosscheck.disagreements;
+    if not report.Crosscheck.analysis.Crosscheck.analysis_clean then
+      fail "verifier-greedy"
+        (Fmt.str "%a"
+           (Fmt.list ~sep:Fmt.comma Mhla_analysis.Diagnostic.pp)
+           report.Crosscheck.analysis.Crosscheck.analysis_errors);
+    let ra =
+      Explore.run
+        ~search:(Explore.Annealing { seed = 0x5EEDL; iterations = anneal_iterations })
+        program hierarchy
+    in
+    let ca =
+      Crosscheck.check_analysis ra.Explore.assign.Mhla_core.Assign.mapping
+        ra.Explore.te
+    in
+    if not ca.Crosscheck.analysis_clean then
+      fail "verifier-anneal"
+        (Fmt.str "%a"
+           (Fmt.list ~sep:Fmt.comma Mhla_analysis.Diagnostic.pp)
+           ca.Crosscheck.analysis_errors);
+    let ic = Crosscheck.check_interp m in
+    (match mutate with
+    | Drift_interp ->
+      if ic.Crosscheck.dynamic_events <> ic.Crosscheck.static_events + 1 then
+        fail "interp"
+          (Fmt.str
+             "dynamic %d <> drifted static %d (seeded +1 event drift)"
+             ic.Crosscheck.dynamic_events
+             (ic.Crosscheck.static_events + 1))
+    | No_mutation | Drift_engine ->
+      if not ic.Crosscheck.interp_consistent then
+        List.iter
+          (fun (subject, dynamic, predicted) ->
+            fail "interp"
+              (Fmt.str "%s: dynamic %d <> predicted %d" subject dynamic
+                 predicted))
+          ic.Crosscheck.interp_mismatches);
+    let rob = Robustness.analyze ~trials:4 ~faults:fault_model m te in
+    if not rob.Robustness.all_zero_fault_consistent then
+      fail "faults" "zero-fault replay drifted from the fault-free pipeline";
+    List.iter
+      (fun (p : Robustness.plan_robustness) ->
+        if p.Robustness.slack_margin_cycles < 0 then
+          fail "faults"
+            (Fmt.str "%s: fault-free stream outside the analytic envelope (%d)"
+               p.Robustness.check_id p.Robustness.slack_margin_cycles))
+      rob.Robustness.plans;
+    List.rev !fails
+  with e -> [ { check = "exception"; detail = Printexc.to_string e } ]
+
+type outcome = {
+  seed : int64;
+  profile : Generate.profile;
+  program : Mhla_ir.Program.t;
+  onchip_bytes : int;
+  failures : failure list;
+}
+
+let run_case ?knobs ?mutate ~profile ~seed () =
+  let case = Generate.case ?knobs ~profile ~seed () in
+  let fs =
+    failures ?mutate ~onchip_bytes:case.Generate.onchip_bytes
+      case.Generate.program
+  in
+  {
+    seed;
+    profile = case.Generate.resolved;
+    program = case.Generate.program;
+    onchip_bytes = case.Generate.onchip_bytes;
+    failures = fs;
+  }
+
+let shrink_counterexample ?mutate ~profile ~failing program =
+  let predicate p =
+    let fs = failures ?mutate ~onchip_bytes:(Generate.budget_for ~profile p) p in
+    List.exists (fun f -> List.mem f.check failing) fs
+  in
+  Shrink.run ~predicate program

@@ -1,0 +1,74 @@
+(** The differential check battery behind [mhla fuzz].
+
+    One fuzz case = generate a program ({!Generate.case}), solve it on
+    a two-level DMA platform under the profile's budget, then assert
+    every cross-model invariant the repository owns. A clean run
+    returns no failures; each broken invariant becomes a named
+    {!failure} that the CLI reports and shrinks. *)
+
+(** Deliberate drift injected into one side of a differential, for
+    CI's "does the gate actually fire?" self-test — the same idea as
+    [mhla check --mutate]. *)
+type mutation =
+  | No_mutation
+  | Drift_engine
+      (** compare the incremental engine against an oracle value
+          shifted by +1.0 — the ["engine"] check must fail *)
+  | Drift_interp
+      (** expect one more dynamic event than the static model predicts
+          — the ["interp"] check must fail *)
+
+val mutation_names : (string * mutation) list
+(** CLI-facing names: ["none"], ["engine"], ["interp"]. *)
+
+type failure = {
+  check : string;  (** one of {!check_names}, or ["exception"] *)
+  detail : string;
+}
+
+val check_names : string list
+(** The battery, in execution order: ["engine"] (incremental cost
+    engine bit-identical to [Cost.evaluate] through a churn round
+    trip), ["xval"] (pipeline-simulated vs analytic stalls within the
+    cold-start bound, zero-fault replay exact), ["verifier-greedy"] and
+    ["verifier-anneal"] (the static verifier accepts the greedy and
+    annealing solver outputs), ["interp"] (trace-interpreter access
+    counts match the static and reuse-analysis counts), ["faults"]
+    (fault-injected pipeline degrades without breaking the analytic
+    envelope). Any exception escaping the battery is caught and
+    reported as a single ["exception"] failure. *)
+
+val failures :
+  ?mutate:mutation -> onchip_bytes:int -> Mhla_ir.Program.t -> failure list
+(** Run the whole battery on one program under the given on-chip
+    budget. Deterministic; never raises. *)
+
+type outcome = {
+  seed : int64;
+  profile : Generate.profile;  (** resolved, never [Mixed] *)
+  program : Mhla_ir.Program.t;
+  onchip_bytes : int;
+  failures : failure list;
+}
+
+val run_case :
+  ?knobs:Generate.knobs ->
+  ?mutate:mutation ->
+  profile:Generate.profile ->
+  seed:int64 ->
+  unit ->
+  outcome
+(** {!Generate.case} followed by {!failures} under the case's budget. *)
+
+val shrink_counterexample :
+  ?mutate:mutation ->
+  profile:Generate.profile ->
+  failing:string list ->
+  Mhla_ir.Program.t ->
+  Mhla_ir.Program.t
+(** Shrink a failing program with {!Shrink.run}, keeping a candidate
+    only while at least one of the originally [failing] check names
+    still fails under {!Generate.budget_for} of [profile] — so the
+    minimum reproduces the same class of bug, not a different one.
+    Deterministic: the same outcome shrinks to the byte-identical
+    minimum. *)

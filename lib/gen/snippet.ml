@@ -1,0 +1,84 @@
+module Access = Mhla_ir.Access
+module Affine = Mhla_ir.Affine
+module Array_decl = Mhla_ir.Array_decl
+module Program = Mhla_ir.Program
+module Stmt = Mhla_ir.Stmt
+
+let affine e =
+  let its = Affine.iterators e in
+  let k = Affine.constant_part e in
+  let term name c =
+    if abs c = 1 then Printf.sprintf "i %S" name
+    else Printf.sprintf "i %S *$ %d" name (abs c)
+  in
+  let pos = List.filter (fun n -> Affine.coeff e n > 0) its in
+  let neg = List.filter (fun n -> Affine.coeff e n < 0) its in
+  let buf = Buffer.create 32 in
+  (match pos with
+  | [] -> Buffer.add_string buf (Printf.sprintf "c %d" k)
+  | first :: rest ->
+    Buffer.add_string buf (term first (Affine.coeff e first));
+    List.iter
+      (fun n -> Buffer.add_string buf (" +$ " ^ term n (Affine.coeff e n)))
+      rest;
+    if k > 0 then Buffer.add_string buf (Printf.sprintf " +$ c %d" k)
+    else if k < 0 then Buffer.add_string buf (Printf.sprintf " -$ c %d" (-k)));
+  List.iter
+    (fun n -> Buffer.add_string buf (" -$ " ^ term n (Affine.coeff e n)))
+    neg;
+  Buffer.contents buf
+
+let index exprs = "[ " ^ String.concat "; " (List.map affine exprs) ^ " ]"
+
+let access (a : Access.t) =
+  let f = match a.Access.direction with Access.Read -> "rd" | Access.Write -> "wr" in
+  Printf.sprintf "%s %S %s" f a.Access.array (index a.Access.index)
+
+let array_decl (a : Array_decl.t) =
+  let eb =
+    if a.Array_decl.element_bytes = 1 then ""
+    else Printf.sprintf "~element_bytes:%d " a.Array_decl.element_bytes
+  in
+  Printf.sprintf "array %s%S [ %s ]" eb a.Array_decl.name
+    (String.concat "; " (List.map string_of_int a.Array_decl.dims))
+
+let rec node buf ~indent n =
+  let pad = String.make indent ' ' in
+  match n with
+  | Program.Stmt s ->
+    let work =
+      if s.Stmt.work_cycles = 1 then ""
+      else Printf.sprintf " ~work:%d" s.Stmt.work_cycles
+    in
+    (match s.Stmt.accesses with
+    | [] -> Buffer.add_string buf (Printf.sprintf "%sstmt %S%s []" pad s.Stmt.name work)
+    | accs ->
+      Buffer.add_string buf (Printf.sprintf "%sstmt %S%s\n%s  [ " pad s.Stmt.name work pad);
+      Buffer.add_string buf
+        (String.concat (Printf.sprintf ";\n%s    " pad) (List.map access accs));
+      Buffer.add_string buf " ]")
+  | Program.Loop l ->
+    Buffer.add_string buf
+      (Printf.sprintf "%sloop %S %d\n" pad l.Program.iter l.Program.trip);
+    body buf ~indent:(indent + 2) l.Program.body
+
+and body buf ~indent nodes =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf (pad ^ "[\n");
+  List.iteri
+    (fun j n ->
+      if j > 0 then Buffer.add_string buf ";\n";
+      node buf ~indent:(indent + 2) n)
+    nodes;
+  Buffer.add_string buf ("\n" ^ pad ^ "]")
+
+let to_build (p : Program.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "let open Mhla_ir.Build in\n";
+  Buffer.add_string buf (Printf.sprintf "program %S\n" p.Program.name);
+  Buffer.add_string buf "  ~arrays:\n    [ ";
+  Buffer.add_string buf
+    (String.concat ";\n      " (List.map array_decl p.Program.arrays));
+  Buffer.add_string buf " ]\n";
+  body buf ~indent:2 p.Program.body;
+  Buffer.contents buf

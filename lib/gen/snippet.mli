@@ -1,0 +1,13 @@
+(** Render a program back as {!Mhla_ir.Build} DSL source.
+
+    [mhla fuzz] prints shrunk counterexamples in this form so a failure
+    found by the generator can be pasted straight into a regression
+    test or the toplevel — no seed archaeology needed. The rendering is
+    deterministic and valid OCaml: [*$] binds tighter than [+$]/[-$]
+    (ordinary OCaml operator precedence), so subscripts never need
+    parentheses. *)
+
+val to_build : Mhla_ir.Program.t -> string
+(** A complete [let open Mhla_ir.Build in program ...] expression
+    reconstructing the program, including [~element_bytes] where it
+    differs from the default and [~work] where it differs from 1. *)

@@ -84,6 +84,70 @@ let check_analysis ?policy (m : Mapping.t) schedule =
   let analysis_errors = Mhla_analysis.Verify.errors report in
   { analysis_errors; analysis_clean = analysis_errors = [] }
 
+type interp_check = {
+  dynamic_events : int;
+  static_events : int;
+  interp_mismatches : (string * int * int) list;
+  interp_consistent : bool;
+}
+
+(* Execute the program for real and compare the event counts against
+   every level of the static model: the whole-program total, each
+   statement's [executions * accesses] and each array's
+   [total_accesses], then each reuse-analysis info's [executions] (the
+   quantity every candidate's [accesses_served] equals, i.e. the reuse
+   counts the mapping's block-transfer arithmetic is built on). *)
+let check_interp (m : Mapping.t) =
+  let program = m.Mapping.program in
+  let dynamic_events = Mhla_trace.Interp.count_events program in
+  let static_events = Mhla_ir.Program.total_access_count program in
+  let by_stmt = Mhla_trace.Interp.count_by_stmt program in
+  let by_array = Mhla_trace.Interp.count_by_array program in
+  let dyn assoc key = Option.value ~default:0 (List.assoc_opt key assoc) in
+  let mismatches = ref [] in
+  let expect subject ~dynamic ~predicted =
+    if dynamic <> predicted then
+      mismatches := (subject, dynamic, predicted) :: !mismatches
+  in
+  expect "total" ~dynamic:dynamic_events ~predicted:static_events;
+  List.iter
+    (fun (ctx : Mhla_ir.Program.context) ->
+      let s = ctx.Mhla_ir.Program.stmt in
+      expect
+        ("stmt:" ^ s.Mhla_ir.Stmt.name)
+        ~dynamic:(dyn by_stmt s.Mhla_ir.Stmt.name)
+        ~predicted:
+          (Mhla_ir.Program.executions ctx
+          * List.length s.Mhla_ir.Stmt.accesses))
+    (Mhla_ir.Program.contexts program);
+  List.iter
+    (fun array ->
+      expect ("array:" ^ array) ~dynamic:(dyn by_array array)
+        ~predicted:(Mhla_ir.Program.total_accesses program ~array))
+    (Mhla_ir.Program.array_names program);
+  List.iter
+    (fun (info : Mhla_reuse.Analysis.info) ->
+      let stmt = info.Mhla_reuse.Analysis.ref_.Mhla_reuse.Analysis.stmt in
+      let accesses =
+        match Mhla_ir.Program.find_context program ~stmt with
+        | Some ctx ->
+          List.length ctx.Mhla_ir.Program.stmt.Mhla_ir.Stmt.accesses
+        | None -> 0
+      in
+      expect
+        (Fmt.str "access:%a" Mhla_reuse.Analysis.pp_access_ref
+           info.Mhla_reuse.Analysis.ref_)
+        ~dynamic:(if accesses = 0 then 0 else dyn by_stmt stmt / accesses)
+        ~predicted:info.Mhla_reuse.Analysis.executions)
+    m.Mapping.infos;
+  let interp_mismatches = List.rev !mismatches in
+  {
+    dynamic_events;
+    static_events;
+    interp_mismatches;
+    interp_consistent = interp_mismatches = [];
+  }
+
 type report = {
   checks : bt_check list;
   disagreements : bt_check list;

@@ -1,11 +1,20 @@
-(** EXT-XVAL: event-driven validation of the analytic TE model.
+(** Differential validation of the analytic models — the battery
+    behind EXT-XVAL, the integration tests and [mhla fuzz].
 
-    For every block transfer the TE step planned, build the equivalent
-    {!Pipeline} stream and compare simulated against analytic stalls.
-    The analytic model is a steady-state approximation: it ignores the
-    pipeline cold start (the first [lookahead+1] buffers cannot be
-    hidden) and DMA channel serialisation, so per-stream agreement is
-    required only up to [cold_start_bound]. *)
+    Four independent check families, bundled by {!crosscheck}:
+    event-driven pipeline vs analytic stalls (the original EXT-XVAL
+    check), the incremental {!Mhla_core.Engine} vs from-scratch
+    [Cost.evaluate] ({!check_engine}), the trace interpreter's dynamic
+    counts vs the static ones ({!check_interp}), and analysis-level
+    invariants ({!check_analysis}).
+
+    The pipeline check: for every block transfer the TE step planned,
+    build the equivalent {!Pipeline} stream and compare simulated
+    against analytic stalls. The analytic model is a steady-state
+    approximation: it ignores the pipeline cold start (the first
+    [lookahead+1] buffers cannot be hidden) and DMA channel
+    serialisation, so per-stream agreement is required only up to
+    [cold_start_bound]. *)
 
 type bt_check = {
   check_id : string;
@@ -61,6 +70,27 @@ val check_analysis :
     its TE schedule. A fuzz-generated solver output that fails to
     verify clean is a solver bug — the static verifier doubles as a
     bug detector for {!Mhla_core.Assign} and {!Mhla_core.Prefetch}. *)
+
+type interp_check = {
+  dynamic_events : int;  (** events {!Mhla_trace.Interp.fold} produced *)
+  static_events : int;  (** {!Mhla_ir.Program.total_access_count} *)
+  interp_mismatches : (string * int * int) list;
+      (** [(subject, dynamic, predicted)] for every disagreeing count;
+          subjects are ["total"], ["stmt:NAME"], ["array:NAME"] and
+          ["access:STMT/IDX"] *)
+  interp_consistent : bool;  (** [interp_mismatches = []] *)
+}
+
+val check_interp : Mhla_core.Mapping.t -> interp_check
+(** Execute the mapping's program with the {!Mhla_trace.Interp}
+    reference interpreter and compare its event counts against the
+    static model at every granularity: the program total, each
+    statement's [executions * accesses], each array's
+    [total_accesses], and each reuse-analysis access's [executions] —
+    the per-access reuse count every candidate's [accesses_served]
+    (and hence the mapping's block-transfer arithmetic) is built on.
+    The differential fuzz gate ([mhla fuzz]) runs this on every
+    generated program. *)
 
 type report = {
   checks : bt_check list;

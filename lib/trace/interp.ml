@@ -100,6 +100,23 @@ let fold ?only_stmt (program : Mhla_ir.Program.t) ~init ~f =
 let count_events ?only_stmt program =
   fold ?only_stmt program ~init:0 ~f:(fun n _ -> n + 1)
 
+(* Grouped event counts, in first-seen order. The keys come from the
+   event stream itself, so a statement or array the execution never
+   reaches simply does not appear. *)
+let count_grouped key program =
+  let counts =
+    fold program ~init:[] ~f:(fun acc event ->
+        let k = key event in
+        match List.assoc_opt k acc with
+        | Some n -> (k, n + 1) :: List.remove_assoc k acc
+        | None -> (k, 1) :: acc)
+  in
+  List.rev counts
+
+let count_by_stmt program = count_grouped (fun e -> e.stmt) program
+
+let count_by_array program = count_grouped (fun e -> e.array) program
+
 (* Sweep the statement's own iteration space (pinning the iterators in
    [fix]) and collect the distinct addresses of one access. *)
 let touched_addresses program ~stmt ~access_index ~fix =

@@ -44,6 +44,18 @@ val fold :
 
 val count_events : ?only_stmt:string -> Mhla_ir.Program.t -> int
 
+val count_by_stmt : Mhla_ir.Program.t -> (string * int) list
+(** Dynamic access events grouped by statement name, in first-execution
+    order. A statement whose loops never reach it (impossible for valid
+    programs — trips are positive) would be absent. Each statement's
+    count is [executions * length accesses], which is what
+    {!Mhla_sim.Crosscheck.check_interp} asserts against the static
+    model. *)
+
+val count_by_array : Mhla_ir.Program.t -> (string * int) list
+(** Dynamic access events grouped by array, in first-touch order; each
+    count must equal {!Mhla_ir.Program.total_accesses} of that array. *)
+
 val touched_addresses :
   Mhla_ir.Program.t ->
   stmt:string ->

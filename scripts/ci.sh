@@ -1,6 +1,7 @@
 #!/bin/sh
 # Minimal CI gate: formatting (when ocamlformat is available), build,
-# full test suite, and a smoke run of the CLI's error paths.
+# docs, full test suite, a smoke run of the CLI's error paths, the
+# static-verifier self-test and the differential fuzz gate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,6 +18,16 @@ fi
 
 echo "== dune build =="
 dune build @all
+
+echo "== dune build @doc =="
+# @doc must always succeed; the odoc-rendered private docs only run
+# where odoc is installed (same guard pattern as ocamlformat above).
+dune build @doc
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc-private
+else
+  echo "   (odoc not installed: skipping @doc-private rendering)"
+fi
 
 echo "== dune runtest =="
 dune runtest
@@ -66,6 +77,29 @@ if [ "$rc" -ne 1 ]; then
   exit 1
 fi
 
+echo "== fuzz gate =="
+# 200 seeded random programs through the full differential battery
+# (engine, pipeline cross-validation, verifier on both search engines,
+# trace interpreter, fault injection) — deterministic in --seed.
+dune exec -- bin/mhla_cli.exe fuzz --seed 42 --count 200 --jobs 2 -q
+# The gate must be live: a seeded engine drift has to fail with exit 1
+# and print a shrunk, replayable counterexample.
+rc=0
+fuzz_out=$(dune exec -- bin/mhla_cli.exe fuzz --seed 42 --count 3 --jobs 1 \
+  --mutate engine 2>&1) || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "expected exit 1 for the seeded engine drift, got $rc" >&2
+  exit 1
+fi
+echo "$fuzz_out" | grep -q "replay: mhla fuzz --replay=" || {
+  echo "seeded engine drift did not print a replay line" >&2
+  exit 1
+}
+echo "$fuzz_out" | grep -q "shrunk reproducer" || {
+  echo "seeded engine drift did not print a shrunk reproducer" >&2
+  exit 1
+}
+
 echo "== trace smoke =="
 trace=/tmp/mhla_ci_trace.json
 dune exec -- bin/mhla_cli.exe run motion_estimation --trace "$trace" \
@@ -86,7 +120,7 @@ for key in '"traceEvents"' '"ph"' '"displayTimeUnit"' '"otherData"'; do
 done
 rm -f "$trace"
 
-echo "== bench smoke (EXT-ENGINE, EXT-TRACE, EXT-CHECK) =="
-dune exec -- bench/main.exe EXT-ENGINE EXT-TRACE EXT-CHECK >/dev/null
+echo "== bench smoke (EXT-ENGINE, EXT-TRACE, EXT-CHECK, EXT-GEN) =="
+dune exec -- bench/main.exe EXT-ENGINE EXT-TRACE EXT-CHECK EXT-GEN >/dev/null
 
 echo "CI OK"

@@ -21,11 +21,14 @@ let test_names_unique () =
 let test_registry_lookup () =
   Alcotest.(check bool) "find known" true
     (Apps.find "motion_estimation" <> None);
+  Alcotest.(check bool) "find_opt known" true
+    (Apps.find_opt "qsdpcm" <> None);
   Alcotest.(check bool) "find unknown" true (Apps.find "nope" = None);
+  Alcotest.(check bool) "find_opt unknown" true (Apps.find_opt "nope" = None);
   Alcotest.check_raises "find_exn unknown"
-    (invalid "Registry.find_exn"
-       ~hint:"run `mhla list` for the available names"
-       "unknown application nope")
+    (invalid "mhla"
+       ~hint:("available: " ^ String.concat ", " Apps.names)
+       "unknown application \"nope\"")
     (fun () -> ignore (Apps.find_exn "nope"))
 
 let test_domains_cover_the_paper () =
