@@ -6,7 +6,7 @@
    Sections: FIG2 FIG3 TAB1 EXT-PARETO EXT-ORDER EXT-INPLACE EXT-GREEDY
    EXT-XVAL EXT-MODE EXT-CACHE EXT-3LEVEL EXT-MULTITASK EXT-TILE
    EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT EXT-TRACE EXT-CHECK EXT-GEN
-   MICRO (default: all). *)
+   EXT-SERVE MICRO (default: all). *)
 
 module Apps = Mhla_apps.Registry
 module Assign = Mhla_core.Assign
@@ -953,6 +953,131 @@ let ext_gen () =
     (List.filter (fun (_, p) -> p <> Gen.Mixed) Gen.all_profiles);
   Table.print table
 
+let ext_serve () =
+  section "EXT-SERVE"
+    "Solver-service throughput (mhla batch/serve): generator-seeded\n\
+     requests through the worker pool. Worker scaling at a comfortable\n\
+     queue depth, then the queue-depth sweep at 2 workers (a depth-1\n\
+     queue serialises submission against the solve), then the shed rate\n\
+     when a daemon-postured service (Shed admission) is fed faster than\n\
+     one worker drains an undersized queue.";
+  let module Service = Mhla_service.Service in
+  let module Request = Mhla_service.Request in
+  let module Gen = Mhla_gen.Generate in
+  let lines =
+    List.init 48 (fun i ->
+        let case =
+          Gen.case ~profile:Gen.Mixed ~seed:(Int64.of_int (9000 + i)) ()
+        in
+        (* Annealing keeps each request at solver scale (a greedy solve
+           on these programs is sub-millisecond, so pool overhead would
+           dominate and hide the worker scaling). *)
+        let req =
+          Request.make
+            ~search:
+              (Mhla_core.Explore.Annealing
+                 { seed = Int64.of_int (100 + i); iterations = 2000 })
+            ~id:(Printf.sprintf "bench-%d" i)
+            ~arch:
+              (Request.Two_level
+                 { onchip_bytes = case.Gen.onchip_bytes; dma = true })
+            case.Gen.program
+        in
+        Mhla_util.Json.to_string (Request.to_json req))
+  in
+  let run_batch ~jobs ~queue_depth ~admission =
+    let service =
+      Service.create
+        ~config:
+          { Service.default_config with
+            Service.jobs; queue_depth; admission }
+        ()
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun line -> ignore (Service.submit service line : [ `Queued | `Shed ]))
+      lines;
+    ignore (Service.drain service : Mhla_service.Response.t list);
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let s = Service.summary service in
+    Service.shutdown service;
+    (elapsed, s)
+  in
+  let n = List.length lines in
+  let jobs_table =
+    Table.create
+      ~columns:
+        [ ("jobs", Table.Right);
+          ("wall (s)", Table.Right);
+          ("solves/s", Table.Right);
+          ("speedup", Table.Right);
+          ("p99 (ms)", Table.Right) ]
+  in
+  let base = ref 0. in
+  List.iter
+    (fun jobs ->
+      let elapsed, s =
+        run_batch ~jobs ~queue_depth:32 ~admission:Service.Block
+      in
+      if jobs = 1 then base := elapsed;
+      Table.add_row jobs_table
+        [ Table.cell_int jobs;
+          Table.cell_float ~decimals:3 elapsed;
+          Table.cell_float ~decimals:1 (float_of_int n /. elapsed);
+          Table.cell_float (!base /. elapsed);
+          Table.cell_float s.Service.p99_ms ])
+    [ 1; 2; 4 ];
+  Table.print jobs_table;
+  Printf.printf
+    "(recommended domains on this machine: %d; jobs beyond it buy\n\
+    \ contention, not throughput)\n"
+    (Mhla_util.Domain_pool.recommended_jobs ());
+  print_newline ();
+  let depth_table =
+    Table.create
+      ~columns:
+        [ ("queue depth", Table.Right);
+          ("wall (s)", Table.Right);
+          ("solves/s", Table.Right);
+          ("p50 (ms)", Table.Right);
+          ("p99 (ms)", Table.Right) ]
+  in
+  List.iter
+    (fun queue_depth ->
+      let elapsed, s =
+        run_batch ~jobs:2 ~queue_depth ~admission:Service.Block
+      in
+      Table.add_row depth_table
+        [ Table.cell_int queue_depth;
+          Table.cell_float ~decimals:3 elapsed;
+          Table.cell_float ~decimals:1 (float_of_int n /. elapsed);
+          Table.cell_float s.Service.p50_ms;
+          Table.cell_float s.Service.p99_ms ])
+    [ 1; 2; 8; 32 ];
+  Table.print depth_table;
+  print_newline ();
+  let shed_table =
+    Table.create
+      ~columns:
+        [ ("queue depth", Table.Right);
+          ("submitted", Table.Right);
+          ("solved ok", Table.Right);
+          ("shed", Table.Right);
+          ("shed rate", Table.Right) ]
+  in
+  List.iter
+    (fun queue_depth ->
+      let _, s = run_batch ~jobs:1 ~queue_depth ~admission:Service.Shed in
+      Table.add_row shed_table
+        [ Table.cell_int queue_depth;
+          Table.cell_int s.Service.submitted;
+          Table.cell_int s.Service.ok;
+          Table.cell_int s.Service.shed;
+          Table.cell_percent
+            (100. *. float_of_int s.Service.shed /. float_of_int n) ])
+    [ 1; 4; 16 ];
+  Table.print shed_table
+
 let sections =
   [ ("FIG2", fig2);
     ("FIG3", fig3);
@@ -974,6 +1099,7 @@ let sections =
     ("EXT-TRACE", ext_trace);
     ("EXT-CHECK", ext_check);
     ("EXT-GEN", ext_gen);
+    ("EXT-SERVE", ext_serve);
     ("MICRO", micro) ]
 
 let () =

@@ -9,10 +9,14 @@
      figures                   regenerate the paper's Figures 2 and 3
      robustness APP [--seed]   fault-injected TE stall inflation (EXT-FAULT)
      check APP [--Werror] ...  static verification of the solver output
+     fuzz [--seed] [--count]   differential fuzzing over generated programs
+     batch FILE.jsonl          solve a JSONL request file, one response each
+     serve --stdin             daemon: JSONL requests in, responses out
+     soak [--requests N]       chaos soak of the service (CI gate)
 
-   Exit codes: 0 success, 1 check found errors, 2 invalid input,
-   3 unsupported request, 4 capacity exceeded, 70 internal error (see
-   Mhla_util.Error). *)
+   Exit codes: 0 success, 1 check/soak found errors, 2 invalid input,
+   3 unsupported request, 4 capacity exceeded, 70 internal error,
+   75 deadline exceeded (see Mhla_util.Error). *)
 
 module Apps = Mhla_apps.Registry
 module Assign = Mhla_core.Assign
@@ -116,6 +120,24 @@ let search_arg =
   Arg.(
     value & opt search_conv Explore.Greedy
     & info [ "search" ] ~docv:"ENGINE" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Abandon the solve once it exceeds this wall-clock budget in \
+     milliseconds; the run then exits with code 75 (the same request may \
+     succeed with a larger budget)."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let checkpoint_of deadline_ms =
+  Option.map
+    (fun ms ->
+      Mhla_service.Deadline.checkpoint ~context:"mhla"
+        ~deadline_ns:(Mhla_service.Deadline.after_ms ms))
+    deadline_ms
 
 (* --- telemetry plumbing ------------------------------------------------ *)
 
@@ -221,16 +243,18 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let run_cmd =
-  let run name onchip dma objective mode search json verbosity trace =
+  let run name onchip dma objective mode search deadline_ms json verbosity
+      trace =
     guarded @@ fun () ->
     let app = find_app name in
     validate_onchip onchip;
     let program = Lazy.force app.Mhla_apps.Defs.program in
     let hierarchy = hierarchy_of app ~onchip ~dma in
     let config = config_of objective mode in
+    let checkpoint = checkpoint_of deadline_ms in
     let result =
       with_telemetry ~trace ~verbosity @@ fun telemetry ->
-      Explore.run ~config ~search ~telemetry program hierarchy
+      Explore.run ~config ~search ~telemetry ?checkpoint program hierarchy
     in
     if json then
       print_endline
@@ -247,7 +271,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
-      $ search_arg $ json_arg $ verbosity_term $ trace_arg)
+      $ search_arg $ deadline_arg $ json_arg $ verbosity_term $ trace_arg)
 
 let emit_cmd =
   let run name onchip dma objective mode =
@@ -271,8 +295,8 @@ let emit_cmd =
       const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg)
 
 let sweep_cmd =
-  let run name min_bytes max_bytes dma objective mode jobs json verbosity
-      trace =
+  let run name min_bytes max_bytes dma objective mode jobs deadline_ms json
+      verbosity trace =
     guarded @@ fun () ->
     let app = find_app name in
     (match jobs with
@@ -283,9 +307,10 @@ let sweep_cmd =
     let program = Lazy.force app.Mhla_apps.Defs.program in
     let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes ~max_bytes in
     let config = config_of objective mode in
+    let checkpoint = checkpoint_of deadline_ms in
     let points =
       with_telemetry ~trace ~verbosity @@ fun telemetry ->
-      Explore.sweep ~config ~dma ?jobs ~telemetry ~sizes program
+      Explore.sweep ~config ~dma ?jobs ~telemetry ?checkpoint ~sizes program
     in
     if json then
       print_endline
@@ -311,7 +336,8 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ app_arg $ min_arg $ max_arg $ dma_arg $ objective_arg
-      $ mode_arg $ jobs_arg $ json_arg $ verbosity_term $ trace_arg)
+      $ mode_arg $ jobs_arg $ deadline_arg $ json_arg $ verbosity_term
+      $ trace_arg)
 
 let figures_cmd =
   let run json =
@@ -730,6 +756,245 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ profile_arg $ jobs_arg $ replay_arg
       $ mutate_arg $ verbosity_term)
 
+(* --- service (batch / serve / soak) ------------------------------------ *)
+
+module Service = Mhla_service.Service
+module Soak = Mhla_service.Soak
+
+let service_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains solving requests in parallel.")
+
+let queue_depth_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:"Bounded job-queue capacity. Submissions beyond it block — or, \
+              under $(b,--shed), answer immediately with a structured \
+              shed/backpressure response.")
+
+let default_deadline_ms_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "default-deadline-ms" ] ~docv:"MS"
+        ~doc:"Deadline applied to requests that carry no deadline_ms of \
+              their own; measured from submission, so time spent queued \
+              counts.")
+
+let shed_arg =
+  Arg.(
+    value & flag
+    & info [ "shed" ]
+        ~doc:"When the queue is full, shed new requests with a structured \
+              backpressure response instead of blocking the reader.")
+
+let service_config ~telemetry ~jobs ~queue_depth ~default_deadline_ms ~shed =
+  if jobs < 1 then
+    Error.invalidf ~context:"mhla" ~hint:"pass -j a positive worker count"
+      "jobs must be at least 1 (got %d)" jobs;
+  if queue_depth < 1 then
+    Error.invalidf ~context:"mhla"
+      ~hint:"pass --queue-depth a positive capacity"
+      "queue depth must be at least 1 (got %d)" queue_depth;
+  {
+    Service.default_config with
+    Service.jobs;
+    queue_depth;
+    default_deadline_ms;
+    admission = (if shed then Service.Shed else Service.Block);
+    telemetry;
+  }
+
+let emit_response resp =
+  print_endline (Mhla_util.Json.to_string (Mhla_service.Response.to_json resp))
+
+(* Pump one JSONL stream through a service: submit each line, emitting
+   completed responses as they become ready (stdout stays pure JSONL,
+   in submission order), then drain the tail. *)
+let stream_requests config ic =
+  let service = Service.create ~config () in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then ignore (Service.submit service line);
+       List.iter emit_response (Service.ready service)
+     done
+   with End_of_file -> ());
+  List.iter emit_response (Service.drain service);
+  Service.shutdown service;
+  Service.summary service
+
+let report_summary ~json ~verbosity summary =
+  if json then
+    Fmt.epr "%s@."
+      (Mhla_util.Json.to_string (Service.summary_to_json summary))
+  else if verbosity <> Quiet then Fmt.epr "%a@." Service.pp_summary summary
+
+let batch_cmd =
+  let run file jobs queue_depth default_deadline_ms shed json verbosity trace
+      =
+    guarded @@ fun () ->
+    let summary =
+      with_telemetry ~trace ~verbosity @@ fun telemetry ->
+      let config =
+        service_config ~telemetry ~jobs ~queue_depth ~default_deadline_ms
+          ~shed
+      in
+      if file = "-" then stream_requests config stdin
+      else
+        let ic =
+          try open_in file
+          with Sys_error m ->
+            Error.invalidf ~context:"mhla batch"
+              ~hint:"pass a readable JSONL file or - for stdin" "%s" m
+        in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> stream_requests config ic)
+    in
+    report_summary ~json ~verbosity summary
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL request file, one request object per line ($(b,-) for \
+                stdin).")
+  in
+  let doc =
+    "Solve a batch of JSONL requests with fault isolation: exactly one \
+     structured response per line on stdout (ok, error, timeout or shed) — \
+     a malformed, oversized, crashing or deadline-blown request never takes \
+     down the batch. The summary goes to stderr."
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ file_arg $ service_jobs_arg $ queue_depth_arg
+      $ default_deadline_ms_arg $ shed_arg $ json_arg $ verbosity_term
+      $ trace_arg)
+
+let serve_cmd =
+  let run use_stdin jobs queue_depth default_deadline_ms shed json verbosity
+      trace =
+    guarded @@ fun () ->
+    if not use_stdin then
+      Error.invalidf ~context:"mhla serve"
+        ~hint:"pass --stdin (the only transport currently available)"
+        "no transport selected";
+    let summary =
+      with_telemetry ~trace ~verbosity @@ fun telemetry ->
+      let config =
+        service_config ~telemetry ~jobs ~queue_depth ~default_deadline_ms
+          ~shed
+      in
+      stream_requests config stdin
+    in
+    report_summary ~json ~verbosity summary
+  in
+  let stdin_arg =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:"Read JSONL requests from stdin until EOF, answering on \
+                stdout as solves complete.")
+  in
+  let doc =
+    "Run the solver as a long-lived JSONL daemon on stdin/stdout: same wire \
+     format and fault isolation as $(b,mhla batch), intended to sit behind \
+     a supervisor with $(b,--shed) keeping the reader responsive under \
+     load."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ stdin_arg $ service_jobs_arg $ queue_depth_arg
+      $ default_deadline_ms_arg $ shed_arg $ json_arg $ verbosity_term
+      $ trace_arg)
+
+let soak_cmd =
+  let run requests seed jobs queue_depth fault_permille malformed_permille
+      emit json verbosity =
+    guarded @@ fun () ->
+    if requests < 1 then
+      Error.invalidf ~context:"mhla soak"
+        ~hint:"pass --requests a positive count"
+        "requests must be at least 1 (got %d)" requests;
+    let permille name v =
+      if v < 0 || v > 1000 then
+        Error.invalidf ~context:"mhla soak" "%s must be in 0..1000 (got %d)"
+          name v
+    in
+    permille "--fault-permille" fault_permille;
+    permille "--malformed-permille" malformed_permille;
+    let config =
+      {
+        Soak.default_config with
+        Soak.requests;
+        seed;
+        jobs;
+        queue_depth;
+        fault_permille;
+        malformed_permille;
+      }
+    in
+    if emit then List.iter print_endline (Soak.lines config)
+    else begin
+      let outcome = Soak.run ~config () in
+      if json then
+        print_endline
+          (Mhla_util.Json.to_string ~indent:2 (Soak.to_json outcome))
+      else if verbosity <> Quiet || not (Soak.ok outcome) then
+        Fmt.pr "@[<v>%a@]@." Soak.pp outcome;
+      if not (Soak.ok outcome) then exit 1
+    end
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to drive.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"INT" ~doc:"Root seed of the chaos mix.")
+  in
+  let fault_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "fault-permille" ] ~docv:"PERMILLE"
+          ~doc:"Share of requests carrying a seeded DMA-fault robustness \
+                rider (100 = 10%).")
+  in
+  let malformed_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "malformed-permille" ] ~docv:"PERMILLE"
+          ~doc:"Share of requests submitted as malformed JSON (50 = 5%).")
+  in
+  let emit_arg =
+    Arg.(
+      value & flag
+      & info [ "emit-jsonl" ]
+          ~doc:"Print the exact JSONL request lines the soak would submit \
+                (for feeding through $(b,mhla batch)) instead of running \
+                it.")
+  in
+  let doc =
+    "Chaos-soak the solver service: drive a seeded mix of valid, hostile \
+     and broken requests (injected worker crashes, zero deadlines, \
+     malformed JSON, oversized payloads, DMA-fault riders) and check the \
+     isolation invariants — process survival, exactly one response per \
+     request, and ok responses bit-identical to direct solver runs. Exits 1 \
+     on any violation."
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      const run $ requests_arg $ seed_arg $ service_jobs_arg
+      $ queue_depth_arg $ fault_arg $ malformed_arg $ emit_arg $ json_arg
+      $ verbosity_term)
+
 let () =
   let doc =
     "memory hierarchy layer assignment and prefetching (MHLA with Time \
@@ -740,4 +1005,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; figures_cmd;
-            robustness_cmd; check_cmd; fuzz_cmd ]))
+            robustness_cmd; check_cmd; fuzz_cmd; batch_cmd; serve_cmd;
+            soak_cmd ]))

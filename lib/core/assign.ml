@@ -174,8 +174,11 @@ let improves ~current ~candidate =
    evaluation, so the two flavours take identical decisions and return
    identical mappings — the property the test suite pins down. *)
 
+let no_checkpoint () = ()
+
 let greedy ?(config = default_config) ?(oracle = false)
-    ?(telemetry = Telemetry.noop) ?reuse program hierarchy =
+    ?(telemetry = Telemetry.noop) ?reuse ?(checkpoint = no_checkpoint)
+    program hierarchy =
   Telemetry.span telemetry ~cat:"assign" "assign.greedy"
     ~args:(fun () ->
       [ ("oracle", Telemetry.Bool oracle);
@@ -210,6 +213,7 @@ let greedy ?(config = default_config) ?(oracle = false)
       Cost.scalar config.objective (Cost.evaluate m)
     in
     let rec descend m current steps =
+      checkpoint ();
       let try_move best move =
         let next = apply_move m move in
         if not (feasible config next) then best
@@ -238,6 +242,7 @@ let greedy ?(config = default_config) ?(oracle = false)
     in
     let alts = all_alternatives config start in
     let rec descend current steps =
+      checkpoint ();
       let m = Engine.mapping engine in
       let try_move best move =
         let next = apply_move m move in
@@ -269,8 +274,8 @@ let greedy ?(config = default_config) ?(oracle = false)
   end
 
 let simulated_annealing ?(config = default_config) ?(oracle = false)
-    ?(telemetry = Telemetry.noop) ?reuse ?(seed = 42L) ?(iterations = 4000)
-    program hierarchy =
+    ?(telemetry = Telemetry.noop) ?reuse ?(checkpoint = no_checkpoint)
+    ?(seed = 42L) ?(iterations = 4000) program hierarchy =
   Telemetry.span telemetry ~cat:"assign" "assign.anneal"
     ~args:(fun () ->
       [ ("oracle", Telemetry.Bool oracle);
@@ -319,6 +324,7 @@ let simulated_annealing ?(config = default_config) ?(oracle = false)
      what per-iteration [moves] would build). *)
   let alts = all_alternatives config start in
   for iter = 1 to iterations do
+    checkpoint ();
     (match moves_with ~alts config !current with
     | [] -> ()
     | all_moves ->

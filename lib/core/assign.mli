@@ -78,6 +78,7 @@ val greedy :
   ?oracle:bool ->
   ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
+  ?checkpoint:(unit -> unit) ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
   result
@@ -88,7 +89,13 @@ val greedy :
     test against. [reuse] shares a precomputed analysis/schedule (see
     {!Mapping.precompute}). [telemetry] (default noop) records an
     [assign.greedy] span, one [greedy.step] event per applied move and
-    the engine's spans/counters; it never changes the result. *)
+    the engine's spans/counters; it never changes the result.
+    [checkpoint] (default a no-op) is invoked at the top of every
+    descent round; it may raise — e.g. a deadline guard raising
+    {!Mhla_util.Error.Error} with kind [Deadline] — to abandon the
+    search without corrupting any shared state. As long as it returns
+    normally it must not observe or mutate the search, so the result
+    stays independent of how often it fires. *)
 
 val exhaustive :
   ?config:config ->
@@ -105,6 +112,7 @@ val simulated_annealing :
   ?oracle:bool ->
   ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
+  ?checkpoint:(unit -> unit) ->
   ?seed:int64 ->
   ?iterations:int ->
   Mhla_ir.Program.t ->
@@ -121,4 +129,5 @@ val simulated_annealing :
     records an [assign.anneal] span and per-iteration
     [anneal.accept]/[anneal.reject] events carrying the temperature,
     plus [anneal.best] marks on improvements — the annealing trajectory
-    as observable data. *)
+    as observable data. [checkpoint] is invoked before every iteration,
+    as in {!greedy}. *)

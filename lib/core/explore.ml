@@ -14,7 +14,7 @@ type result = {
 type search = Greedy | Annealing of { seed : int64; iterations : int }
 
 let run ?config ?order ?(search = Greedy) ?defer_writebacks
-    ?(telemetry = Telemetry.noop) ?reuse program hierarchy =
+    ?(telemetry = Telemetry.noop) ?reuse ?checkpoint program hierarchy =
   Telemetry.span telemetry ~cat:"explore" "explore.run"
     ~args:(fun () ->
       [ ("program", Telemetry.Str program.Mhla_ir.Program.name) ])
@@ -32,10 +32,11 @@ let run ?config ?order ?(search = Greedy) ?defer_writebacks
   let assign =
     stage "explore.assign" @@ fun () ->
     match search with
-    | Greedy -> Assign.greedy ?config ~telemetry ?reuse program hierarchy
+    | Greedy ->
+      Assign.greedy ?config ~telemetry ?reuse ?checkpoint program hierarchy
     | Annealing { seed; iterations } ->
-      Assign.simulated_annealing ?config ~telemetry ?reuse ~seed ~iterations
-        program hierarchy
+      Assign.simulated_annealing ?config ~telemetry ?reuse ?checkpoint ~seed
+        ~iterations program hierarchy
   in
   let te =
     stage "explore.te" @@ fun () ->
@@ -87,7 +88,7 @@ let energy_gain_percent r =
 type sweep_point = { onchip_bytes : int; point_result : result }
 
 let sweep ?config ?order ?(dma = true) ?search ?jobs
-    ?(telemetry = Telemetry.noop) ~sizes program =
+    ?(telemetry = Telemetry.noop) ?checkpoint ~sizes program =
   Telemetry.span telemetry ~cat:"sweep" "explore.sweep"
     ~args:(fun () ->
       [ ("program", Telemetry.Str program.Mhla_ir.Program.name);
@@ -108,7 +109,8 @@ let sweep ?config ?order ?(dma = true) ?search ?jobs
     {
       onchip_bytes;
       point_result =
-        run ?config ?order ?search ~telemetry:child ~reuse program hierarchy;
+        run ?config ?order ?search ~telemetry:child ?checkpoint ~reuse
+          program hierarchy;
     }
   in
   (* Each worker domain records into its own child sink (sinks are not

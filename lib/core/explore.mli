@@ -27,6 +27,7 @@ val run :
   ?defer_writebacks:bool ->
   ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
+  ?checkpoint:(unit -> unit) ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
   result
@@ -37,7 +38,9 @@ val run :
     each pipeline stage in a span ([explore.run] around
     [explore.baseline] / [explore.assign] / [explore.te] /
     [explore.evaluate]) and is passed down to {!Assign} and
-    {!Prefetch}; it never changes the result. *)
+    {!Prefetch}; it never changes the result. [checkpoint] is handed to
+    the step-1 search (see {!Assign.greedy}): a deadline guard may
+    raise from it to abandon the run between search steps. *)
 
 (** Normalised views used by the paper's figures (baseline = 1.0). *)
 
@@ -71,6 +74,7 @@ val sweep :
   ?search:search ->
   ?jobs:int ->
   ?telemetry:Mhla_obs.Telemetry.t ->
+  ?checkpoint:(unit -> unit) ->
   sizes:int list ->
   Mhla_ir.Program.t ->
   sweep_point list
@@ -87,7 +91,13 @@ val sweep :
     the on-chip size around every point, and the full per-point event
     stream inside it); the children are merged back into the parent
     deterministically in worker order after the join, so the merged
-    event multiset is identical for every [jobs] value. *)
+    event multiset is identical for every [jobs] value.
+
+    [checkpoint] is passed to every point's {!run}; it must be safe to
+    call from any worker domain (the deadline guards built on
+    {!Mhla_util.Domain_pool} only read a pre-computed deadline and the
+    clock, which is). A raise abandons that point; unstarted points are
+    then skipped at the pool's cancellation check. *)
 
 val pareto_energy : sweep_point list -> sweep_point Mhla_util.Pareto.t
 (** Frontier of (on-chip bytes, energy after step 1). *)

@@ -14,7 +14,8 @@ type failure = { check : string; detail : string }
 
 let check_names =
   [
-    "engine"; "xval"; "verifier-greedy"; "verifier-anneal"; "interp"; "faults";
+    "json"; "engine"; "xval"; "verifier-greedy"; "verifier-anneal"; "interp";
+    "faults";
   ]
 
 (* Kept low: the annealing leg runs once per fuzz case, and the CI gate
@@ -36,6 +37,19 @@ let failures ?(mutate = No_mutation) ~onchip_bytes program =
     let te = r.Explore.te in
     let fails = ref [] in
     let fail check detail = fails := { check; detail } :: !fails in
+    (* The service wire format must carry any generated program
+       unchanged: render → parse → decode → render is the identity. *)
+    (let module Codec = Mhla_ir.Json_codec in
+     let rendered = Mhla_util.Json.to_string (Codec.program_to_json program) in
+     match Mhla_util.Json.parse rendered with
+     | Error e ->
+       fail "json"
+         (Fmt.str "emitted program does not reparse: %s"
+            (Mhla_util.Json.parse_error_to_string e))
+     | Ok doc ->
+       let back = Mhla_util.Json.to_string (Codec.program_to_json (Codec.program_of_json_exn doc)) in
+       if not (String.equal rendered back) then
+         fail "json" "program changed across a wire round trip");
     let report = Crosscheck.crosscheck m te in
     if not report.Crosscheck.engine.Crosscheck.engine_consistent then
       fail "engine"

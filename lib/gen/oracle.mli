@@ -27,7 +27,9 @@ type failure = {
 }
 
 val check_names : string list
-(** The battery, in execution order: ["engine"] (incremental cost
+(** The battery, in execution order: ["json"] (the service wire
+    format's program codec is the identity across an
+    emit → parse → decode → emit round trip), ["engine"] (incremental cost
     engine bit-identical to [Cost.evaluate] through a churn round
     trip), ["xval"] (pipeline-simulated vs analytic stalls within the
     cold-start bound, zero-fault replay exact), ["verifier-greedy"] and

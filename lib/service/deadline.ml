@@ -1,0 +1,32 @@
+module Error = Mhla_util.Error
+
+(* Clamped-monotone wall clock, the same defence Telemetry's default
+   clock uses: a backwards NTP step must not make deadlines fire early
+   or elapsed times negative. *)
+let last = Atomic.make 0
+
+let now_ns () =
+  let raw = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if raw <= prev then prev
+    else if Atomic.compare_and_set last prev raw then raw
+    else clamp ()
+  in
+  clamp ()
+
+let after_ms ms =
+  if ms < 0 then
+    Error.invalidf ~context:"Deadline.after_ms"
+      ~hint:"a deadline must be a non-negative millisecond budget"
+      "negative deadline (%d ms)" ms;
+  now_ns () + (ms * 1_000_000)
+
+let expired ~deadline_ns = now_ns () > deadline_ns
+
+let checkpoint ~context ~deadline_ns () =
+  if expired ~deadline_ns then
+    Error.deadlinef ~context
+      ~hint:"raise the deadline budget or simplify the request"
+      "deadline exceeded (%d ms past due)"
+      (max 0 ((now_ns () - deadline_ns) / 1_000_000))

@@ -1,0 +1,295 @@
+module Json = Mhla_util.Json
+module Error = Mhla_util.Error
+module Cost = Mhla_core.Cost
+module Explore = Mhla_core.Explore
+module Candidate = Mhla_reuse.Candidate
+module Faults = Mhla_sim.Faults
+
+type arch =
+  | Two_level of { onchip_bytes : int; dma : bool }
+  | Three_level of { l1_bytes : int; l2_bytes : int; dma : bool }
+
+type inject = No_inject | Raise
+
+type fault_spec = { faults : Faults.t; trials : int }
+
+type t = {
+  id : string;
+  program : Mhla_ir.Program.t;
+  arch : arch;
+  objective : Cost.objective;
+  transfer_mode : Candidate.transfer_mode;
+  search : Explore.search;
+  deadline_ms : int option;
+  fault_spec : fault_spec option;
+  inject : inject;
+}
+
+let make ?(objective = Cost.Energy_delay) ?(transfer_mode = Candidate.Delta)
+    ?(search = Explore.Greedy) ?deadline_ms ?fault_spec
+    ?(inject = No_inject) ~id ~arch program =
+  {
+    id;
+    program;
+    arch;
+    objective;
+    transfer_mode;
+    search;
+    deadline_ms;
+    fault_spec;
+    inject;
+  }
+
+let hierarchy t =
+  match t.arch with
+  | Two_level { onchip_bytes; dma } ->
+    Mhla_arch.Presets.two_level ~dma ~onchip_bytes ()
+  | Three_level { l1_bytes; l2_bytes; dma } ->
+    Mhla_arch.Presets.three_level ~dma ~l1_bytes ~l2_bytes ()
+
+(* --- encoding ---------------------------------------------------------- *)
+
+let objective_name = function
+  | Cost.Energy -> "energy"
+  | Cost.Cycles -> "cycles"
+  | Cost.Energy_delay -> "energy-delay"
+
+let mode_name = function
+  | Candidate.Full -> "full"
+  | Candidate.Delta -> "delta"
+
+let arch_to_json = function
+  | Two_level { onchip_bytes; dma } ->
+    Json.obj
+      [ ("onchip_bytes", Json.int onchip_bytes); ("dma", Json.bool dma) ]
+  | Three_level { l1_bytes; l2_bytes; dma } ->
+    Json.obj
+      [ ("l1_bytes", Json.int l1_bytes); ("l2_bytes", Json.int l2_bytes);
+        ("dma", Json.bool dma) ]
+
+let search_to_json = function
+  | Explore.Greedy -> Json.obj [ ("kind", Json.str "greedy") ]
+  | Explore.Annealing { seed; iterations } ->
+    Json.obj
+      [ ("kind", Json.str "anneal");
+        ("seed", Json.int (Int64.to_int seed));
+        ("iterations", Json.int iterations) ]
+
+let fault_spec_to_json { faults; trials } =
+  let jitter =
+    match faults.Faults.jitter with
+    | Faults.No_jitter -> 0
+    | Faults.Uniform { max_extra_cycles } -> max_extra_cycles
+    | Faults.Bursty { extra_cycles; _ } -> extra_cycles
+  in
+  Json.obj
+    [ ("seed", Json.int (Int64.to_int faults.Faults.seed));
+      ("jitter", Json.int jitter);
+      ("failure_permille", Json.int faults.Faults.failure_permille);
+      ("trials", Json.int trials) ]
+
+let to_json t =
+  let optional = function
+    | [] -> []
+    | fields -> fields
+  in
+  Json.obj
+    ([ ("id", Json.str t.id);
+       ("program", Mhla_ir.Json_codec.program_to_json t.program);
+       ("arch", arch_to_json t.arch) ]
+    @ optional
+        (if t.objective = Cost.Energy_delay then []
+         else [ ("objective", Json.str (objective_name t.objective)) ])
+    @ optional
+        (if t.transfer_mode = Candidate.Delta then []
+         else [ ("mode", Json.str (mode_name t.transfer_mode)) ])
+    @ optional
+        (match t.search with
+        | Explore.Greedy -> []
+        | s -> [ ("search", search_to_json s) ])
+    @ optional
+        (match t.deadline_ms with
+        | None -> []
+        | Some ms -> [ ("deadline_ms", Json.int ms) ])
+    @ optional
+        (match t.fault_spec with
+        | None -> []
+        | Some fs -> [ ("faults", fault_spec_to_json fs) ])
+    @ optional
+        (match t.inject with
+        | No_inject -> []
+        | Raise -> [ ("inject", Json.str "raise") ]))
+
+(* --- decoding ---------------------------------------------------------- *)
+
+let fail ~path fmt =
+  Error.invalidf ~context:"Request.of_json" ("%s: " ^^ fmt) path
+
+let as_obj ~path = function
+  | Json.Obj fields -> fields
+  | _ -> fail ~path "expected an object"
+
+let as_str ~path = function
+  | Json.Str s -> s
+  | _ -> fail ~path "expected a string"
+
+let as_int ~path = function
+  | Json.Int k -> k
+  | _ -> fail ~path "expected an integer"
+
+let as_bool ~path = function
+  | Json.Bool b -> b
+  | _ -> fail ~path "expected a boolean"
+
+let field ~path fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> fail ~path "missing field %S" name
+
+let allowed_top =
+  [ "id"; "program"; "arch"; "objective"; "mode"; "search"; "deadline_ms";
+    "faults"; "inject" ]
+
+let arch_of_json ~path j =
+  let fields = as_obj ~path j in
+  let dma =
+    match List.assoc_opt "dma" fields with
+    | None -> true
+    | Some b -> as_bool ~path:(path ^ ".dma") b
+  in
+  let names = List.map fst fields in
+  let known = List.filter (fun n -> n <> "dma") names in
+  match List.sort compare known with
+  | [ "onchip_bytes" ] ->
+    Two_level
+      {
+        onchip_bytes =
+          as_int ~path:(path ^ ".onchip_bytes")
+            (field ~path fields "onchip_bytes");
+        dma;
+      }
+  | [ "l1_bytes"; "l2_bytes" ] ->
+    Three_level
+      {
+        l1_bytes =
+          as_int ~path:(path ^ ".l1_bytes") (field ~path fields "l1_bytes");
+        l2_bytes =
+          as_int ~path:(path ^ ".l2_bytes") (field ~path fields "l2_bytes");
+        dma;
+      }
+  | _ ->
+    fail ~path
+      "expected either {\"onchip_bytes\", \"dma\"?} or {\"l1_bytes\", \
+       \"l2_bytes\", \"dma\"?}"
+
+let objective_of_json ~path j =
+  match as_str ~path j with
+  | "energy" -> Cost.Energy
+  | "cycles" -> Cost.Cycles
+  | "energy-delay" -> Cost.Energy_delay
+  | s ->
+    fail ~path "bad objective %S (energy | cycles | energy-delay)" s
+
+let mode_of_json ~path j =
+  match as_str ~path j with
+  | "full" -> Candidate.Full
+  | "delta" -> Candidate.Delta
+  | s -> fail ~path "bad transfer mode %S (full | delta)" s
+
+let search_of_json ~path j =
+  let fields = as_obj ~path j in
+  match as_str ~path:(path ^ ".kind") (field ~path fields "kind") with
+  | "greedy" -> Explore.Greedy
+  | "anneal" ->
+    let get name default =
+      match List.assoc_opt name fields with
+      | None -> default
+      | Some v -> as_int ~path:(path ^ "." ^ name) v
+    in
+    Explore.Annealing
+      {
+        seed = Int64.of_int (get "seed" 42);
+        iterations = get "iterations" 4000;
+      }
+  | s -> fail ~path "bad search kind %S (greedy | anneal)" s
+
+let fault_spec_of_json ~path j =
+  let fields = as_obj ~path j in
+  let get name default =
+    match List.assoc_opt name fields with
+    | None -> default
+    | Some v -> as_int ~path:(path ^ "." ^ name) v
+  in
+  let seed = Int64.of_int (get "seed" 42) in
+  let jitter = get "jitter" 0 in
+  let failure_permille = get "failure_permille" 0 in
+  let trials = get "trials" 4 in
+  if trials < 1 then fail ~path "trials must be at least 1 (got %d)" trials;
+  {
+    faults =
+      Faults.make
+        ~jitter:
+          (if jitter = 0 then Faults.No_jitter
+           else Faults.Uniform { max_extra_cycles = jitter })
+        ~failure_permille ~seed ();
+    trials;
+  }
+
+let inject_of_json ~path j =
+  match as_str ~path j with
+  | "raise" -> Raise
+  | s -> fail ~path "bad inject %S" s
+
+let of_json j =
+  let path = "$" in
+  let fields = as_obj ~path j in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem name allowed_top) then
+        fail ~path "unknown field %S (expected one of: %s)" name
+          (String.concat ", " allowed_top))
+    fields;
+  let id = as_str ~path:"$.id" (field ~path fields "id") in
+  let program =
+    Mhla_ir.Json_codec.program_of_json_exn ~path:"$.program"
+      (field ~path fields "program")
+  in
+  let arch = arch_of_json ~path:"$.arch" (field ~path fields "arch") in
+  let opt name decode =
+    Option.map (decode ~path:("$." ^ name)) (List.assoc_opt name fields)
+  in
+  let objective =
+    Option.value ~default:Cost.Energy_delay (opt "objective" objective_of_json)
+  in
+  let transfer_mode =
+    Option.value ~default:Candidate.Delta (opt "mode" mode_of_json)
+  in
+  let search = Option.value ~default:Explore.Greedy (opt "search" search_of_json) in
+  let deadline_ms = opt "deadline_ms" as_int in
+  (match deadline_ms with
+  | Some ms when ms < 0 -> fail ~path:"$.deadline_ms" "must be >= 0 (got %d)" ms
+  | _ -> ());
+  let fault_spec = opt "faults" fault_spec_of_json in
+  let inject =
+    Option.value ~default:No_inject (opt "inject" inject_of_json)
+  in
+  {
+    id;
+    program;
+    arch;
+    objective;
+    transfer_mode;
+    search;
+    deadline_ms;
+    fault_spec;
+    inject;
+  }
+
+let id_of_json = function
+  | Json.Obj fields -> (
+    match List.assoc_opt "id" fields with
+    | Some (Json.Str s) -> Some s
+    | Some _ | None -> None)
+  | _ -> None
+
+let equal a b = Json.equal (to_json a) (to_json b)

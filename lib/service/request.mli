@@ -1,0 +1,86 @@
+(** One solve request of the JSON wire format.
+
+    A request names everything one [mhla run] invocation would take:
+    the program (see {!Mhla_ir.Json_codec} for its payload shape), the
+    platform, the objective/transfer-mode/search knobs, and the
+    service-level controls — a per-request deadline, an optional DMA
+    fault model to stress the TE schedule with after solving, and the
+    chaos-only [inject] hook the soak harness uses to prove fault
+    isolation.
+
+    Wire shape (only [id], [program] and [arch] are mandatory):
+
+    {v
+    { "id": "req-0",
+      "program": { ... },
+      "arch": { "onchip_bytes": 2048, "dma": true },
+      "objective": "energy-delay",          // energy | cycles | energy-delay
+      "mode": "delta",                      // delta | full
+      "search": { "kind": "anneal", "seed": 42, "iterations": 4000 },
+      "deadline_ms": 250,
+      "faults": { "seed": 7, "jitter": 8, "failure_permille": 20,
+                  "trials": 8 } }
+    v}
+
+    A three-level platform instead:
+    [{ "arch": { "l1_bytes": 512, "l2_bytes": 4096, "dma": true } }]. *)
+
+type arch =
+  | Two_level of { onchip_bytes : int; dma : bool }
+  | Three_level of { l1_bytes : int; l2_bytes : int; dma : bool }
+
+(** Chaos hooks, deliberately undocumented on the wire: [Raise] makes
+    the worker raise a bare exception mid-request — the poisoned
+    request CI uses to prove one crash cannot take down a batch. *)
+type inject = No_inject | Raise
+
+type fault_spec = {
+  faults : Mhla_sim.Faults.t;
+  trials : int;  (** robustness trials to run after the solve *)
+}
+
+type t = {
+  id : string;
+  program : Mhla_ir.Program.t;
+  arch : arch;
+  objective : Mhla_core.Cost.objective;
+  transfer_mode : Mhla_reuse.Candidate.transfer_mode;
+  search : Mhla_core.Explore.search;
+  deadline_ms : int option;  (** [None]: the service default applies *)
+  fault_spec : fault_spec option;
+  inject : inject;
+}
+
+val make :
+  ?objective:Mhla_core.Cost.objective ->
+  ?transfer_mode:Mhla_reuse.Candidate.transfer_mode ->
+  ?search:Mhla_core.Explore.search ->
+  ?deadline_ms:int ->
+  ?fault_spec:fault_spec ->
+  ?inject:inject ->
+  id:string ->
+  arch:arch ->
+  Mhla_ir.Program.t ->
+  t
+(** Defaults: energy-delay, delta transfers, greedy search, no
+    deadline, no faults, no injection. *)
+
+val hierarchy : t -> Mhla_arch.Hierarchy.t
+(** The {!Mhla_arch.Presets} platform the request names.
+    @raise Mhla_util.Error.Error on non-positive byte budgets. *)
+
+val to_json : t -> Mhla_util.Json.t
+(** Optional knobs at their defaults are omitted; [of_json ∘ to_json]
+    is the identity on every request. *)
+
+val of_json : Mhla_util.Json.t -> t
+(** @raise Mhla_util.Error.Error ([Invalid_input]) on malformed
+    payloads, with a [$.field] path in the message. *)
+
+val id_of_json : Mhla_util.Json.t -> string option
+(** Salvage the [id] of a document that may not decode fully, so even
+    the error response for a half-broken request names the request it
+    answers. *)
+
+val equal : t -> t -> bool
+(** Wire-level equality: both render to the same JSON. *)

@@ -1,0 +1,81 @@
+module Json = Mhla_util.Json
+
+type status = Ok | Error | Timeout | Shed
+
+type t = {
+  id : string;
+  seq : int;
+  status : status;
+  code : string option;
+  message : string option;
+  elapsed_ns : int;
+  result : Json.t option;
+  robustness : Json.t option;
+}
+
+let ok ?robustness ~id ~seq ~elapsed_ns result =
+  {
+    id;
+    seq;
+    status = Ok;
+    code = None;
+    message = None;
+    elapsed_ns;
+    result = Some result;
+    robustness;
+  }
+
+let error ~id ~seq ~elapsed_ns ~code message =
+  {
+    id;
+    seq;
+    status = Error;
+    code = Some code;
+    message = Some message;
+    elapsed_ns;
+    result = None;
+    robustness = None;
+  }
+
+let timeout ~id ~seq ~elapsed_ns message =
+  { (error ~id ~seq ~elapsed_ns ~code:"deadline" message) with status = Timeout }
+
+let shed ~id ~seq ~elapsed_ns message =
+  { (error ~id ~seq ~elapsed_ns ~code:"backpressure" message) with
+    status = Shed }
+
+let status_name = function
+  | Ok -> "ok"
+  | Error -> "error"
+  | Timeout -> "timeout"
+  | Shed -> "shed"
+
+let to_json t =
+  Json.obj
+    ([ ("id", Json.str t.id);
+       ("seq", Json.int t.seq);
+       ("status", Json.str (status_name t.status)) ]
+    @ (match t.code with
+      | None -> []
+      | Some c -> [ ("code", Json.str c) ])
+    @ (match t.message with
+      | None -> []
+      | Some m -> [ ("message", Json.str m) ])
+    @ [ ("elapsed_ns", Json.int t.elapsed_ns) ]
+    @ (match t.result with
+      | None -> []
+      | Some r -> [ ("result", r) ])
+    @
+    match t.robustness with
+    | None -> []
+    | Some r -> [ ("robustness", r) ])
+
+let status_of_json = function
+  | Json.Obj fields -> (
+    match List.assoc_opt "status" fields with
+    | Some (Json.Str "ok") -> Some Ok
+    | Some (Json.Str "error") -> Some Error
+    | Some (Json.Str "timeout") -> Some Timeout
+    | Some (Json.Str "shed") -> Some Shed
+    | Some _ | None -> None)
+  | _ -> None

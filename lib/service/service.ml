@@ -1,0 +1,375 @@
+module Json = Mhla_util.Json
+module Error = Mhla_util.Error
+module Telemetry = Mhla_obs.Telemetry
+module Mapping = Mhla_core.Mapping
+module Assign = Mhla_core.Assign
+module Explore = Mhla_core.Explore
+module Report = Mhla_core.Report
+module Pass = Mhla_analysis.Pass
+module Verify = Mhla_analysis.Verify
+module Robustness = Mhla_sim.Robustness
+
+type admission = Block | Shed
+
+type config = {
+  jobs : int;
+  queue_depth : int;
+  default_deadline_ms : int option;
+  admission : admission;
+  max_request_bytes : int;
+  telemetry : Telemetry.t;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    queue_depth = 16;
+    default_deadline_ms = None;
+    admission = Block;
+    max_request_bytes = 1 lsl 20;
+    telemetry = Telemetry.noop;
+  }
+
+type job = { seq : int; line : string; submitted_ns : int }
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  advanced : Condition.t;  (* broadcast whenever a response lands *)
+  queue : job Queue.t;
+  mutable closed : bool;
+  mutable next_seq : int;
+  mutable completed : int;
+  results : (int, Response.t) Hashtbl.t;
+  mutable emit_from : int;  (* next seq [ready] will hand out *)
+  mutable n_ok : int;
+  mutable n_error : int;
+  mutable n_timeout : int;
+  mutable n_shed : int;
+  mutable latencies_ns : int list;
+  intern : (string, Mapping.reuse) Hashtbl.t;
+  mutable workers : unit Domain.t list;
+  mutable children : Telemetry.t list;
+}
+
+(* --- the direct path --------------------------------------------------- *)
+
+let solve ?telemetry ?reuse ?checkpoint (req : Request.t) =
+  let config =
+    {
+      Assign.default_config with
+      objective = req.objective;
+      transfer_mode = req.transfer_mode;
+    }
+  in
+  Explore.run ~config ?telemetry ~search:req.search ?reuse ?checkpoint
+    req.program (Request.hierarchy req)
+
+let ok_payload (req : Request.t) result =
+  Report.result_to_json ~name:req.id result
+
+(* --- bookkeeping (all under [t.lock]) ---------------------------------- *)
+
+let record_locked t (resp : Response.t) =
+  if Hashtbl.mem t.results resp.seq then
+    Error.internalf ~context:"Service.record"
+      "two responses for request seq %d" resp.seq;
+  Hashtbl.replace t.results resp.seq resp;
+  (match resp.status with
+  | Response.Ok -> t.n_ok <- t.n_ok + 1
+  | Response.Error -> t.n_error <- t.n_error + 1
+  | Response.Timeout -> t.n_timeout <- t.n_timeout + 1
+  | Response.Shed -> t.n_shed <- t.n_shed + 1);
+  t.latencies_ns <- resp.elapsed_ns :: t.latencies_ns;
+  t.completed <- t.completed + 1;
+  Condition.broadcast t.advanced
+
+let record t resp =
+  Mutex.lock t.lock;
+  record_locked t resp;
+  Mutex.unlock t.lock
+
+(* Reuse analysis is program-only (the sweep already hoists one across
+   all its points), so one precompute serves every request naming the
+   same program. Keyed on the canonical JSON rendering — total on any
+   program, unlike a structural digest of closures-bearing values.
+   Computed outside the lock; on a race the first insert wins. *)
+let intern_reuse t program =
+  let key = Json.to_string (Mhla_ir.Json_codec.program_to_json program) in
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.intern key with
+  | Some r ->
+    Mutex.unlock t.lock;
+    r
+  | None ->
+    Mutex.unlock t.lock;
+    let fresh = Mapping.precompute program in
+    Mutex.lock t.lock;
+    let r =
+      match Hashtbl.find_opt t.intern key with
+      | Some prior -> prior
+      | None ->
+        Hashtbl.add t.intern key fresh;
+        fresh
+    in
+    Mutex.unlock t.lock;
+    r
+
+(* --- one request, one response ----------------------------------------- *)
+
+let run_request t tele job (req : Request.t) =
+  let elapsed () = Deadline.now_ns () - job.submitted_ns in
+  let id = req.id and seq = job.seq in
+  let report = Verify.run ~telemetry:tele (Pass.subject req.program) in
+  if not (Verify.ok report) then
+    let errs = Verify.errors report in
+    Response.error ~id ~seq ~elapsed_ns:(elapsed ()) ~code:"verify"
+      (Fmt.str "%d verifier error(s); first: %a" (List.length errs)
+         Mhla_analysis.Diagnostic.pp (List.hd errs))
+  else begin
+    (match req.inject with
+    | Request.Raise -> failwith ("injected fault in request " ^ id)
+    | Request.No_inject -> ());
+    let deadline_ms =
+      match req.deadline_ms with
+      | Some _ as d -> d
+      | None -> t.cfg.default_deadline_ms
+    in
+    let checkpoint =
+      Option.map
+        (fun ms ->
+          Deadline.checkpoint ~context:"Service.request"
+            ~deadline_ns:(job.submitted_ns + (ms * 1_000_000)))
+        deadline_ms
+    in
+    (* Fail fast if the request already overstayed in the queue. *)
+    Option.iter (fun cp -> cp ()) checkpoint;
+    let reuse = intern_reuse t req.program in
+    let result = solve ~telemetry:tele ~reuse ?checkpoint req in
+    let robustness =
+      Option.map
+        (fun (fs : Request.fault_spec) ->
+          Robustness.to_json
+            (Robustness.analyze ~trials:fs.trials ~telemetry:tele
+               ~faults:fs.faults result.Explore.assign.Assign.mapping
+               result.Explore.te))
+        req.fault_spec
+    in
+    Response.ok ?robustness ~id ~seq ~elapsed_ns:(elapsed ())
+      (ok_payload req result)
+  end
+
+(* Never raises: every failure mode becomes a structured response. *)
+let process t tele job =
+  let elapsed () = Deadline.now_ns () - job.submitted_ns in
+  let seq = job.seq in
+  Telemetry.span tele ~cat:"service" "service.request" (fun () ->
+      if String.length job.line > t.cfg.max_request_bytes then
+        Response.error ~id:"" ~seq ~elapsed_ns:(elapsed ())
+          ~code:"oversized"
+          (Fmt.str "request is %d bytes (cap %d)" (String.length job.line)
+             t.cfg.max_request_bytes)
+      else
+        match Json.parse job.line with
+        | Error e ->
+          Response.error ~id:"" ~seq ~elapsed_ns:(elapsed ())
+            ~code:"json-parse"
+            (Json.parse_error_to_string e)
+        | Ok doc -> (
+          let id = Option.value ~default:"" (Request.id_of_json doc) in
+          match Request.of_json doc with
+          | exception Error.Error err ->
+            Response.error ~id ~seq ~elapsed_ns:(elapsed ()) ~code:"decode"
+              (Error.to_string err)
+          | req -> (
+            try run_request t tele job req with
+            | Error.Error ({ kind = Error.Deadline; _ } as err) ->
+              Response.timeout ~id ~seq ~elapsed_ns:(elapsed ())
+                (Error.to_string err)
+            | Error.Error err ->
+              Response.error ~id ~seq ~elapsed_ns:(elapsed ())
+                ~code:(Error.kind_label err.kind)
+                (Error.to_string err)
+            | e ->
+              Response.error ~id ~seq ~elapsed_ns:(elapsed ())
+                ~code:"exception" (Printexc.to_string e))))
+
+let rec worker_loop t tele =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.not_empty t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock
+  else begin
+    let job = Queue.pop t.queue in
+    Condition.signal t.not_full;
+    Mutex.unlock t.lock;
+    record t (process t tele job);
+    worker_loop t tele
+  end
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let create ?(config = default_config) () =
+  if config.jobs < 1 then
+    Error.invalidf ~context:"Service.create" "jobs must be >= 1 (got %d)"
+      config.jobs;
+  if config.queue_depth < 1 then
+    Error.invalidf ~context:"Service.create"
+      "queue_depth must be >= 1 (got %d)" config.queue_depth;
+  let t =
+    {
+      cfg = config;
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      advanced = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      next_seq = 0;
+      completed = 0;
+      results = Hashtbl.create 64;
+      emit_from = 0;
+      n_ok = 0;
+      n_error = 0;
+      n_timeout = 0;
+      n_shed = 0;
+      latencies_ns = [];
+      intern = Hashtbl.create 8;
+      workers = [];
+      children = [];
+    }
+  in
+  let children =
+    List.init config.jobs (fun i -> Telemetry.child config.telemetry ~tid:(i + 1))
+  in
+  t.children <- children;
+  t.workers <-
+    List.map (fun tele -> Domain.spawn (fun () -> worker_loop t tele)) children;
+  t
+
+let submit t line =
+  let submitted_ns = Deadline.now_ns () in
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    Error.invalidf ~context:"Service.submit"
+      "the service is shut down; create a fresh one"
+  end;
+  match t.cfg.admission with
+  | Shed when Queue.length t.queue >= t.cfg.queue_depth ->
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    record_locked t
+      (Response.shed ~id:"" ~seq
+         ~elapsed_ns:(Deadline.now_ns () - submitted_ns)
+         (Fmt.str "queue full (depth %d)" t.cfg.queue_depth));
+    Mutex.unlock t.lock;
+    `Shed
+  | Shed | Block ->
+    while Queue.length t.queue >= t.cfg.queue_depth do
+      Condition.wait t.not_full t.lock
+    done;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Queue.push { seq; line; submitted_ns } t.queue;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.lock;
+    `Queued
+
+let pop_ready_locked t =
+  let rec go acc =
+    match Hashtbl.find_opt t.results t.emit_from with
+    | Some r ->
+      Hashtbl.remove t.results t.emit_from;
+      t.emit_from <- t.emit_from + 1;
+      go (r :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let ready t =
+  Mutex.lock t.lock;
+  let r = pop_ready_locked t in
+  Mutex.unlock t.lock;
+  r
+
+let drain t =
+  Mutex.lock t.lock;
+  while t.completed < t.next_seq do
+    Condition.wait t.advanced t.lock
+  done;
+  let r = pop_ready_locked t in
+  Mutex.unlock t.lock;
+  r
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.closed then Mutex.unlock t.lock
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    if Telemetry.enabled t.cfg.telemetry then
+      Telemetry.merge_children t.cfg.telemetry t.children;
+    t.children <- []
+  end
+
+(* --- reporting --------------------------------------------------------- *)
+
+type summary = {
+  submitted : int;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  shed : int;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let summary t =
+  Mutex.lock t.lock;
+  let lat = List.sort compare t.latencies_ns in
+  let n = List.length lat in
+  let pct p =
+    if n = 0 then 0.0
+    else
+      let idx =
+        max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+      in
+      float_of_int (List.nth lat idx) /. 1e6
+  in
+  let s =
+    {
+      submitted = t.next_seq;
+      ok = t.n_ok;
+      errors = t.n_error;
+      timeouts = t.n_timeout;
+      shed = t.n_shed;
+      p50_ms = pct 0.5;
+      p99_ms = pct 0.99;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let summary_to_json s =
+  Json.obj
+    [ ("submitted", Json.int s.submitted);
+      ("ok", Json.int s.ok);
+      ("errors", Json.int s.errors);
+      ("timeouts", Json.int s.timeouts);
+      ("shed", Json.int s.shed);
+      ("p50_ms", Json.float s.p50_ms);
+      ("p99_ms", Json.float s.p99_ms) ]
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "%d request(s): %d ok, %d error, %d timeout, %d shed; latency p50 %.2f \
+     ms, p99 %.2f ms"
+    s.submitted s.ok s.errors s.timeouts s.shed s.p50_ms s.p99_ms

@@ -1,5 +1,10 @@
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* Outcome of one input slot. [Skipped] marks work that was never
+   started because an earlier failure flipped the cancellation flag —
+   it can only coexist with at least one [Error] slot. *)
+type 'b slot = Done of 'b | Failed of exn | Skipped
+
 let map_with ?jobs ~init ?(around = fun _ k -> k ()) ~finish f xs =
   let n = List.length xs in
   let jobs =
@@ -11,14 +16,31 @@ let map_with ?jobs ~init ?(around = fun _ k -> k ()) ~finish f xs =
   if jobs <= 1 then begin
     let ctx = init 0 in
     let out = ref [] in
-    around ctx (fun () -> out := List.map (f ctx) xs);
+    (* [finish] must run even when a task raises (the mli promises the
+       context state gathered up to the failure survives), so the
+       failure is caught, the merge performed, and only then re-raised
+       with its original backtrace. *)
+    let failure = ref None in
+    around ctx (fun () ->
+        match List.map (f ctx) xs with
+        | ys -> out := ys
+        | exception e ->
+          failure := Some (e, Printexc.get_raw_backtrace ()));
     finish [ ctx ];
+    (match !failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
     !out
   end
   else begin
     let input = Array.of_list xs in
     let out = Array.make n None in
     let cursor = Atomic.make 0 in
+    (* Set by the first worker whose task fails; checked at the cursor,
+       so work not yet started when a failure lands is skipped instead
+       of running to completion — a batch with one early crash stops
+       paying for the rest of the sweep. *)
+    let cancelled = Atomic.make false in
     (* Contexts are created in the parent, in worker order, before any
        domain spawns — deterministic however the items land. *)
     let ctxs = Array.init jobs init in
@@ -29,9 +51,13 @@ let map_with ?jobs ~init ?(around = fun _ k -> k ()) ~finish f xs =
             if k < n then begin
               (* Distinct indices: no two domains ever write the same
                  slot. *)
-              (out.(k) <-
-                (try Some (Ok (f ctxs.(i) input.(k)))
-                 with e -> Some (Error e)));
+              if Atomic.get cancelled then out.(k) <- Some Skipped
+              else
+                (out.(k) <-
+                  (try Some (Done (f ctxs.(i) input.(k)))
+                   with e ->
+                     Atomic.set cancelled true;
+                     Some (Failed e)));
               go ()
             end
           in
@@ -43,11 +69,21 @@ let map_with ?jobs ~init ?(around = fun _ k -> k ()) ~finish f xs =
     (* Merge worker contexts before any failure re-raises, so e.g.
        telemetry collected up to the failure is not lost. *)
     finish (Array.to_list ctxs);
-    Array.to_list out
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error e) -> raise e
-         | None -> assert false (* the cursor covered every index *))
+    let slots = Array.to_list out in
+    (* The earliest failing input wins, deterministically — later slots
+       may be [Failed] too (already in flight when the flag flipped) or
+       [Skipped] (never started). *)
+    (match
+       List.find_opt (function Some (Failed _) -> true | _ -> false) slots
+     with
+    | Some (Some (Failed e)) -> raise e
+    | Some _ | None -> ());
+    List.map
+      (function
+        | Some (Done v) -> v
+        | Some (Failed _ | Skipped) | None ->
+          assert false (* no failure: the cursor covered every index *))
+      slots
   end
 
 let map ?jobs f xs =

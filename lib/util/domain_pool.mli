@@ -33,9 +33,11 @@ val map_with :
       gathered up to a failure survives.
 
     Contexts must not be shared across workers; everything else is as
-    {!map} (ordering, dynamic balancing, earliest-failure re-raise).
-    With one worker the call degrades to [List.map (f (init 0))]
-    wrapped in [around]/[finish] — no domain is spawned. *)
+    {!map} (ordering, dynamic balancing, failure cancellation and
+    re-raise). With one worker the call degrades to
+    [List.map (f (init 0))] wrapped in [around]/[finish] — no domain is
+    spawned, and a task failure still runs [finish] before
+    re-raising. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs] using at most
@@ -45,7 +47,11 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     balance across workers. With [jobs = 1] (or a singleton/empty list)
     no domain is spawned and the call is exactly [List.map f xs].
 
-    If one or more tasks raise, every task still runs to completion
-    (or failure) and the exception of the {e earliest} failing input is
-    re-raised in the caller — deterministic regardless of worker
-    interleaving. *)
+    If a task raises, the pool {e cancels}: a flag is flipped at the
+    first failure and checked at the atomic cursor, so tasks not yet
+    started are skipped instead of running to completion — a batch
+    with one early crash does not pay for the whole sweep. Tasks
+    already in flight on other workers still finish (they cannot be
+    interrupted). After all workers join, the exception of the
+    earliest-indexed failed slot is re-raised in the caller; with one
+    worker that is exactly the first failing input. *)

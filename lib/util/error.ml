@@ -1,4 +1,4 @@
-type kind = Invalid_input | Unsupported | Capacity | Internal
+type kind = Invalid_input | Unsupported | Capacity | Deadline | Internal
 
 type t = {
   kind : kind;
@@ -24,12 +24,15 @@ let unsupportedf ?hint ~context fmt = failf ?hint Unsupported ~context fmt
 
 let capacityf ?hint ~context fmt = failf ?hint Capacity ~context fmt
 
+let deadlinef ?hint ~context fmt = failf ?hint Deadline ~context fmt
+
 let internalf ?hint ~context fmt = failf ?hint Internal ~context fmt
 
 let kind_label = function
   | Invalid_input -> "invalid input"
   | Unsupported -> "unsupported"
   | Capacity -> "capacity"
+  | Deadline -> "deadline"
   | Internal -> "internal"
 
 let exit_code t =
@@ -37,6 +40,7 @@ let exit_code t =
   | Invalid_input -> 2
   | Unsupported -> 3
   | Capacity -> 4
+  | Deadline -> 75
   | Internal -> 70
 
 let to_string t =

@@ -13,6 +13,7 @@ type kind =
   | Invalid_input  (** the caller passed a malformed or out-of-range value *)
   | Unsupported  (** valid input, but a combination the tool does not model *)
   | Capacity  (** a size / resource budget cannot be satisfied *)
+  | Deadline  (** a caller-imposed time budget expired before completion *)
   | Internal  (** an invariant the library promised to keep was broken *)
 
 type t = {
@@ -42,15 +43,20 @@ val unsupportedf :
 val capacityf :
   ?hint:string -> context:string -> ('a, unit, string, 'b) format4 -> 'a
 
+val deadlinef :
+  ?hint:string -> context:string -> ('a, unit, string, 'b) format4 -> 'a
+
 val internalf :
   ?hint:string -> context:string -> ('a, unit, string, 'b) format4 -> 'a
 
 val kind_label : kind -> string
-(** ["invalid input"], ["unsupported"], ["capacity"] or ["internal"]. *)
+(** ["invalid input"], ["unsupported"], ["capacity"], ["deadline"] or
+    ["internal"]. *)
 
 val exit_code : t -> int
 (** Stable CLI exit codes: [Invalid_input] → 2, [Unsupported] → 3,
-    [Capacity] → 4, [Internal] → 70 (EX_SOFTWARE). *)
+    [Capacity] → 4, [Deadline] → 75 (EX_TEMPFAIL — the same request may
+    succeed with a larger budget), [Internal] → 70 (EX_SOFTWARE). *)
 
 val to_string : t -> string
 (** ["context: message (hint: ...)"]. *)

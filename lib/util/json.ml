@@ -97,3 +97,296 @@ let to_string ?(indent = 0) t =
 
 let to_channel ?(indent = 0) oc t =
   emit_to ~char:(output_char oc) ~string:(output_string oc) ~indent t
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Arr xs, Arr ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (nx, vx) (ny, vy) -> String.equal nx ny && equal vx vy)
+         xs ys
+  | (Null | Bool _ | Int _ | Float _ | Str _ | Arr _ | Obj _), _ -> false
+
+(* --- parsing ----------------------------------------------------------- *)
+
+type parse_error = { line : int; col : int; offset : int; reason : string }
+
+let parse_error_to_string e =
+  Printf.sprintf "line %d, column %d: %s" e.line e.col e.reason
+
+let max_depth = 256
+
+exception Parse of int * string
+(* (offset, reason) — positions are resolved to line/column once, at
+   the catch site, so the hot path never tracks lines. *)
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail ?at reason =
+    raise (Parse ((match at with Some p -> p | None -> !pos), reason))
+  in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> fail (Printf.sprintf "expected %C, found %C" c got)
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal word value =
+    let start = !pos in
+    let len = String.length word in
+    if start + len <= n && String.sub input start len = word then begin
+      pos := start + len;
+      value
+    end
+    else fail ~at:start (Printf.sprintf "expected %s" word)
+  in
+  (* One decoded string; [pos] sits on the opening quote. *)
+  let parse_string () =
+    let start = !pos in
+    expect '"';
+    let buf = Buffer.create 16 in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = ref 0 in
+      for _ = 1 to 4 do
+        let c = input.[!pos] in
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> fail (Printf.sprintf "bad hex digit %C in \\u escape" c)
+        in
+        v := (!v * 16) + d;
+        advance ()
+      done;
+      !v
+    in
+    let add_utf8 cp =
+      (* Encode one Unicode scalar value. *)
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let rec go () =
+      match peek () with
+      | None -> fail ~at:start "unterminated string"
+      | Some '"' ->
+        advance ();
+        Buffer.contents buf
+      | Some '\\' ->
+        let esc_at = !pos in
+        advance ();
+        (match peek () with
+        | None -> fail ~at:esc_at "truncated escape"
+        | Some c ->
+          advance ();
+          (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            let cp = hex4 () in
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              (* High surrogate: require the paired low surrogate. *)
+              if
+                !pos + 2 <= n
+                && input.[!pos] = '\\'
+                && input.[!pos + 1] = 'u'
+              then begin
+                advance ();
+                advance ();
+                let lo = hex4 () in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  add_utf8
+                    (0x10000
+                    + ((cp - 0xD800) lsl 10)
+                    + (lo - 0xDC00))
+                else fail ~at:esc_at "unpaired surrogate in \\u escape"
+              end
+              else fail ~at:esc_at "unpaired surrogate in \\u escape"
+            end
+            else if cp >= 0xDC00 && cp <= 0xDFFF then
+              fail ~at:esc_at "unpaired surrogate in \\u escape"
+            else add_utf8 cp
+          | c -> fail ~at:esc_at (Printf.sprintf "bad escape \\%C" c)));
+        go ()
+      | Some c when Char.code c < 0x20 ->
+        fail (Printf.sprintf "unescaped control character %C in string" c)
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && match input.[!pos] with '0' .. '9' -> true | _ -> false
+      do
+        advance ()
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub input start (!pos - start) in
+    if !is_float then begin
+      match float_of_string_opt text with
+      | Some f when Float.is_finite f -> Float f
+      | Some _ | None -> fail ~at:start "number out of range"
+    end
+    else
+      match int_of_string_opt text with
+      | Some k -> Int k
+      | None -> fail ~at:start "integer out of range"
+  in
+  let rec parse_value depth =
+    if depth >= max_depth then
+      fail (Printf.sprintf "nesting deeper than %d" max_depth);
+    skip_ws ();
+    match peek () with
+    | None -> fail "expected value, found end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let key_at = !pos in
+          if peek () <> Some '"' then fail "expected object key";
+          let key = parse_string () in
+          if List.mem_assoc key !fields then
+            fail ~at:key_at (Printf.sprintf "duplicate key %S" key);
+          skip_ws ();
+          expect ':';
+          let value = parse_value (depth + 1) in
+          fields := (key, value) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | Some c -> fail (Printf.sprintf "expected ',' or '}', found %C" c)
+          | None -> fail "unterminated object"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let value = parse_value (depth + 1) in
+          items := value :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | Some c -> fail (Printf.sprintf "expected ',' or ']', found %C" c)
+          | None -> fail "unterminated array"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  let position_of offset =
+    let offset = min offset n in
+    let line = ref 1 and bol = ref 0 in
+    for k = 0 to offset - 1 do
+      if input.[k] = '\n' then begin
+        incr line;
+        bol := k + 1
+      end
+    done;
+    (!line, offset - !bol + 1)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    (match peek () with
+    | Some c -> fail (Printf.sprintf "trailing input %C after document" c)
+    | None -> ());
+    v
+  with
+  | v -> Ok v
+  | exception Parse (offset, reason) ->
+    let line, col = position_of offset in
+    Result.Error { line; col; offset; reason }
+
+let parse_exn s =
+  match parse s with
+  | Ok v -> v
+  | Result.Error e ->
+    Error.invalidf ~context:"Json.parse" "%s" (parse_error_to_string e)

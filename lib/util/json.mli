@@ -1,10 +1,21 @@
-(** Minimal JSON emission (no parsing, no dependencies).
+(** Minimal JSON emission and parsing (no dependencies).
 
-    Enough for the tool's machine-readable reports: objects, arrays,
-    strings with escaping, ints, floats (emitted with full precision,
-    [NaN]/[inf] rejected at construction) and booleans. *)
+    Enough for the tool's machine-readable reports and the service
+    wire format: objects, arrays, strings with escaping, ints, floats
+    (emitted with full precision, [NaN]/[inf] rejected at
+    construction) and booleans. The variant is exposed read-only so
+    decoders can pattern-match a parsed document; construction still
+    goes through the smart constructors below (which is what keeps
+    NaN/infinity out of every document this library ever renders). *)
 
-type t
+type t = private
+  | Obj of (string * t) list
+  | Arr of t list
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Null
 
 val obj : (string * t) list -> t
 
@@ -31,3 +42,48 @@ val to_channel : ?indent:int -> out_channel -> t -> unit
     without materialising the whole document in memory — the path large
     sweep reports and traces take. Byte-identical to writing
     [to_string ?indent t]. *)
+
+val equal : t -> t -> bool
+(** Structural equality. Object fields are compared {e in order} —
+    this library never reorders fields, so two documents produced by
+    the same encoder are equal iff they render identically. [Int] and
+    [Float] are distinct even when numerically equal. *)
+
+(** {2 Parsing}
+
+    A strict JSON parser with precise error positions, the inbound
+    half of the service wire format. Strictness choices, all reported
+    as {!parse_error}s rather than silently accepted:
+
+    - duplicate object keys are rejected (a wire-format request with
+      two ["budget"] fields is a bug, not a last-write-wins),
+    - numbers without [.]/[e] must fit in an OCaml [int],
+    - nesting deeper than {!max_depth} is rejected (a ["[[[["-bomb
+      must not blow the worker's stack),
+    - input after the first document is rejected,
+    - unescaped control characters in strings are rejected.
+
+    Numbers with a fraction or exponent parse as [Float]; everything
+    else as [Int]. [parse] is the exact inverse of {!to_string} on
+    documents that contain no [Float] whose rendering looks integral
+    (the wire-format requests are all-[Int], where
+    [parse (to_string t) = Ok t] holds identically). *)
+
+type parse_error = {
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based, in bytes *)
+  offset : int;  (** 0-based byte offset into the input *)
+  reason : string;
+}
+
+val max_depth : int
+(** Maximum accepted array/object nesting: 256. *)
+
+val parse : string -> (t, parse_error) result
+
+val parse_error_to_string : parse_error -> string
+(** ["line L, column C: reason"]. *)
+
+val parse_exn : string -> t
+(** @raise Error.Error ([Invalid_input]) with the rendered position on
+    a parse error. *)

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Minimal CI gate: formatting (when ocamlformat is available), build,
 # docs, full test suite, a smoke run of the CLI's error paths, the
-# static-verifier self-test and the differential fuzz gate.
+# static-verifier self-test, the differential fuzz gate and the
+# service chaos-soak gate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -100,6 +101,38 @@ echo "$fuzz_out" | grep -q "shrunk reproducer" || {
   exit 1
 }
 
+echo "== soak gate =="
+# The in-process chaos soak: 200 seeded requests (valid solves, fault
+# riders, injected crashes, zero deadlines, malformed JSON, oversized
+# payloads) through a live 2-worker service; every isolation invariant
+# (exactly one in-order response per request, ok payloads bit-identical
+# to direct solves) must hold.
+dune exec -- bin/mhla_cli.exe soak --requests 200 --seed 42 --jobs 2 -q
+# The same chaos mix must survive the CLI path end to end: one JSONL
+# response per request, exit 0, and the hostile classes answered with
+# structured errors rather than a dead process.
+soak_reqs=/tmp/mhla_ci_soak_reqs.jsonl
+soak_resps=/tmp/mhla_ci_soak_resps.jsonl
+dune exec -- bin/mhla_cli.exe soak --requests 200 --seed 42 \
+  --emit-jsonl >"$soak_reqs"
+dune exec -- bin/mhla_cli.exe batch "$soak_reqs" --jobs 2 \
+  >"$soak_resps" 2>/dev/null
+reqs=$(wc -l <"$soak_reqs")
+resps=$(wc -l <"$soak_resps")
+if [ "$reqs" -ne "$resps" ]; then
+  echo "soak batch: $reqs request(s) but $resps response(s)" >&2
+  exit 1
+fi
+grep -q '"code":"exception"' "$soak_resps" || {
+  echo "poisoned request did not yield a structured exception response" >&2
+  exit 1
+}
+grep -q '"code":"json-parse"' "$soak_resps" || {
+  echo "malformed request did not yield a structured json-parse response" >&2
+  exit 1
+}
+rm -f "$soak_reqs" "$soak_resps"
+
 echo "== trace smoke =="
 trace=/tmp/mhla_ci_trace.json
 dune exec -- bin/mhla_cli.exe run motion_estimation --trace "$trace" \
@@ -120,7 +153,8 @@ for key in '"traceEvents"' '"ph"' '"displayTimeUnit"' '"otherData"'; do
 done
 rm -f "$trace"
 
-echo "== bench smoke (EXT-ENGINE, EXT-TRACE, EXT-CHECK, EXT-GEN) =="
-dune exec -- bench/main.exe EXT-ENGINE EXT-TRACE EXT-CHECK EXT-GEN >/dev/null
+echo "== bench smoke (EXT-ENGINE, EXT-TRACE, EXT-CHECK, EXT-GEN, EXT-SERVE) =="
+dune exec -- bench/main.exe EXT-ENGINE EXT-TRACE EXT-CHECK EXT-GEN EXT-SERVE \
+  >/dev/null
 
 echo "CI OK"

@@ -1,0 +1,276 @@
+(* The solver-as-a-service front-end: wire codec, bounded-queue
+   executor, deadline/backpressure behaviour and the chaos soak. *)
+
+module Json = Mhla_util.Json
+module Error = Mhla_util.Error
+module Gen = Mhla_gen.Generate
+module Request = Mhla_service.Request
+module Response = Mhla_service.Response
+module Service = Mhla_service.Service
+module Soak = Mhla_service.Soak
+module Deadline = Mhla_service.Deadline
+module Faults = Mhla_sim.Faults
+module Explore = Mhla_core.Explore
+
+let sample ?objective ?transfer_mode ?search ?deadline_ms ?fault_spec ?inject i
+    =
+  let case = Gen.case ~profile:Gen.Mixed ~seed:(Int64.of_int (100 + i)) () in
+  Request.make ?objective ?transfer_mode ?search ?deadline_ms ?fault_spec
+    ?inject
+    ~id:(Fmt.str "req-%d" i)
+    ~arch:(Request.Two_level { onchip_bytes = case.Gen.onchip_bytes; dma = true })
+    case.Gen.program
+
+let line req = Json.to_string (Request.to_json req)
+
+let check_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_input" name
+  | exception Error.Error e ->
+    Alcotest.(check bool)
+      (name ^ ": kind is Invalid_input")
+      true
+      (e.Error.kind = Error.Invalid_input)
+
+(* --- wire codec -------------------------------------------------------- *)
+
+let test_request_roundtrip () =
+  let variants =
+    [
+      sample 0;
+      sample 1 ~objective:Mhla_core.Cost.Cycles;
+      sample 2 ~transfer_mode:Mhla_reuse.Candidate.Full;
+      sample 3
+        ~search:(Explore.Annealing { seed = 7L; iterations = 500 });
+      sample 4 ~deadline_ms:250;
+      sample 5
+        ~fault_spec:
+          {
+            Request.faults =
+              Faults.make
+                ~jitter:(Faults.Uniform { max_extra_cycles = 8 })
+                ~failure_permille:20 ~seed:7L ();
+            trials = 8;
+          };
+      sample 6 ~inject:Request.Raise;
+    ]
+  in
+  List.iteri
+    (fun i req ->
+      let rendered = line req in
+      let back =
+        match Json.parse rendered with
+        | Ok doc -> Request.of_json doc
+        | Error e ->
+          Alcotest.failf "variant %d reparse: %s" i
+            (Json.parse_error_to_string e)
+      in
+      Alcotest.(check bool)
+        (Fmt.str "variant %d: of_json ∘ to_json = id" i)
+        true (Request.equal req back))
+    variants
+
+let test_request_three_level_roundtrip () =
+  let case = Gen.case ~profile:Gen.Mixed ~seed:11L () in
+  let req =
+    Request.make ~id:"tl"
+      ~arch:
+        (Request.Three_level
+           { l1_bytes = 512; l2_bytes = 4096; dma = false })
+      case.Gen.program
+  in
+  let back = Request.of_json (Json.parse_exn (line req)) in
+  Alcotest.(check bool) "three-level round trip" true (Request.equal req back)
+
+let test_request_decode_errors () =
+  let ok = Json.parse_exn (line (sample 0)) in
+  let patch fields =
+    match ok with
+    | Json.Obj base -> Json.obj (base @ fields)
+    | _ -> assert false
+  in
+  check_invalid "unknown field" (fun () ->
+      Request.of_json (patch [ ("surprise", Json.int 1) ]));
+  check_invalid "negative deadline" (fun () ->
+      Request.of_json (patch [ ("deadline_ms", Json.int (-1)) ]));
+  check_invalid "missing id" (fun () ->
+      Request.of_json
+        (Json.parse_exn "{\"program\": {}, \"arch\": {\"onchip_bytes\": 64}}"));
+  check_invalid "bad arch" (fun () ->
+      Request.of_json
+        (Json.parse_exn "{\"id\": \"x\", \"program\": {}, \"arch\": {\"weird\": 1}}"))
+
+let test_id_salvage () =
+  Alcotest.(check (option string))
+    "id salvaged" (Some "half-broken")
+    (Request.id_of_json
+       (Json.parse_exn "{\"id\": \"half-broken\", \"arch\": 3}"));
+  Alcotest.(check (option string))
+    "no id" None
+    (Request.id_of_json (Json.parse_exn "{\"arch\": 3}"))
+
+(* --- executor ---------------------------------------------------------- *)
+
+let test_service_ok_bit_identical () =
+  let reqs = List.init 4 (fun i -> sample i) in
+  let service =
+    Service.create ~config:{ Service.default_config with jobs = 2 } ()
+  in
+  List.iter (fun r -> ignore (Service.submit service (line r))) reqs;
+  let responses = Service.drain service in
+  Service.shutdown service;
+  Alcotest.(check int) "one response per request" (List.length reqs)
+    (List.length responses);
+  List.iteri
+    (fun i (resp : Response.t) ->
+      Alcotest.(check int) (Fmt.str "response %d in order" i) i resp.seq;
+      Alcotest.(check string)
+        (Fmt.str "response %d status" i)
+        "ok"
+        (Response.status_name resp.status);
+      let req = List.nth reqs i in
+      Alcotest.(check string) (Fmt.str "response %d id" i) req.Request.id
+        resp.id;
+      let direct = Service.ok_payload req (Service.solve req) in
+      Alcotest.(check bool)
+        (Fmt.str "response %d bit-identical to direct solve" i)
+        true
+        (match resp.result with
+        | Some got -> Json.equal got direct
+        | None -> false))
+    responses;
+  Alcotest.(check int) "nothing left to hand out" 0
+    (List.length (Service.ready service))
+
+let test_service_isolates_poison () =
+  let service = Service.create () in
+  ignore (Service.submit service (line (sample 0)));
+  ignore (Service.submit service (line (sample 1 ~inject:Request.Raise)));
+  ignore (Service.submit service (line (sample 2)));
+  let responses = Service.drain service in
+  Service.shutdown service;
+  let statuses =
+    List.map (fun (r : Response.t) -> Response.status_name r.status) responses
+  in
+  Alcotest.(check (list string))
+    "poison crashes only its own request"
+    [ "ok"; "error"; "ok" ] statuses;
+  let poisoned = List.nth responses 1 in
+  Alcotest.(check (option string))
+    "diagnostic code" (Some "exception") poisoned.Response.code
+
+let test_service_timeout_and_errors () =
+  let service =
+    Service.create
+      ~config:{ Service.default_config with max_request_bytes = 2048 } ()
+  in
+  ignore (Service.submit service (line (sample 0 ~deadline_ms:0)));
+  ignore (Service.submit service "{\"id\": \"broken\"");
+  ignore (Service.submit service (String.make 2049 'x'));
+  ignore (Service.submit service "{\"id\": \"incomplete\"}");
+  let responses = Service.drain service in
+  Service.shutdown service;
+  (match responses with
+  | [ timeout; parse; oversized; decode ] ->
+    Alcotest.(check string) "zero deadline times out" "timeout"
+      (Response.status_name timeout.Response.status);
+    Alcotest.(check (option string))
+      "timeout code" (Some "deadline") timeout.Response.code;
+    Alcotest.(check (option string))
+      "parse code" (Some "json-parse") parse.Response.code;
+    Alcotest.(check (option string))
+      "oversized code" (Some "oversized") oversized.Response.code;
+    Alcotest.(check (option string))
+      "decode code" (Some "decode") decode.Response.code;
+    Alcotest.(check string) "decode salvages the id" "incomplete"
+      decode.Response.id
+  | rs -> Alcotest.failf "expected 4 responses, got %d" (List.length rs));
+  let s = Service.summary service in
+  Alcotest.(check int) "summary errors" 3 s.Service.errors;
+  Alcotest.(check int) "summary timeouts" 1 s.Service.timeouts
+
+let test_service_sheds_under_pressure () =
+  let service =
+    Service.create
+      ~config:
+        {
+          Service.default_config with
+          jobs = 1;
+          queue_depth = 1;
+          admission = Service.Shed;
+        }
+      ()
+  in
+  let outcomes =
+    List.init 6 (fun i -> Service.submit service (line (sample i)))
+  in
+  let responses = Service.drain service in
+  Service.shutdown service;
+  Alcotest.(check int) "exactly one response each" 6 (List.length responses);
+  let shed =
+    List.length
+      (List.filter (fun (r : Response.t) -> r.status = Response.Shed) responses)
+  in
+  let queued =
+    List.length (List.filter (fun o -> o = `Queued) outcomes)
+  in
+  Alcotest.(check int) "shed responses match rejected submissions" (6 - queued)
+    shed;
+  Alcotest.(check bool) "first submission is never shed" true
+    (List.hd outcomes = `Queued);
+  Alcotest.(check bool) "undersized queue sheds something" true (shed >= 1);
+  let s = Service.summary service in
+  Alcotest.(check int) "summary sheds agree" shed s.Service.shed
+
+let test_deadline_module () =
+  check_invalid "negative ms" (fun () -> Deadline.after_ms (-1));
+  let future = Deadline.after_ms 60_000 in
+  Deadline.checkpoint ~context:"test" ~deadline_ns:future ();
+  let due = Deadline.after_ms 0 in
+  (match Deadline.checkpoint ~context:"test" ~deadline_ns:(due - 1) () with
+  | () -> Alcotest.fail "expired deadline did not raise"
+  | exception Error.Error e ->
+    Alcotest.(check bool) "kind is Deadline" true (e.Error.kind = Error.Deadline));
+  Alcotest.(check bool) "clock is monotone" true
+    (Deadline.now_ns () <= Deadline.now_ns ())
+
+(* --- chaos soak -------------------------------------------------------- *)
+
+let test_soak () =
+  let outcome =
+    Soak.run
+      ~config:{ Soak.default_config with requests = 40; jobs = 2; seed = 7 }
+      ()
+  in
+  if not (Soak.ok outcome) then
+    Alcotest.failf "%a" Soak.pp outcome;
+  Alcotest.(check int) "every request answered" 40
+    outcome.Soak.summary.Service.submitted;
+  Alcotest.(check bool) "some ok responses were replayed" true
+    (outcome.Soak.checked_identical > 0)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "request",
+        [
+          Alcotest.test_case "round trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "three-level round trip" `Quick
+            test_request_three_level_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_request_decode_errors;
+          Alcotest.test_case "id salvage" `Quick test_id_salvage;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "ok responses bit-identical" `Quick
+            test_service_ok_bit_identical;
+          Alcotest.test_case "poison isolated" `Quick
+            test_service_isolates_poison;
+          Alcotest.test_case "timeout and error codes" `Quick
+            test_service_timeout_and_errors;
+          Alcotest.test_case "backpressure sheds" `Quick
+            test_service_sheds_under_pressure;
+          Alcotest.test_case "deadline module" `Quick test_deadline_module;
+        ] );
+      ("soak", [ Alcotest.test_case "chaos soak" `Slow test_soak ]);
+    ]

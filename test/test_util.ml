@@ -302,6 +302,105 @@ let test_json_float_roundtrip () =
       Alcotest.(check (float 0.)) ("roundtrip " ^ s) f (float_of_string s))
     [ 0.1; 1e300; -3.25; 1. /. 3. ]
 
+(* --- Json.parse ------------------------------------------------------- *)
+
+let check_parses expected input =
+  match Json.parse input with
+  | Ok v ->
+    Alcotest.(check bool)
+      (Printf.sprintf "parse %S" input)
+      true (Json.equal expected v)
+  | Error e ->
+    Alcotest.failf "parse %S failed: %s" input (Json.parse_error_to_string e)
+
+let check_parse_error ~line ~col ~reason input =
+  match Json.parse input with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" input
+  | Error e ->
+    Alcotest.(check int) (Printf.sprintf "%S: line" input) line e.Json.line;
+    Alcotest.(check int) (Printf.sprintf "%S: column" input) col e.Json.col;
+    let has_sub hay needle =
+      let hn = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S: reason %S in %S" input reason e.Json.reason)
+      true (has_sub e.Json.reason reason)
+
+let test_json_parse_values () =
+  check_parses (Json.int 42) "  42  ";
+  check_parses (Json.int (-7)) "-7";
+  check_parses (Json.float 1.5) "1.5";
+  check_parses (Json.float (-25.)) "-0.25e2";
+  check_parses (Json.bool true) "true";
+  check_parses (Json.bool false) "false";
+  check_parses Json.null "null";
+  check_parses (Json.str "A\xc3\xa9\t") "\"\\u0041\\u00e9\\t\"";
+  (* surrogate pair: U+1F600 as UTF-8 *)
+  check_parses (Json.str "\xf0\x9f\x98\x80") "\"\\ud83d\\ude00\"";
+  check_parses
+    (Json.obj
+       [ ("a", Json.arr [ Json.int 1; Json.null ]);
+         ("b", Json.obj []) ])
+    " { \"a\" : [ 1 , null ] , \"b\" : { } } "
+
+let test_json_parse_positions () =
+  check_parse_error ~line:1 ~col:7 ~reason:"end of input" "{\"a\": ";
+  check_parse_error ~line:1 ~col:9 ~reason:"expected object key" "{\"a\": 1,";
+  check_parse_error ~line:1 ~col:3 ~reason:"bad escape" "\"a\\qb\"";
+  check_parse_error ~line:1 ~col:8 ~reason:"duplicate key \"x\""
+    "{\"x\":1,\"x\":2}";
+  check_parse_error ~line:2 ~col:6 ~reason:"expected true" "{\n\"a\": tru\n}";
+  check_parse_error ~line:1 ~col:2 ~reason:"unpaired surrogate" "\"\\ud800\"";
+  check_parse_error ~line:1 ~col:3 ~reason:"trailing input" "1 2";
+  check_parse_error ~line:1 ~col:1 ~reason:"integer out of range"
+    "123456789012345678901234567890";
+  check_parse_error ~line:1 ~col:3 ~reason:"unescaped control character"
+    "\"a\nb\""
+
+let test_json_parse_depth_cap () =
+  let deep k = String.make k '[' ^ String.make k ']' in
+  (match Json.parse (deep Json.max_depth) with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "depth %d should parse: %s" Json.max_depth
+      (Json.parse_error_to_string e));
+  check_parse_error ~line:1 ~col:(Json.max_depth + 1) ~reason:"nesting deeper"
+    (deep (Json.max_depth + 1))
+
+let gen_json_doc =
+  (* All-Int documents with distinct object keys: the fragment on which
+     [parse] is the exact inverse of [to_string]. *)
+  QCheck2.Gen.(
+    sized_size (int_range 0 4) @@ fix (fun self size ->
+        let leaf =
+          oneof
+            [ map Json.int (int_range (-1000) 1000);
+              map Json.str (string_size ~gen:printable (int_range 0 6));
+              map Json.bool bool;
+              return Json.null ]
+        in
+        if size = 0 then leaf
+        else
+          oneof
+            [ leaf;
+              map Json.arr (list_size (int_range 0 4) (self (size - 1)));
+              map
+                (fun vs ->
+                  Json.obj (List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) vs))
+                (list_size (int_range 0 4) (self (size - 1))) ]))
+
+let prop_json_parse_inverts_render =
+  QCheck2.Test.make ~name:"json: parse inverts to_string (compact and pretty)"
+    ~count:300 gen_json_doc (fun doc ->
+      let ok rendered =
+        match Json.parse rendered with
+        | Ok v -> Json.equal doc v
+        | Error _ -> false
+      in
+      ok (Json.to_string doc) && ok (Json.to_string ~indent:2 doc))
+
 (* --- Table ------------------------------------------------------------ *)
 
 let test_table_render () =
@@ -386,6 +485,45 @@ let test_pool_raises_earliest_failure () =
         (fun () -> ignore (Domain_pool.map ~jobs f [ 1; 2; 3; 4; 5; 6 ])))
     [ 1; 3 ]
 
+let test_pool_cancellation_skips_unstarted () =
+  (* One early crash must stop the batch paying for the rest of the
+     sweep: items claimed after the failure lands are skipped at the
+     cursor. The spin makes honest items slow enough that the flag is
+     set long before the cursor could cover the list. *)
+  let executed = Atomic.make 0 in
+  let spin () =
+    for _ = 0 to 200_000 do
+      ignore (Sys.opaque_identity 0)
+    done
+  in
+  let items = List.init 64 Fun.id in
+  Alcotest.check_raises "failure still wins" (Failure "boom") (fun () ->
+      ignore
+        (Domain_pool.map ~jobs:2
+           (fun i ->
+             if i = 0 then failwith "boom";
+             spin ();
+             Atomic.incr executed;
+             i)
+           items));
+  Alcotest.(check bool)
+    (Printf.sprintf "unstarted work skipped (executed %d of 63)"
+       (Atomic.get executed))
+    true
+    (Atomic.get executed < 32)
+
+let test_pool_sequential_failure_stops_early () =
+  let executed = ref 0 in
+  Alcotest.check_raises "sequential failure" (Failure "boom") (fun () ->
+      ignore
+        (Domain_pool.map ~jobs:1
+           (fun i ->
+             if i = 2 then failwith "boom";
+             incr executed;
+             i)
+           [ 0; 1; 2; 3; 4 ]));
+  Alcotest.(check int) "items after the failure never ran" 2 !executed
+
 let test_table_cells () =
   Alcotest.(check string) "float" "1.50" (Table.cell_float 1.5);
   Alcotest.(check string) "float decimals" "1.5"
@@ -451,6 +589,12 @@ let () =
           Alcotest.test_case "pretty" `Quick test_json_pretty_indents;
           Alcotest.test_case "float roundtrip" `Quick
             test_json_float_roundtrip;
+          Alcotest.test_case "parse values" `Quick test_json_parse_values;
+          Alcotest.test_case "parse error positions" `Quick
+            test_json_parse_positions;
+          Alcotest.test_case "parse depth cap" `Quick
+            test_json_parse_depth_cap;
+          qc prop_json_parse_inverts_render;
         ] );
       ( "domain_pool",
         [
@@ -463,6 +607,10 @@ let () =
           Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
           Alcotest.test_case "earliest failure wins" `Quick
             test_pool_raises_earliest_failure;
+          Alcotest.test_case "cancellation skips unstarted work" `Quick
+            test_pool_cancellation_skips_unstarted;
+          Alcotest.test_case "sequential failure stops early" `Quick
+            test_pool_sequential_failure_stops_early;
         ] );
       ( "table",
         [
