@@ -20,6 +20,32 @@ let section name description =
   Printf.printf "\n==================== %s ====================\n%s\n\n" name
     description
 
+(* Machine-readable metrics: sections push stable-keyed values here
+   and the driver writes them all to BENCH_<rev>.json after the run
+   ([rev] from MHLA_BENCH_REV, default "dev"), so successive
+   revisions' numbers can be diffed mechanically. *)
+let bench_metrics : (string * Mhla_util.Json.t) list ref = ref []
+
+let metric key value = bench_metrics := (key, value) :: !bench_metrics
+
+let write_metrics () =
+  match List.rev !bench_metrics with
+  | [] -> ()
+  | metrics ->
+    let rev =
+      match Sys.getenv_opt "MHLA_BENCH_REV" with
+      | Some r when r <> "" -> r
+      | Some _ | None -> "dev"
+    in
+    let file = Printf.sprintf "BENCH_%s.json" rev in
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Mhla_util.Json.to_channel ~indent:2 oc (Mhla_util.Json.obj metrics);
+        output_char oc '\n');
+    Printf.printf "\nwrote %s (%d metrics)\n" file (List.length metrics)
+
 (* Per-app results on the default platform, computed once and shared by
    FIG2 / FIG3 / TAB1. *)
 let default_results =
@@ -55,17 +81,64 @@ let tab1 () =
 
 let ext_pareto () =
   section "EXT-PARETO"
-    "Trade-off exploration over on-chip sizes (abstract: 'thorough\n\
-     trade-off exploration for different memory layer sizes').";
-  let sizes = Mhla_arch.Presets.sweep_sizes ~min_bytes:256 ~max_bytes:8192 in
+    "Trade-off exploration over per-layer budget vectors (abstract:\n\
+     'thorough trade-off exploration for different memory layer\n\
+     sizes'): the branch-and-bound frontier engine over a 5x5 L1/L2\n\
+     grid spanning past SRAM energy saturation, where the lower-bound\n\
+     test starts discarding provably dominated vectors. Pruning ratio\n\
+     = grid points / points actually solved (> 1 means the bound\n\
+     paid for itself).";
+  let axes =
+    [ [ 1024; 4096; 16384; 65536; 262144 ];
+      [ 2048; 8192; 32768; 131072; 524288 ] ]
+  in
+  let grid = List.length (Mhla_arch.Presets.budget_grid ~axes) in
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("grid", Table.Right);
+          ("evaluated", Table.Right);
+          ("pruned", Table.Right);
+          ("frontier", Table.Right);
+          ("wall (s)", Table.Right);
+          ("points/s", Table.Right);
+          ("pruning ratio", Table.Right) ]
+  in
   List.iter
     (fun name ->
       let app = Apps.find_exn name in
       let program = Lazy.force app.Mhla_apps.Defs.program in
-      Printf.printf "--- %s ---\n" name;
-      Table.print (Report.sweep_table (Explore.sweep ~sizes program));
-      print_newline ())
-    [ "motion_estimation"; "cavity_detector"; "mp3_filterbank" ]
+      let t0 = Unix.gettimeofday () in
+      let outcome = Explore.pareto ~axes program in
+      let wall = Unix.gettimeofday () -. t0 in
+      let s = outcome.Explore.stats in
+      let frontier = Mhla_util.Pareto.Nd.size outcome.Explore.frontier in
+      let points_per_s = float_of_int s.Explore.evaluated /. wall in
+      let pruning_ratio =
+        float_of_int s.Explore.grid_points
+        /. float_of_int (max 1 s.Explore.evaluated)
+      in
+      let key metric_name = Printf.sprintf "ext_pareto.%s.%s" name metric_name in
+      metric (key "grid_points") (Mhla_util.Json.int s.Explore.grid_points);
+      metric (key "evaluated") (Mhla_util.Json.int s.Explore.evaluated);
+      metric (key "pruned") (Mhla_util.Json.int s.Explore.pruned);
+      metric (key "frontier_size") (Mhla_util.Json.int frontier);
+      metric (key "wall_s") (Mhla_util.Json.float wall);
+      metric (key "points_per_s") (Mhla_util.Json.float points_per_s);
+      metric (key "pruning_ratio") (Mhla_util.Json.float pruning_ratio);
+      Table.add_row table
+        [ name;
+          Table.cell_int s.Explore.grid_points;
+          Table.cell_int s.Explore.evaluated;
+          Table.cell_int s.Explore.pruned;
+          Table.cell_int frontier;
+          Table.cell_float ~decimals:3 wall;
+          Table.cell_float ~decimals:1 points_per_s;
+          Table.cell_float pruning_ratio ])
+    [ "motion_estimation"; "cavity_detector"; "mp3_filterbank" ];
+  Table.print table;
+  Printf.printf "(grid: %d budget vectors per application)\n" grid
 
 let ext_order () =
   section "EXT-ORDER"
@@ -1116,4 +1189,5 @@ let () =
         Printf.eprintf "unknown section %s (have: %s)\n" name
           (String.concat ", " (List.map fst sections));
         exit 2)
-    requested
+    requested;
+  write_metrics ()

@@ -6,6 +6,7 @@
      run APP [--onchip N] ...  the full two-step flow with a report
      emit APP                  pseudo-C of the transformed program
      sweep APP [--min/--max]   trade-off exploration over on-chip sizes
+     pareto APP [--level ...]  budget-vector frontier over per-layer sizes
      figures                   regenerate the paper's Figures 2 and 3
      robustness APP [--seed]   fault-injected TE stall inflation (EXT-FAULT)
      check APP [--Werror] ...  static verification of the solver output
@@ -338,6 +339,94 @@ let sweep_cmd =
       const run $ app_arg $ min_arg $ max_arg $ dma_arg $ objective_arg
       $ mode_arg $ jobs_arg $ deadline_arg $ json_arg $ verbosity_term
       $ trace_arg)
+
+let pareto_cmd =
+  let run name axes levels min_bytes max_bytes dma objective search jobs
+      deadline_ms json verbosity trace =
+    guarded @@ fun () ->
+    let app = find_app name in
+    (match jobs with
+    | Some j when j < 1 ->
+      Error.invalidf ~context:"mhla" ~hint:"pass -j a positive worker count"
+        "jobs must be at least 1 (got %d)" j
+    | _ -> ());
+    let program = Lazy.force app.Mhla_apps.Defs.program in
+    let axes =
+      match axes with
+      | [] -> Mhla_arch.Presets.budget_axes ~levels ~min_bytes ~max_bytes
+      | axes -> axes
+    in
+    let config = { Assign.default_config with Assign.objective } in
+    let checkpoint = checkpoint_of deadline_ms in
+    let outcome =
+      with_telemetry ~trace ~verbosity @@ fun telemetry ->
+      Explore.pareto ~config ~dma ~search ?jobs ~telemetry ?checkpoint ~axes
+        program
+    in
+    if json then
+      print_endline
+        (Mhla_util.Json.to_string ~indent:2 (Report.pareto_to_json outcome))
+    else if verbosity <> Quiet then begin
+      Table.print (Report.pareto_table outcome);
+      let s = outcome.Explore.stats in
+      Fmt.pr
+        "frontier: %d of %d grid point(s) (%d evaluated, %d pruned, %d \
+         region(s) pruned wholesale)@."
+        (Mhla_util.Pareto.Nd.size outcome.Explore.frontier)
+        s.Explore.grid_points s.Explore.evaluated s.Explore.pruned
+        s.Explore.regions_pruned
+    end;
+    if outcome.Explore.partial then
+      Fmt.epr
+        "warning: deadline expired mid-search; the frontier is the best \
+         surface seen so far, not the complete one@."
+  in
+  let level_arg =
+    Arg.(
+      value
+      & opt_all (list int) []
+      & info [ "level" ] ~docv:"SIZES"
+          ~doc:
+            "Candidate sizes (comma-separated bytes) for one on-chip \
+             level; repeat the flag once per level, innermost first. \
+             Overrides $(b,--levels)/$(b,--min)/$(b,--max).")
+  in
+  let levels_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "levels" ] ~docv:"N"
+          ~doc:
+            "Number of on-chip levels when no $(b,--level) axes are \
+             given; each level then sweeps the $(b,--min)..$(b,--max) \
+             ladder.")
+  in
+  let min_arg =
+    Arg.(value & opt int 128
+         & info [ "min" ] ~docv:"BYTES" ~doc:"Smallest generated size.")
+  in
+  let max_arg =
+    Arg.(value & opt int 8192
+         & info [ "max" ] ~docv:"BYTES" ~doc:"Largest generated size.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains exploring grid regions in parallel; defaults \
+             to the machine's recommended domain count. The frontier is \
+             identical for every $(docv).")
+  in
+  let doc =
+    "Explore the per-layer budget grid of an application and report the \
+     (size, time, energy) Pareto frontier."
+  in
+  Cmd.v (Cmd.info "pareto" ~doc)
+    Term.(
+      const run $ app_arg $ level_arg $ levels_arg $ min_arg $ max_arg
+      $ dma_arg $ objective_arg $ search_arg $ jobs_arg $ deadline_arg
+      $ json_arg $ verbosity_term $ trace_arg)
 
 let figures_cmd =
   let run json =
@@ -1004,6 +1093,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; figures_cmd;
-            robustness_cmd; check_cmd; fuzz_cmd; batch_cmd; serve_cmd;
-            soak_cmd ]))
+          [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; pareto_cmd;
+            figures_cmd; robustness_cmd; check_cmd; fuzz_cmd; batch_cmd;
+            serve_cmd; soak_cmd ]))

@@ -118,24 +118,44 @@ let recomputed_peaks ?schedule ~policy (m : Mapping.t) =
       (level, Occupancy.peak_bytes policy blocks))
     (Hierarchy.on_chip_levels m.Mapping.hierarchy)
 
+let budget_for (s : Pass.subject) level =
+  match s.Pass.layer_budgets with
+  | None -> None
+  | Some budgets -> List.nth_opt budgets level
+
 let run (s : Pass.subject) =
   match s.Pass.mapping with
   | None -> []
   | Some m ->
-    List.filter_map
+    List.concat_map
       (fun (level, peak) ->
         let layer = Hierarchy.layer m.Mapping.hierarchy level in
-        match layer.Layer.capacity_bytes with
-        | None -> None
-        | Some capacity ->
-          if peak > capacity then
-            Some
-              (Diagnostic.makef ~code:"MHLA201"
-                 ~severity:Diagnostic.Error ~pass:name
-                 ~loc:(Diagnostic.location ~layer:level ())
-                 "recomputed peak occupancy is %dB but layer %s holds %dB"
-                 peak layer.Layer.name capacity)
-          else None)
+        let over_capacity =
+          match layer.Layer.capacity_bytes with
+          | None -> []
+          | Some capacity ->
+            if peak > capacity then
+              [ Diagnostic.makef ~code:"MHLA201"
+                  ~severity:Diagnostic.Error ~pass:name
+                  ~loc:(Diagnostic.location ~layer:level ())
+                  "recomputed peak occupancy is %dB but layer %s holds %dB"
+                  peak layer.Layer.name capacity ]
+            else []
+        in
+        let over_budget =
+          match budget_for s level with
+          | None -> []
+          | Some budget ->
+            if peak > budget then
+              [ Diagnostic.makef ~code:"MHLA202"
+                  ~severity:Diagnostic.Error ~pass:name
+                  ~loc:(Diagnostic.location ~layer:level ())
+                  "recomputed peak occupancy is %dB but the exploration \
+                   budget for layer %s is %dB"
+                  peak layer.Layer.name budget ]
+            else []
+        in
+        over_capacity @ over_budget)
       (recomputed_peaks ?schedule:s.Pass.schedule ~policy:s.Pass.policy m)
 
 let pass =
@@ -143,7 +163,8 @@ let pass =
     Pass.name;
     description =
       "per-layer peak occupancy, recomputed from copy lifetimes plus TE \
-       extra buffers, stays within every on-chip capacity";
-    codes = [ "MHLA201" ];
+       extra buffers, stays within every on-chip capacity and, when the \
+       subject names one, the per-layer exploration budget";
+    codes = [ "MHLA201"; "MHLA202" ];
     run;
   }

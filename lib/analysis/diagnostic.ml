@@ -96,6 +96,10 @@ let catalogue =
     ( "MHLA201", Error,
       "a layer's recomputed peak occupancy (copy lifetimes plus TE extra \
        buffers) exceeds its capacity" );
+    ( "MHLA202", Error,
+      "a layer's recomputed peak occupancy exceeds the per-layer \
+       exploration budget the subject was checked under (a constraint \
+       tighter than the physical capacity)" );
     ("MHLA301", Warning, "a declared array is never accessed");
     ("MHLA302", Warning, "an array is written but never read");
     ( "MHLA303", Info,

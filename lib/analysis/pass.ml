@@ -3,14 +3,16 @@ type subject = {
   mapping : Mhla_core.Mapping.t option;
   schedule : Mhla_core.Prefetch.schedule option;
   policy : Mhla_lifetime.Occupancy.policy;
+  layer_budgets : int list option;
 }
 
 let subject ?mapping ?schedule ?(policy = Mhla_lifetime.Occupancy.In_place)
-    program =
-  { program; mapping; schedule; policy }
+    ?layer_budgets program =
+  { program; mapping; schedule; policy; layer_budgets }
 
-let of_mapping ?schedule ?policy (m : Mhla_core.Mapping.t) =
-  subject ~mapping:m ?schedule ?policy m.Mhla_core.Mapping.program
+let of_mapping ?schedule ?policy ?layer_budgets (m : Mhla_core.Mapping.t) =
+  subject ~mapping:m ?schedule ?policy ?layer_budgets
+    m.Mhla_core.Mapping.program
 
 type t = {
   name : string;

@@ -12,18 +12,25 @@ type subject = {
   policy : Mhla_lifetime.Occupancy.policy;
       (** sizing policy the capacity pass recomputes under; must match
           what the solver used (default [In_place]) *)
+  layer_budgets : int list option;
+      (** the per-layer budget vector the solve was constrained by,
+          innermost level first, when tighter than the capacities (see
+          {!Mhla_core.Assign.config}); the capacity pass re-checks the
+          mapping against it independently (default [None]) *)
 }
 
 val subject :
   ?mapping:Mhla_core.Mapping.t ->
   ?schedule:Mhla_core.Prefetch.schedule ->
   ?policy:Mhla_lifetime.Occupancy.policy ->
+  ?layer_budgets:int list ->
   Mhla_ir.Program.t ->
   subject
 
 val of_mapping :
   ?schedule:Mhla_core.Prefetch.schedule ->
   ?policy:Mhla_lifetime.Occupancy.policy ->
+  ?layer_budgets:int list ->
   Mhla_core.Mapping.t ->
   subject
 (** The mapping's own program becomes the subject's program. *)

@@ -9,6 +9,7 @@ type config = {
   policy : Mhla_lifetime.Occupancy.policy;
   allow_array_promotion : bool;
   max_chain_length : int;
+  layer_budgets : int list option;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     policy = Mhla_lifetime.Occupancy.In_place;
     allow_array_promotion = true;
     max_chain_length = 2;
+    layer_budgets = None;
   }
 
 type step = { description : string; gain : float; objective_after : float }
@@ -159,7 +161,33 @@ let moves_with ~alts config m = placement_moves_of m alts @ array_moves config m
 let moves config (m : Mapping.t) =
   moves_with ~alts:(all_alternatives config m) config m
 
-let feasible config m = Mapping.occupancy_ok ~policy:config.policy m
+(* Budgets tighter than the physical capacities: peak occupancy of
+   on-chip level [i] must also stay within [budgets.(i)]. A shorter
+   list leaves the remaining levels capacity-bound only. *)
+let within_budgets config (m : Mapping.t) =
+  match config.layer_budgets with
+  | None -> true
+  | Some budgets ->
+    let rec check levels budgets =
+      match (levels, budgets) with
+      | _, [] -> true
+      | [], _ :: _ ->
+        Mhla_util.Error.invalidf ~context:"Assign.feasible"
+          ~hint:"give at most one budget per on-chip level"
+          "more layer budgets than on-chip levels"
+      | level :: ls, b :: bs ->
+        if b < 0 then
+          Mhla_util.Error.invalidf ~context:"Assign.feasible"
+            "negative budget %d for level %d" b level;
+        Mhla_lifetime.Occupancy.peak_bytes config.policy
+          (Mapping.layer_blocks m ~level)
+        <= b
+        && check ls bs
+    in
+    check (Hierarchy.on_chip_levels m.Mapping.hierarchy) budgets
+
+let feasible config m =
+  Mapping.occupancy_ok ~policy:config.policy m && within_budgets config m
 
 (* Strict-improvement threshold: relative 1e-9 guards against float
    noise causing non-termination. *)

@@ -20,13 +20,20 @@ type config = {
   max_chain_length : int;
       (** cap on copy-chain depth; the hierarchy's on-chip depth is
           also always a cap *)
+  layer_budgets : int list option;
+      (** per-layer byte budgets tighter than the physical capacities,
+          innermost level first; [None] (the default) constrains by
+          capacity alone. A shorter list leaves the remaining levels
+          capacity-bound. Budgets cap the assignment step's occupancy;
+          to also cap the TE double buffers, shrink the hierarchy
+          itself (what {!Explore.pareto} does per grid point). *)
 }
 
 val default_config : config
 (** Energy-delay objective (the balanced trade-off point the figures
     report), [Delta] transfers (the full technique with inter-copy
     reuse), in-place sizing, array promotion on, chains up to depth
-    2. *)
+    2, no layer budgets. *)
 
 (** One applied move, for reporting. *)
 type step = {
@@ -71,7 +78,10 @@ val moves : config -> Mapping.t -> move list
     promotions/demotions (when allowed). *)
 
 val feasible : config -> Mapping.t -> bool
-(** Occupancy of every on-chip layer under the config's policy. *)
+(** Occupancy of every on-chip layer under the config's policy, plus
+    the config's per-layer budgets when set.
+    @raise Mhla_util.Error.Error on a negative budget or more budgets
+    than on-chip levels. *)
 
 val greedy :
   ?config:config ->

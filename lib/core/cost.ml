@@ -112,6 +112,30 @@ let evaluate ?hidden_per_issue (m : Mapping.t) =
 let ideal (m : Mapping.t) =
   evaluate ~hidden_per_issue:(fun _ -> max_int) m
 
+let lower_bound ~infos program hierarchy =
+  let layers = hierarchy.Hierarchy.layers in
+  let fold f init = List.fold_left f init layers in
+  let min_latency =
+    fold (fun a (l : Layer.t) -> min a l.Layer.latency_cycles) max_int
+  in
+  let min_read =
+    fold (fun a (l : Layer.t) -> Float.min a l.Layer.read_energy_pj) infinity
+  in
+  let min_write =
+    fold (fun a (l : Layer.t) -> Float.min a l.Layer.write_energy_pj) infinity
+  in
+  let add (stall, energy) (info : Analysis.info) =
+    let n = info.Analysis.executions in
+    let e =
+      match info.Analysis.direction with
+      | Mhla_ir.Access.Read -> float_of_int n *. min_read
+      | Mhla_ir.Access.Write -> float_of_int n *. min_write
+    in
+    (stall + (n * min_latency), energy +. e)
+  in
+  let stall, energy = List.fold_left add (0, 0.) infos in
+  (Mhla_ir.Program.total_work_cycles program + stall, energy)
+
 type objective = Energy | Cycles | Energy_delay
 
 let scalar objective b =

@@ -59,6 +59,20 @@ val ideal : Mapping.t -> breakdown
 (** Every block transfer fully hidden — the paper's "0 wait cycles
     block transfer time" bound that TE pushes towards. *)
 
+val lower_bound :
+  infos:Mhla_reuse.Analysis.info list ->
+  Mhla_ir.Program.t ->
+  Mhla_arch.Hierarchy.t ->
+  int * float
+(** [(cycles_floor, energy_floor)]: a bound no mapping of [program]
+    onto [hierarchy] can beat — compute plus every access served at
+    the cheapest layer's latency (resp. energy), with zero transfer,
+    stall and DMA cost. Because the SRAM model's latency and energy
+    grow with capacity, the bound is {e monotone} in the hierarchy's
+    layer capacities: the floor of a budget box's min corner bounds
+    every point in the box, which is what lets the branch-and-bound
+    of {!Explore.pareto} prune whole regions soundly. *)
+
 (** What the assignment step minimises. *)
 type objective = Energy | Cycles | Energy_delay
 

@@ -79,12 +79,15 @@ val sweep :
   Mhla_ir.Program.t ->
   sweep_point list
 (** Two-level platforms of each size ([dma] defaults to [true]).
+    [sizes] is deduped and sorted ascending before fanning out, so a
+    duplicated size never burns a worker domain on identical work;
+    points come back in that normalised order.
 
     Points are independent, so they run on a {!Mhla_util.Domain_pool}
     of [jobs] worker domains (default
     [Domain.recommended_domain_count]); the reuse analysis is computed
-    once and shared. Results come back in [sizes] order and are
-    identical for every [jobs] value — [jobs:1] is plain [List.map].
+    once and shared. Results are identical for every [jobs] value —
+    [jobs:1] is plain [List.map].
 
     [telemetry] (default noop) gives each worker domain its own child
     sink (one [sweep.worker] span per worker, a [sweep.point] span with
@@ -104,3 +107,84 @@ val pareto_energy : sweep_point list -> sweep_point Mhla_util.Pareto.t
 
 val pareto_cycles : sweep_point list -> sweep_point Mhla_util.Pareto.t
 (** Frontier of (on-chip bytes, cycles after step 2). *)
+
+(** {2 Per-layer budget-vector exploration}
+
+    The full design-space search the paper's "thorough trade-off
+    exploration" calls for: instead of one scalar on-chip size, every
+    on-chip level gets its own budget axis, and the surface explored
+    is (on-chip size, execution time, energy) — three objectives, all
+    minimised. *)
+
+type pareto_point = {
+  budgets : int list;  (** bytes per on-chip level, innermost first *)
+  point_result : result;  (** the full flow at that platform *)
+}
+
+type pareto_stats = {
+  grid_points : int;  (** budget vectors in the grid *)
+  evaluated : int;  (** vectors actually solved *)
+  pruned : int;  (** vectors skipped by the bound test *)
+  deadline_skipped : int;  (** vectors abandoned after expiry *)
+  regions : int;  (** branch-and-bound work units *)
+  regions_pruned : int;  (** regions discarded wholesale *)
+}
+
+type pareto_outcome = {
+  frontier : pareto_point Mhla_util.Pareto.Nd.t;
+  stats : pareto_stats;
+  partial : bool;
+      (** [true] when a deadline expired mid-search: the frontier is
+          the best surface seen so far, not the complete one *)
+}
+
+val pareto_objectives : pareto_point -> float array
+(** [[| total on-chip bytes; cycles after TE; energy after TE |]] —
+    the vector the frontier orders points by. *)
+
+val pareto :
+  ?config:Assign.config ->
+  ?order:Prefetch.order ->
+  ?dma:bool ->
+  ?search:search ->
+  ?jobs:int ->
+  ?telemetry:Mhla_obs.Telemetry.t ->
+  ?checkpoint:(unit -> unit) ->
+  ?reuse:Mapping.reuse ->
+  ?on_point:(pareto_point -> unit) ->
+  axes:int list list ->
+  Mhla_ir.Program.t ->
+  pareto_outcome
+(** Branch-and-bound over the budget grid of [axes] (one candidate
+    size list per on-chip level, see
+    {!Mhla_arch.Presets.budget_grid}); each explored vector runs the
+    full {!run} flow on the {!Mhla_arch.Presets.multi_level} platform
+    it names, sharing one reuse precompute.
+
+    Pruning: a region (a run of the grid along the innermost axis) is
+    discarded when some already-evaluated point has strictly smaller
+    total size and beats the region's {!Cost.lower_bound} at its min
+    corner on both cycles and energy — which proves every point of the
+    region strictly dominated, whatever the search would return for
+    it. Evaluated points are shared across the {!Mhla_util.Domain_pool}
+    workers through an atomic frontier snapshot, so later regions
+    prune against everything already known. Because pruned points are
+    {e provably} off the frontier, the returned frontier — folded from
+    the evaluated points in canonical grid order, first writer winning
+    ties — is bit-identical for every [jobs] value; only [stats] (how
+    much was pruned, a timing-dependent quantity) may differ between
+    runs with [jobs > 1].
+
+    [on_point] fires from worker domains as each point is solved (the
+    anytime emission hook: combine with {!pareto_objectives} to stream
+    frontier updates); it must be thread-safe. [telemetry] records a
+    [pareto.region] span per region, [pareto.point] /
+    [pareto.region_pruned] instants, and each worker's stream under
+    its own child sink; with [jobs > 1] the pruning events are
+    timing-dependent, unlike {!sweep}'s.
+
+    [checkpoint] (typically a deadline guard) is passed to every
+    point's {!run}; a raise with kind [Deadline] abandons the search
+    {e gracefully}: remaining points are skipped, [partial] is set,
+    and the best-so-far surface is returned instead of the exception
+    propagating. Other exceptions propagate. *)

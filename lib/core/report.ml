@@ -210,6 +210,62 @@ let headline_table results =
     results;
   table
 
+let pareto_stats_to_json (s : Explore.pareto_stats) =
+  Json.obj
+    [ ("grid_points", Json.int s.Explore.grid_points);
+      ("evaluated", Json.int s.Explore.evaluated);
+      ("pruned", Json.int s.Explore.pruned);
+      ("deadline_skipped", Json.int s.Explore.deadline_skipped);
+      ("regions", Json.int s.Explore.regions);
+      ("regions_pruned", Json.int s.Explore.regions_pruned) ]
+
+let pareto_point_to_json (p : Explore.pareto_point) =
+  let r = p.Explore.point_result in
+  Json.obj
+    [ ("budgets", Json.arr (List.map Json.int p.Explore.budgets));
+      ( "onchip_bytes",
+        Json.int (List.fold_left ( + ) 0 p.Explore.budgets) );
+      ("cycles", Json.int r.Explore.after_te.Cost.total_cycles);
+      ("energy_pj", Json.float r.Explore.after_te.Cost.total_energy_pj);
+      ("time_vs_baseline", Json.float (Explore.time_after_te r));
+      ("energy_vs_baseline", Json.float (Explore.energy_after_te r)) ]
+
+let pareto_to_json (o : Explore.pareto_outcome) =
+  Json.obj
+    [ ("partial", Json.bool o.Explore.partial);
+      ( "frontier",
+        Json.arr
+          (List.map
+             (fun p ->
+               pareto_point_to_json (Mhla_util.Pareto.Nd.payload p))
+             (Mhla_util.Pareto.Nd.to_list o.Explore.frontier)) );
+      ("stats", pareto_stats_to_json o.Explore.stats) ]
+
+let pareto_table (o : Explore.pareto_outcome) =
+  let table =
+    Table.create
+      ~columns:
+        [ ("budgets (bytes/level)", Table.Left);
+          ("on-chip total", Table.Right);
+          ("cycles MHLA+TE", Table.Right);
+          ("energy (pJ)", Table.Right);
+          ("time vs base", Table.Right);
+          ("energy vs base", Table.Right) ]
+  in
+  List.iter
+    (fun nd ->
+      let p = Mhla_util.Pareto.Nd.payload nd in
+      let r = p.Explore.point_result in
+      Table.add_row table
+        [ String.concat "+" (List.map string_of_int p.Explore.budgets);
+          Table.cell_int (List.fold_left ( + ) 0 p.Explore.budgets);
+          Table.cell_int r.Explore.after_te.Cost.total_cycles;
+          Table.cell_float ~decimals:0 r.Explore.after_te.Cost.total_energy_pj;
+          Table.cell_float (Explore.time_after_te p.Explore.point_result);
+          Table.cell_float (Explore.energy_after_te p.Explore.point_result) ])
+    (Mhla_util.Pareto.Nd.to_list o.Explore.frontier);
+  table
+
 let sweep_table points =
   let table =
     Table.create

@@ -20,7 +20,17 @@ val headline_table : (string * Explore.result) list -> Mhla_util.Table.t
 (** TAB1: per-application percentage gains quoted in §3 of the paper. *)
 
 val sweep_table : Explore.sweep_point list -> Mhla_util.Table.t
-(** EXT-PARETO: per-size cycles/energy after each step. *)
+(** Per-size cycles/energy after each step of a scalar sweep. *)
+
+val pareto_table : Explore.pareto_outcome -> Mhla_util.Table.t
+(** The (size, time, energy) frontier of a budget-vector exploration,
+    one row per surviving point in canonical order. *)
+
+val pareto_to_json : Explore.pareto_outcome -> Mhla_util.Json.t
+(** Machine-readable frontier: [partial] marker, the frontier points
+    (budgets, objectives, normalised views) in canonical order, and
+    the search statistics. The [frontier] array is identical for every
+    worker count; [stats] may not be (pruning is timing-dependent). *)
 
 val result_to_json : name:string -> Explore.result -> Mhla_util.Json.t
 (** Machine-readable result: the four design points' full breakdowns,

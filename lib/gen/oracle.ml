@@ -15,7 +15,7 @@ type failure = { check : string; detail : string }
 let check_names =
   [
     "json"; "engine"; "xval"; "verifier-greedy"; "verifier-anneal"; "interp";
-    "faults";
+    "faults"; "pareto";
   ]
 
 (* Kept low: the annealing leg runs once per fuzz case, and the CI gate
@@ -118,6 +118,43 @@ let failures ?(mutate = No_mutation) ~onchip_bytes program =
             (Fmt.str "%s: fault-free stream outside the analytic envelope (%d)"
                p.Robustness.check_id p.Robustness.slack_margin_cycles))
       rob.Robustness.plans;
+    (* The frontier engine must agree with brute force: on a tiny
+       single-axis grid, Explore.pareto (pruning, shared snapshot and
+       all) must render exactly the frontier a plain fold of
+       Explore.run over every grid point yields — this subsumes
+       non-domination and the claimed-point containment guarantee. *)
+    (let axes =
+       [ List.sort_uniq compare [ max 1 (onchip_bytes / 2); onchip_bytes ] ]
+     in
+     let outcome = Explore.pareto ~jobs:1 ~axes program in
+     let brute =
+       Mhla_util.Pareto.Nd.of_list
+         (List.map
+            (fun budgets ->
+              let h =
+                Mhla_arch.Presets.multi_level ~level_bytes:budgets ()
+              in
+              let p =
+                { Explore.budgets; point_result = Explore.run program h }
+              in
+              Mhla_util.Pareto.Nd.point
+                ~objectives:(Explore.pareto_objectives p)
+                p)
+            (Mhla_arch.Presets.budget_grid ~axes))
+     in
+     let vectors f =
+       List.map Mhla_util.Pareto.Nd.objectives
+         (Mhla_util.Pareto.Nd.to_list f)
+     in
+     let got = vectors outcome.Explore.frontier
+     and want = vectors brute in
+     if got <> want then
+       fail "pareto"
+         (Fmt.str "frontier %a <> brute-force frontier %a"
+            Fmt.(brackets (list ~sep:semi (array ~sep:comma float)))
+            got
+            Fmt.(brackets (list ~sep:semi (array ~sep:comma float)))
+            want));
     List.rev !fails
   with e -> [ { check = "exception"; detail = Printexc.to_string e } ]
 

@@ -37,8 +37,10 @@ val check_names : string list
     annealing solver outputs), ["interp"] (trace-interpreter access
     counts match the static and reuse-analysis counts), ["faults"]
     (fault-injected pipeline degrades without breaking the analytic
-    envelope). Any exception escaping the battery is caught and
-    reported as a single ["exception"] failure. *)
+    envelope), ["pareto"] (the branch-and-bound frontier over a tiny
+    budget grid is exactly the brute-force fold of the full flow over
+    every grid point). Any exception escaping the battery is caught
+    and reported as a single ["exception"] failure. *)
 
 val failures :
   ?mutate:mutation -> onchip_bytes:int -> Mhla_ir.Program.t -> failure list

@@ -8,6 +8,9 @@ module Faults = Mhla_sim.Faults
 type arch =
   | Two_level of { onchip_bytes : int; dma : bool }
   | Three_level of { l1_bytes : int; l2_bytes : int; dma : bool }
+  | Multi_level of { level_bytes : int list; dma : bool }
+
+type kind = Solve | Pareto of { axes : int list list }
 
 type inject = No_inject | Raise
 
@@ -17,6 +20,7 @@ type t = {
   id : string;
   program : Mhla_ir.Program.t;
   arch : arch;
+  kind : kind;
   objective : Cost.objective;
   transfer_mode : Candidate.transfer_mode;
   search : Explore.search;
@@ -25,13 +29,41 @@ type t = {
   inject : inject;
 }
 
-let make ?(objective = Cost.Energy_delay) ?(transfer_mode = Candidate.Delta)
-    ?(search = Explore.Greedy) ?deadline_ms ?fault_spec
-    ?(inject = No_inject) ~id ~arch program =
+let on_chip_levels = function
+  | Two_level _ -> 1
+  | Three_level _ -> 2
+  | Multi_level { level_bytes; _ } -> List.length level_bytes
+
+let dma_of_arch = function
+  | Two_level { dma; _ } | Three_level { dma; _ } | Multi_level { dma; _ }
+    ->
+    dma
+
+let check_kind ~context ~arch ~transfer_mode ~fault_spec = function
+  | Solve -> ()
+  | Pareto { axes } ->
+    if transfer_mode <> Candidate.Delta then
+      Error.invalidf ~context
+        "a pareto request cannot set a transfer mode (the \"mode\" field \
+         carries \"pareto\")";
+    if fault_spec <> None then
+      Error.invalidf ~context
+        "the faults rider applies to a single solve, not a pareto surface";
+    let expected = on_chip_levels arch in
+    if List.length axes <> expected then
+      Error.invalidf ~context
+        "the grid has %d axes but the arch has %d on-chip level(s)"
+        (List.length axes) expected
+
+let make ?(kind = Solve) ?(objective = Cost.Energy_delay)
+    ?(transfer_mode = Candidate.Delta) ?(search = Explore.Greedy)
+    ?deadline_ms ?fault_spec ?(inject = No_inject) ~id ~arch program =
+  check_kind ~context:"Request.make" ~arch ~transfer_mode ~fault_spec kind;
   {
     id;
     program;
     arch;
+    kind;
     objective;
     transfer_mode;
     search;
@@ -46,6 +78,10 @@ let hierarchy t =
     Mhla_arch.Presets.two_level ~dma ~onchip_bytes ()
   | Three_level { l1_bytes; l2_bytes; dma } ->
     Mhla_arch.Presets.three_level ~dma ~l1_bytes ~l2_bytes ()
+  | Multi_level { level_bytes; dma } ->
+    Mhla_arch.Presets.multi_level ~dma ~level_bytes ()
+
+let dma t = dma_of_arch t.arch
 
 (* --- encoding ---------------------------------------------------------- *)
 
@@ -65,6 +101,10 @@ let arch_to_json = function
   | Three_level { l1_bytes; l2_bytes; dma } ->
     Json.obj
       [ ("l1_bytes", Json.int l1_bytes); ("l2_bytes", Json.int l2_bytes);
+        ("dma", Json.bool dma) ]
+  | Multi_level { level_bytes; dma } ->
+    Json.obj
+      [ ("level_bytes", Json.arr (List.map Json.int level_bytes));
         ("dma", Json.bool dma) ]
 
 let search_to_json = function
@@ -101,8 +141,16 @@ let to_json t =
         (if t.objective = Cost.Energy_delay then []
          else [ ("objective", Json.str (objective_name t.objective)) ])
     @ optional
-        (if t.transfer_mode = Candidate.Delta then []
-         else [ ("mode", Json.str (mode_name t.transfer_mode)) ])
+        (match t.kind with
+        | Pareto { axes } ->
+          [ ("mode", Json.str "pareto");
+            ("grid",
+             Json.arr
+               (List.map (fun axis -> Json.arr (List.map Json.int axis)) axes))
+          ]
+        | Solve ->
+          if t.transfer_mode = Candidate.Delta then []
+          else [ ("mode", Json.str (mode_name t.transfer_mode)) ])
     @ optional
         (match t.search with
         | Explore.Greedy -> []
@@ -147,8 +195,12 @@ let field ~path fields name =
   | None -> fail ~path "missing field %S" name
 
 let allowed_top =
-  [ "id"; "program"; "arch"; "objective"; "mode"; "search"; "deadline_ms";
-    "faults"; "inject" ]
+  [ "id"; "program"; "arch"; "objective"; "mode"; "grid"; "search";
+    "deadline_ms"; "faults"; "inject" ]
+
+let as_arr ~path = function
+  | Json.Arr xs -> xs
+  | _ -> fail ~path "expected an array"
 
 let arch_of_json ~path j =
   let fields = as_obj ~path j in
@@ -177,10 +229,18 @@ let arch_of_json ~path j =
           as_int ~path:(path ^ ".l2_bytes") (field ~path fields "l2_bytes");
         dma;
       }
+  | [ "level_bytes" ] ->
+    let path' = path ^ ".level_bytes" in
+    let level_bytes =
+      List.map (as_int ~path:path')
+        (as_arr ~path:path' (field ~path fields "level_bytes"))
+    in
+    if level_bytes = [] then fail ~path:path' "must name at least one level";
+    Multi_level { level_bytes; dma }
   | _ ->
     fail ~path
-      "expected either {\"onchip_bytes\", \"dma\"?} or {\"l1_bytes\", \
-       \"l2_bytes\", \"dma\"?}"
+      "expected {\"onchip_bytes\", \"dma\"?}, {\"l1_bytes\", \"l2_bytes\", \
+       \"dma\"?} or {\"level_bytes\", \"dma\"?}"
 
 let objective_of_json ~path j =
   match as_str ~path j with
@@ -190,11 +250,21 @@ let objective_of_json ~path j =
   | s ->
     fail ~path "bad objective %S (energy | cycles | energy-delay)" s
 
-let mode_of_json ~path j =
-  match as_str ~path j with
-  | "full" -> Candidate.Full
-  | "delta" -> Candidate.Delta
-  | s -> fail ~path "bad transfer mode %S (full | delta)" s
+let grid_of_json ~path j =
+  let axes =
+    List.mapi
+      (fun i axis ->
+        let path = Printf.sprintf "%s[%d]" path i in
+        let sizes = List.map (as_int ~path) (as_arr ~path axis) in
+        if sizes = [] then fail ~path "an axis must name at least one size";
+        List.iter
+          (fun b -> if b <= 0 then fail ~path "sizes must be > 0 (got %d)" b)
+          sizes;
+        sizes)
+      (as_arr ~path j)
+  in
+  if axes = [] then fail ~path "the grid must name at least one axis";
+  axes
 
 let search_of_json ~path j =
   let fields = as_obj ~path j in
@@ -261,9 +331,22 @@ let of_json j =
   let objective =
     Option.value ~default:Cost.Energy_delay (opt "objective" objective_of_json)
   in
-  let transfer_mode =
-    Option.value ~default:Candidate.Delta (opt "mode" mode_of_json)
+  let kind, transfer_mode =
+    match
+      Option.map (as_str ~path:"$.mode") (List.assoc_opt "mode" fields)
+    with
+    | None -> (Solve, Candidate.Delta)
+    | Some "full" -> (Solve, Candidate.Full)
+    | Some "delta" -> (Solve, Candidate.Delta)
+    | Some "pareto" ->
+      let axes =
+        grid_of_json ~path:"$.grid" (field ~path fields "grid")
+      in
+      (Pareto { axes }, Candidate.Delta)
+    | Some s -> fail ~path:"$.mode" "bad mode %S (full | delta | pareto)" s
   in
+  (if kind = Solve && List.mem_assoc "grid" fields then
+     fail ~path:"$.grid" "only valid when \"mode\" is \"pareto\"");
   let search = Option.value ~default:Explore.Greedy (opt "search" search_of_json) in
   let deadline_ms = opt "deadline_ms" as_int in
   (match deadline_ms with
@@ -273,10 +356,12 @@ let of_json j =
   let inject =
     Option.value ~default:No_inject (opt "inject" inject_of_json)
   in
+  check_kind ~context:"Request.of_json" ~arch ~transfer_mode ~fault_spec kind;
   {
     id;
     program;
     arch;
+    kind;
     objective;
     transfer_mode;
     search;

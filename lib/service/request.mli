@@ -23,11 +23,37 @@
     v}
 
     A three-level platform instead:
-    [{ "arch": { "l1_bytes": 512, "l2_bytes": 4096, "dma": true } }]. *)
+    [{ "arch": { "l1_bytes": 512, "l2_bytes": 4096, "dma": true } }],
+    and a platform of any depth:
+    [{ "arch": { "level_bytes": [512, 4096, 32768], "dma": true } }].
+
+    Setting ["mode": "pareto"] turns the request into a budget-vector
+    frontier exploration instead of a single solve: the mandatory
+    ["grid"] field names one ascending size axis per on-chip level
+    (see {!Mhla_core.Explore.pareto}), and the response payload is the
+    frontier plus search stats (see {!Service.run_request}). A pareto
+    request cannot carry a transfer-mode override (the ["mode"] field
+    is taken) nor a ["faults"] rider — those apply to single solves.
+
+    {v
+    { "id": "req-1",
+      "program": { ... },
+      "arch": { "level_bytes": [2048, 16384], "dma": true },
+      "mode": "pareto",
+      "grid": [[512, 1024, 2048], [4096, 16384]],
+      "deadline_ms": 2000 }
+    v} *)
 
 type arch =
   | Two_level of { onchip_bytes : int; dma : bool }
   | Three_level of { l1_bytes : int; l2_bytes : int; dma : bool }
+  | Multi_level of { level_bytes : int list; dma : bool }
+      (** innermost level first; must name at least one level *)
+
+(** What the request asks for: one solve, or a whole budget-vector
+    frontier ([axes] is one ascending size axis per on-chip level, fed
+    to {!Mhla_core.Explore.pareto}). *)
+type kind = Solve | Pareto of { axes : int list list }
 
 (** Chaos hooks, deliberately undocumented on the wire: [Raise] makes
     the worker raise a bare exception mid-request — the poisoned
@@ -43,6 +69,7 @@ type t = {
   id : string;
   program : Mhla_ir.Program.t;
   arch : arch;
+  kind : kind;
   objective : Mhla_core.Cost.objective;
   transfer_mode : Mhla_reuse.Candidate.transfer_mode;
   search : Mhla_core.Explore.search;
@@ -52,6 +79,7 @@ type t = {
 }
 
 val make :
+  ?kind:kind ->
   ?objective:Mhla_core.Cost.objective ->
   ?transfer_mode:Mhla_reuse.Candidate.transfer_mode ->
   ?search:Mhla_core.Explore.search ->
@@ -62,12 +90,18 @@ val make :
   arch:arch ->
   Mhla_ir.Program.t ->
   t
-(** Defaults: energy-delay, delta transfers, greedy search, no
-    deadline, no faults, no injection. *)
+(** Defaults: a single solve, energy-delay, delta transfers, greedy
+    search, no deadline, no faults, no injection.
+    @raise Mhla_util.Error.Error ([Invalid_input]) when a [Pareto]
+    kind carries a non-default transfer mode or a fault rider, or its
+    axis count differs from the arch's on-chip level count. *)
 
 val hierarchy : t -> Mhla_arch.Hierarchy.t
 (** The {!Mhla_arch.Presets} platform the request names.
     @raise Mhla_util.Error.Error on non-positive byte budgets. *)
+
+val dma : t -> bool
+(** The arch's DMA flag, whichever variant carries it. *)
 
 val to_json : t -> Mhla_util.Json.t
 (** Optional knobs at their defaults are omitted; [of_json ∘ to_json]

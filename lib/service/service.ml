@@ -70,6 +70,18 @@ let solve ?telemetry ?reuse ?checkpoint (req : Request.t) =
 let ok_payload (req : Request.t) result =
   Report.result_to_json ~name:req.id result
 
+(* A pareto request explores its whole grid on the worker that owns it
+   ([jobs:1]): the service already runs one domain per worker, and the
+   anytime frontier makes a deadline a soft stop — expiry mid-grid
+   returns the best-so-far surface with [partial: true] rather than a
+   timeout response. *)
+let solve_pareto ?telemetry ?reuse ?checkpoint (req : Request.t) ~axes =
+  let config =
+    { Assign.default_config with objective = req.objective }
+  in
+  Explore.pareto ~config ?telemetry ~search:req.search ~dma:(Request.dma req)
+    ~jobs:1 ?reuse ?checkpoint ~axes req.program
+
 (* --- bookkeeping (all under [t.lock]) ---------------------------------- *)
 
 let record_locked t (resp : Response.t) =
@@ -147,18 +159,26 @@ let run_request t tele job (req : Request.t) =
     (* Fail fast if the request already overstayed in the queue. *)
     Option.iter (fun cp -> cp ()) checkpoint;
     let reuse = intern_reuse t req.program in
-    let result = solve ~telemetry:tele ~reuse ?checkpoint req in
-    let robustness =
-      Option.map
-        (fun (fs : Request.fault_spec) ->
-          Robustness.to_json
-            (Robustness.analyze ~trials:fs.trials ~telemetry:tele
-               ~faults:fs.faults result.Explore.assign.Assign.mapping
-               result.Explore.te))
-        req.fault_spec
-    in
-    Response.ok ?robustness ~id ~seq ~elapsed_ns:(elapsed ())
-      (ok_payload req result)
+    match req.kind with
+    | Request.Pareto { axes } ->
+      let outcome =
+        solve_pareto ~telemetry:tele ~reuse ?checkpoint req ~axes
+      in
+      Response.ok ~id ~seq ~elapsed_ns:(elapsed ())
+        (Report.pareto_to_json outcome)
+    | Request.Solve ->
+      let result = solve ~telemetry:tele ~reuse ?checkpoint req in
+      let robustness =
+        Option.map
+          (fun (fs : Request.fault_spec) ->
+            Robustness.to_json
+              (Robustness.analyze ~trials:fs.trials ~telemetry:tele
+                 ~faults:fs.faults result.Explore.assign.Assign.mapping
+                 result.Explore.te))
+          req.fault_spec
+      in
+      Response.ok ?robustness ~id ~seq ~elapsed_ns:(elapsed ())
+        (ok_payload req result)
   end
 
 (* Never raises: every failure mode becomes a structured response. *)

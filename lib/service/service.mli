@@ -107,3 +107,19 @@ val ok_payload : Request.t -> Mhla_core.Explore.result -> Mhla_util.Json.t
 (** Exactly the [result] field an ok response for this request
     carries ({!Mhla_core.Report.result_to_json} under the request
     id). *)
+
+val solve_pareto :
+  ?telemetry:Mhla_obs.Telemetry.t ->
+  ?reuse:Mhla_core.Mapping.reuse ->
+  ?checkpoint:(unit -> unit) ->
+  Request.t ->
+  axes:int list list ->
+  Mhla_core.Explore.pareto_outcome
+(** What a worker runs for a [mode: pareto] request: the whole
+    {!Mhla_core.Explore.pareto} grid on the calling domain
+    ([jobs:1] — the pool already parallelizes across requests). The
+    request's deadline checkpoint threads through, so expiry mid-grid
+    returns the best-so-far frontier with [partial = true] (the ok
+    payload, {!Mhla_core.Report.pareto_to_json}, carries the marker)
+    instead of a timeout response; only a deadline that fires before
+    the first point times the request out. *)

@@ -1,3 +1,95 @@
+module Nd = struct
+  type 'a point = { objectives : float array; payload : 'a }
+
+  let point ~objectives payload =
+    if Array.length objectives = 0 then
+      Error.invalidf ~context:"Pareto.Nd.point"
+        "a point needs at least one objective";
+    Array.iter
+      (fun v ->
+        if Float.is_nan v then
+          Error.invalidf ~context:"Pareto.Nd.point"
+            "NaN objective (objectives must be comparable)")
+      objectives;
+    { objectives = Array.copy objectives; payload }
+
+  let objectives p = Array.copy p.objectives
+
+  let payload p = p.payload
+
+  let dim p = Array.length p.objectives
+
+  let check_dim ~context p q =
+    if Array.length p.objectives <> Array.length q.objectives then
+      Error.invalidf ~context "dimension mismatch (%d vs %d objectives)"
+        (Array.length p.objectives)
+        (Array.length q.objectives)
+
+  let dominates p q =
+    check_dim ~context:"Pareto.Nd.dominates" p q;
+    let n = Array.length p.objectives in
+    let rec go i strict =
+      if i = n then strict
+      else
+        let a = p.objectives.(i) and b = q.objectives.(i) in
+        if a > b then false else go (i + 1) (strict || a < b)
+    in
+    go 0 false
+
+  let lex_compare p q =
+    check_dim ~context:"Pareto.Nd.lex_compare" p q;
+    let n = Array.length p.objectives in
+    let rec go i =
+      if i = n then 0
+      else
+        let c = Float.compare p.objectives.(i) q.objectives.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+  let equal_objectives p q = lex_compare p q = 0
+
+  (* Invariant: mutually non-dominated, sorted by [lex_compare] (which
+     is total on the frontier: two points with equal vectors never
+     coexist — the first writer won). *)
+  type 'a t = 'a point list
+
+  let empty = []
+
+  let size = List.length
+
+  let is_empty t = t = []
+
+  let add p t =
+    if
+      List.exists (fun q -> dominates q p || equal_objectives q p) t
+    then t
+    else
+      let rec insert = function
+        | [] -> [ p ]
+        | q :: rest ->
+          if dominates p q then insert rest
+          else if lex_compare p q < 0 then
+            p :: List.filter (fun r -> not (dominates p r)) (q :: rest)
+          else q :: insert rest
+      in
+      insert t
+
+  let of_list points = List.fold_left (fun t p -> add p t) empty points
+
+  let to_list t = t
+
+  let mem_dominated p t = List.exists (fun q -> dominates q p) t
+
+  let pp ~payload ppf t =
+    let pp_point ppf p =
+      Fmt.pf ppf "(%a) %a"
+        Fmt.(array ~sep:comma (fmt "%g"))
+        p.objectives payload p.payload
+    in
+    Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_point) t
+end
+
 type 'a point = { x : float; y : float; payload : 'a }
 
 let point ~x ~y payload = { x; y; payload }
@@ -5,30 +97,25 @@ let point ~x ~y payload = { x; y; payload }
 let dominates p q =
   p.x <= q.x && p.y <= q.y && (p.x < q.x || p.y < q.y)
 
-(* Invariant: sorted by strictly increasing [x] and strictly decreasing
-   [y]; no element dominates another. *)
-type 'a t = 'a point list
+(* The 2-D frontier is the N-d frontier over [|x; y|] vectors; the
+   lexicographic storage order coincides with the historical "strictly
+   increasing x, strictly decreasing y" invariant (equal-x points
+   cannot coexist on a 2-D frontier — one dominates the other). *)
+type 'a t = 'a point Nd.t
 
-let empty = []
+let to_nd p = Nd.point ~objectives:[| p.x; p.y |] p
 
-let size = List.length
+let empty = Nd.empty
 
-let is_empty t = t = []
+let size = Nd.size
 
-let add p t =
-  let rec insert = function
-    | [] -> [ p ]
-    | q :: rest ->
-      if dominates q p || (q.x = p.x && q.y = p.y) then q :: rest
-      else if dominates p q then insert rest
-      else if p.x < q.x then p :: q :: rest
-      else q :: insert rest
-  in
-  insert t
+let is_empty = Nd.is_empty
+
+let add p t = Nd.add (to_nd p) t
 
 let of_list points = List.fold_left (fun t p -> add p t) empty points
 
-let to_list t = t
+let to_list t = List.map Nd.payload (Nd.to_list t)
 
 let min_y t =
   let better acc p =
@@ -36,15 +123,22 @@ let min_y t =
     | None -> Some p
     | Some q -> if p.y < q.y then Some p else acc
   in
-  List.fold_left better None t
+  List.fold_left better None (to_list t)
 
 let best_under ~x_max t =
-  min_y (List.filter (fun p -> p.x <= x_max) t)
+  let better acc p =
+    if p.x > x_max then acc
+    else
+      match acc with
+      | None -> Some p
+      | Some q -> if p.y < q.y then Some p else acc
+  in
+  List.fold_left better None (to_list t)
 
-let mem_dominated p t = List.exists (fun q -> dominates q p) t
+let mem_dominated p t = Nd.mem_dominated (to_nd p) t
 
 let pp ~payload ppf t =
   let pp_point ppf p =
     Fmt.pf ppf "(%g, %g) %a" p.x p.y payload p.payload
   in
-  Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_point) t
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_point) (to_list t)

@@ -78,6 +78,45 @@ if [ "$rc" -ne 1 ]; then
   exit 1
 fi
 
+echo "== pareto gate =="
+# A small budget grid that spans SRAM energy saturation (so the
+# branch-and-bound pruning path is exercised) must finish cleanly on
+# two applications...
+pareto_grid="1024,16384,65536,262144"
+for app in motion_estimation edge_detection; do
+  dune exec -- bin/mhla_cli.exe pareto "$app" --level "$pareto_grid" \
+    >/dev/null || {
+    echo "mhla pareto $app failed" >&2
+    exit 1
+  }
+done
+# ...emit a well-formed JSON document with a non-empty frontier, and
+# produce the same frontier regardless of worker count (stats such as
+# pruned counts are timing-dependent under -j > 1; the frontier is
+# not allowed to be).
+if command -v python3 >/dev/null 2>&1; then
+  pareto_j1=/tmp/mhla_ci_pareto_j1.json
+  pareto_j4=/tmp/mhla_ci_pareto_j4.json
+  dune exec -- bin/mhla_cli.exe pareto motion_estimation \
+    --level "$pareto_grid" -j 1 --json >"$pareto_j1"
+  dune exec -- bin/mhla_cli.exe pareto motion_estimation \
+    --level "$pareto_grid" -j 4 --json >"$pareto_j4"
+  python3 -c '
+import json, sys
+j1 = json.load(open(sys.argv[1]))
+j4 = json.load(open(sys.argv[2]))
+if not j1["frontier"]:
+    sys.exit("pareto --json returned an empty frontier")
+if j1["partial"] or j4["partial"]:
+    sys.exit("an undeadlined pareto run reported partial=true")
+if j1["frontier"] != j4["frontier"]:
+    sys.exit("-j 1 and -j 4 disagree on the frontier")
+' "$pareto_j1" "$pareto_j4" || exit 1
+  rm -f "$pareto_j1" "$pareto_j4"
+else
+  echo "   (python3 not installed: skipping frontier JSON validation)"
+fi
+
 echo "== fuzz gate =="
 # 200 seeded random programs through the full differential battery
 # (engine, pipeline cross-validation, verifier on both search engines,
@@ -153,8 +192,30 @@ for key in '"traceEvents"' '"ph"' '"displayTimeUnit"' '"otherData"'; do
 done
 rm -f "$trace"
 
-echo "== bench smoke (EXT-ENGINE, EXT-TRACE, EXT-CHECK, EXT-GEN, EXT-SERVE) =="
-dune exec -- bench/main.exe EXT-ENGINE EXT-TRACE EXT-CHECK EXT-GEN EXT-SERVE \
-  >/dev/null
+echo "== bench smoke (EXT-ENGINE, EXT-TRACE, EXT-CHECK, EXT-GEN, EXT-SERVE, EXT-PARETO) =="
+# The bench writes BENCH_<rev>.json into its working directory; run it
+# from a scratch dir so CI never litters the checkout.
+bench_dir=$(mktemp -d /tmp/mhla_ci_bench.XXXXXX)
+repo_root=$(pwd)
+dune build bench/main.exe
+(cd "$bench_dir" && "$repo_root/_build/default/bench/main.exe" \
+  EXT-ENGINE EXT-TRACE EXT-CHECK EXT-GEN EXT-SERVE EXT-PARETO >/dev/null)
+# Every run must leave a machine-readable metrics file with the
+# EXT-PARETO keys the experiment log quotes.
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c '
+import json, sys
+m = json.load(open(sys.argv[1]))
+for key in ("ext_pareto.motion_estimation.points_per_s",
+            "ext_pareto.motion_estimation.pruning_ratio"):
+    if key not in m:
+        sys.exit(f"BENCH json is missing {key}")
+if m["ext_pareto.motion_estimation.pruning_ratio"] <= 1.0:
+    sys.exit("pruning ratio did not exceed 1 on the saturation grid")
+' "$bench_dir/BENCH_dev.json" || exit 1
+else
+  echo "   (python3 not installed: skipping bench metrics validation)"
+fi
+rm -rf "$bench_dir"
 
 echo "CI OK"

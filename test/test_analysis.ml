@@ -62,7 +62,8 @@ let test_catalogue () =
     (fun c ->
       Alcotest.(check bool) (c ^ " catalogued") true (List.mem c cs))
     [ "MHLA001"; "MHLA002"; "MHLA003"; "MHLA101"; "MHLA102"; "MHLA103";
-      "MHLA104"; "MHLA201"; "MHLA301"; "MHLA302"; "MHLA303"; "MHLA304";
+      "MHLA104"; "MHLA201"; "MHLA202"; "MHLA301"; "MHLA302"; "MHLA303";
+      "MHLA304";
       "MHLA305"; "MHLA306" ];
   (* Every pass declares only catalogued codes, and every catalogued
      code has exactly one owning pass — the catalogue is authoritative
@@ -269,6 +270,28 @@ let test_capacity_detects_overflow () =
   Alcotest.(check (option int)) "layer located" (Some 0)
     d.Diagnostic.loc.Diagnostic.layer
 
+let test_capacity_checks_exploration_budget () =
+  let m, te = solved "motion_estimation" in
+  let peaks =
+    Capacity.recomputed_peaks ~schedule:te
+      ~policy:Mhla_lifetime.Occupancy.In_place m
+  in
+  let peak = List.fold_left (fun acc (_, p) -> max acc p) 0 peaks in
+  Alcotest.(check bool) "something lives on-chip" true (peak > 1);
+  (* The physical capacity still holds, only the tighter exploration
+     budget is exceeded: MHLA202 fires alone. *)
+  let subject budget =
+    Pass.of_mapping ~schedule:te ~layer_budgets:[ budget ] m
+  in
+  let r = Verify.run ~only:[ "capacity" ] (subject (peak - 1)) in
+  Alcotest.(check (list string)) "MHLA202 fired" [ "MHLA202" ] (codes r);
+  let d = List.hd r.Verify.diagnostics in
+  Alcotest.(check (option int)) "layer located" (Some 0)
+    d.Diagnostic.loc.Diagnostic.layer;
+  (* A budget the mapping honours is clean. *)
+  let r = Verify.run ~only:[ "capacity" ] (subject peak) in
+  Alcotest.(check (list string)) "honoured budget is clean" [] (codes r)
+
 (* --- lints ------------------------------------------------------------- *)
 
 let test_lints () =
@@ -395,6 +418,8 @@ let () =
           Alcotest.test_case "accepts solver" `Quick
             test_capacity_accepts_solver_mapping;
           Alcotest.test_case "overflow" `Quick test_capacity_detects_overflow;
+          Alcotest.test_case "exploration budget" `Quick
+            test_capacity_checks_exploration_budget;
         ] );
       ("lints", [ Alcotest.test_case "program lints" `Quick test_lints ]);
       ( "driver",

@@ -170,6 +170,68 @@ let test_presets_three_level () =
     ((Hierarchy.layer h 0).Layer.read_energy_pj
     < (Hierarchy.layer h 1).Layer.read_energy_pj)
 
+let test_presets_multi_level () =
+  let h = Presets.multi_level ~level_bytes:[ 512; 4096; 32768 ] () in
+  Alcotest.(check int) "levels" 4 (Hierarchy.levels h);
+  Alcotest.(check bool) "has dma" true (Hierarchy.has_dma h);
+  Alcotest.(check (list int)) "on-chip levels" [ 0; 1; 2 ]
+    (Hierarchy.on_chip_levels h);
+  Alcotest.(check (list string)) "layer names"
+    [ "L1"; "L2"; "L3"; "SDRAM" ]
+    (List.map
+       (fun l -> (Hierarchy.layer h l).Layer.name)
+       [ 0; 1; 2; 3 ]);
+  Alcotest.(check (list (option int))) "capacities"
+    [ Some 512; Some 4096; Some 32768; None ]
+    (List.map
+       (fun l -> (Hierarchy.layer h l).Layer.capacity_bytes)
+       [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "inner levels cost less" true
+    ((Hierarchy.layer h 0).Layer.read_energy_pj
+    < (Hierarchy.layer h 2).Layer.read_energy_pj);
+  let no_dma = Presets.multi_level ~dma:false ~level_bytes:[ 512 ] () in
+  Alcotest.(check bool) "dma off" false (Hierarchy.has_dma no_dma);
+  Alcotest.check_raises "empty levels"
+    (invalid "Presets.multi_level"
+       ~hint:"give one byte budget per on-chip level" "no on-chip levels")
+    (fun () -> ignore (Presets.multi_level ~level_bytes:[] ()))
+
+let test_presets_four_level () =
+  let h = Presets.four_level ~l1_bytes:256 ~l2_bytes:2048 ~l3_bytes:16384 () in
+  Alcotest.(check int) "levels" 4 (Hierarchy.levels h);
+  (* Same platform as the generic constructor. *)
+  let m = Presets.multi_level ~level_bytes:[ 256; 2048; 16384 ] () in
+  Alcotest.(check (list string)) "same layer names"
+    (List.map (fun l -> (Hierarchy.layer m l).Layer.name) [ 0; 1; 2; 3 ])
+    (List.map (fun l -> (Hierarchy.layer h l).Layer.name) [ 0; 1; 2; 3 ])
+
+let test_presets_budget_grid () =
+  Alcotest.(check (list (list int))) "first axis varies slowest"
+    [ [ 1; 10 ]; [ 1; 20 ]; [ 2; 10 ]; [ 2; 20 ] ]
+    (Presets.budget_grid ~axes:[ [ 1; 2 ]; [ 10; 20 ] ]);
+  Alcotest.(check (list (list int))) "axes dedupe and sort"
+    [ [ 1 ]; [ 2 ] ]
+    (Presets.budget_grid ~axes:[ [ 2; 1; 2 ] ]);
+  Alcotest.check_raises "no axes"
+    (invalid "Presets.budget_grid"
+       "no axes (need one size list per on-chip level)") (fun () ->
+      ignore (Presets.budget_grid ~axes:[]));
+  Alcotest.check_raises "empty axis"
+    (invalid "Presets.budget_grid" "axis 1 is empty") (fun () ->
+      ignore (Presets.budget_grid ~axes:[ [ 1 ]; [] ]));
+  Alcotest.check_raises "non-positive size"
+    (invalid "Presets.budget_grid" "axis 0 has a non-positive size 0")
+    (fun () -> ignore (Presets.budget_grid ~axes:[ [ 0; 1 ] ]))
+
+let test_presets_budget_axes () =
+  Alcotest.(check (list (list int))) "levels copies of the ladder"
+    [ [ 256; 512 ]; [ 256; 512 ] ]
+    (Presets.budget_axes ~levels:2 ~min_bytes:256 ~max_bytes:512);
+  Alcotest.check_raises "zero levels"
+    (invalid "Presets.budget_axes" "need at least one level (got 0)")
+    (fun () ->
+      ignore (Presets.budget_axes ~levels:0 ~min_bytes:256 ~max_bytes:512))
+
 let test_presets_sweep_sizes () =
   Alcotest.(check (list int)) "powers of two"
     [ 256; 512; 1024; 2048 ]
@@ -214,6 +276,10 @@ let () =
         [
           Alcotest.test_case "two level" `Quick test_presets_two_level;
           Alcotest.test_case "three level" `Quick test_presets_three_level;
+          Alcotest.test_case "multi level" `Quick test_presets_multi_level;
+          Alcotest.test_case "four level" `Quick test_presets_four_level;
+          Alcotest.test_case "budget grid" `Quick test_presets_budget_grid;
+          Alcotest.test_case "budget axes" `Quick test_presets_budget_axes;
           Alcotest.test_case "sweep sizes" `Quick test_presets_sweep_sizes;
         ] );
     ]

@@ -140,6 +140,13 @@ let test_sweep_more_jobs_than_sizes () =
     (List.map (fun (p : Explore.sweep_point) -> p.Explore.onchip_bytes)
        points)
 
+let test_sweep_duplicate_sizes () =
+  (* Duplicate and unsorted sizes collapse to one canonical ladder. *)
+  let canonical = Explore.sweep ~sizes:[ 128; 512 ] (kernel ()) in
+  let messy = Explore.sweep ~sizes:[ 512; 128; 512; 128 ] (kernel ()) in
+  Alcotest.(check bool) "dedup + sort to the same points" true
+    (sweep_fingerprint canonical = sweep_fingerprint messy)
+
 let test_pareto_frontiers () =
   let sizes = [ 128; 256; 512; 1024; 2048 ] in
   let points = Explore.sweep ~sizes (kernel ()) in
@@ -155,6 +162,139 @@ let test_pareto_frontiers () =
       Alcotest.(check bool) "payload is a sweep point" true
         (List.memq p.Pareto.payload points))
     (Pareto.to_list fe)
+
+(* --- pareto over budget vectors ---------------------------------------- *)
+
+module Nd = Pareto.Nd
+
+let result_fingerprint (r : Explore.result) =
+  ( r.Explore.after_assign,
+    r.Explore.after_te,
+    r.Explore.assign.Assign.steps,
+    r.Explore.assign.Assign.mapping.Mhla_core.Mapping.array_layers )
+
+let frontier_fingerprint frontier =
+  List.map
+    (fun p ->
+      let pt = Nd.payload p in
+      ( Nd.objectives p,
+        pt.Explore.budgets,
+        result_fingerprint pt.Explore.point_result ))
+    (Nd.to_list frontier)
+
+let check_stats_conserved (outcome : Explore.pareto_outcome) =
+  let s = outcome.Explore.stats in
+  Alcotest.(check int) "every grid point accounted for"
+    s.Explore.grid_points
+    (s.Explore.evaluated + s.Explore.pruned + s.Explore.deadline_skipped)
+
+let test_pareto_matches_brute_force () =
+  let program = kernel () in
+  let axes = [ [ 256; 1024 ]; [ 512; 2048 ] ] in
+  let outcome = Explore.pareto ~jobs:1 ~axes program in
+  Alcotest.(check bool) "complete" false outcome.Explore.partial;
+  check_stats_conserved outcome;
+  Alcotest.(check int) "grid points" 4 outcome.Explore.stats.Explore.grid_points;
+  let brute =
+    Nd.of_list
+      (List.map
+         (fun budgets ->
+           let r =
+             Explore.run program (Presets.multi_level ~level_bytes:budgets ())
+           in
+           let p = { Explore.budgets; point_result = r } in
+           Nd.point ~objectives:(Explore.pareto_objectives p) p)
+         (Presets.budget_grid ~axes))
+  in
+  Alcotest.(check bool) "frontier equals the brute-force fold" true
+    (frontier_fingerprint outcome.Explore.frontier
+    = frontier_fingerprint brute)
+
+(* Spans past SRAM energy saturation so the lower bound actually
+   discards vectors — the jobs invariance must hold with live pruning,
+   not just on grids where nothing is ever skipped. *)
+let pruning_axes =
+  [ [ 1024; 16384; 65536; 262144 ]; [ 2048; 32768; 131072; 524288 ] ]
+
+let test_pareto_jobs_identical () =
+  let program = kernel () in
+  let sequential = Explore.pareto ~jobs:1 ~axes:pruning_axes program in
+  Alcotest.(check bool) "sequential run prunes" true
+    (sequential.Explore.stats.Explore.pruned > 0);
+  check_stats_conserved sequential;
+  List.iter
+    (fun jobs ->
+      let parallel = Explore.pareto ~jobs ~axes:pruning_axes program in
+      check_stats_conserved parallel;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs:1 frontier = jobs:%d frontier" jobs)
+        true
+        (frontier_fingerprint sequential.Explore.frontier
+        = frontier_fingerprint parallel.Explore.frontier))
+    [ 2; 4 ]
+
+let test_pareto_contains_run_results () =
+  let program = kernel () in
+  let outcome = Explore.pareto ~jobs:1 ~axes:pruning_axes program in
+  List.iter
+    (fun p ->
+      let pt = Nd.payload p in
+      let rerun =
+        Explore.run program
+          (Presets.multi_level ~level_bytes:pt.Explore.budgets ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "frontier point [%s] is exactly Explore.run there"
+           (String.concat "+" (List.map string_of_int pt.Explore.budgets)))
+        true
+        (result_fingerprint pt.Explore.point_result
+        = result_fingerprint rerun))
+    (Nd.to_list outcome.Explore.frontier)
+
+let test_pareto_on_point_fires_per_evaluation () =
+  let fired = ref 0 in
+  let outcome =
+    Explore.pareto ~jobs:1
+      ~on_point:(fun (_ : Explore.pareto_point) -> incr fired)
+      ~axes:[ [ 256; 1024 ]; [ 512; 2048 ] ]
+      (kernel ())
+  in
+  Alcotest.(check int) "one callback per evaluated point"
+    outcome.Explore.stats.Explore.evaluated !fired
+
+let test_pareto_deadline_returns_partial () =
+  let calls = ref 0 in
+  let checkpoint () =
+    incr calls;
+    if !calls > 2 then
+      raise
+        Mhla_util.Error.(Error (make Deadline ~context:"test" "expired"))
+  in
+  let outcome =
+    Explore.pareto ~jobs:1 ~checkpoint
+      ~axes:[ [ 128; 256; 512; 1024 ] ]
+      (kernel ())
+  in
+  Alcotest.(check bool) "partial" true outcome.Explore.partial;
+  check_stats_conserved outcome;
+  Alcotest.(check bool) "some points were abandoned" true
+    (outcome.Explore.stats.Explore.deadline_skipped > 0)
+
+let test_pareto_rejects_bad_axes () =
+  let expect_invalid name f =
+    match f () with
+    | exception
+        Mhla_util.Error.Error { kind = Mhla_util.Error.Invalid_input; _ } ->
+      ()
+    | (_ : Explore.pareto_outcome) ->
+      Alcotest.failf "%s: expected an Invalid_input error" name
+  in
+  expect_invalid "no axes" (fun () ->
+      Explore.pareto ~axes:[] (kernel ()));
+  expect_invalid "empty axis" (fun () ->
+      Explore.pareto ~axes:[ [ 256 ]; [] ] (kernel ()));
+  expect_invalid "non-positive size" (fun () ->
+      Explore.pareto ~axes:[ [ 0; 256 ] ] (kernel ()))
 
 (* --- report ----------------------------------------------------------- *)
 
@@ -206,6 +346,27 @@ let test_json_report () =
   Alcotest.(check bool) "sweep json non-empty" true
     (String.length sweep_json > 100)
 
+let test_pareto_report () =
+  let outcome =
+    Explore.pareto ~jobs:1 ~axes:[ [ 256; 1024 ]; [ 512; 2048 ] ] (kernel ())
+  in
+  let rendered = Mhla_util.Table.render (Report.pareto_table outcome) in
+  Alcotest.(check bool) "pareto table has a data row" true
+    (List.length (String.split_on_char '\n' rendered)
+    >= 2 + Nd.size outcome.Explore.frontier);
+  let json = Mhla_util.Json.to_string (Report.pareto_to_json outcome) in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "has frontier" true (contains "\"frontier\"");
+  Alcotest.(check bool) "has stats" true (contains "\"stats\"");
+  Alcotest.(check bool) "complete run marked" true
+    (contains "\"partial\":false")
+
 let () =
   Alcotest.run "explore"
     [
@@ -228,9 +389,27 @@ let () =
           Alcotest.test_case "jobs equality" `Quick test_sweep_jobs_equality;
           Alcotest.test_case "more jobs than sizes" `Quick
             test_sweep_more_jobs_than_sizes;
+          Alcotest.test_case "duplicate sizes" `Quick
+            test_sweep_duplicate_sizes;
           Alcotest.test_case "pareto" `Quick test_pareto_frontiers;
+        ] );
+      ( "pareto",
+        [
+          Alcotest.test_case "matches brute force" `Quick
+            test_pareto_matches_brute_force;
+          Alcotest.test_case "jobs identical" `Quick
+            test_pareto_jobs_identical;
+          Alcotest.test_case "contains Explore.run results" `Quick
+            test_pareto_contains_run_results;
+          Alcotest.test_case "on_point per evaluation" `Quick
+            test_pareto_on_point_fires_per_evaluation;
+          Alcotest.test_case "deadline returns partial" `Quick
+            test_pareto_deadline_returns_partial;
+          Alcotest.test_case "rejects bad axes" `Quick
+            test_pareto_rejects_bad_axes;
         ] );
       ( "report",
         [ Alcotest.test_case "rendering" `Quick test_report_rendering;
-          Alcotest.test_case "json" `Quick test_json_report ] );
+          Alcotest.test_case "json" `Quick test_json_report;
+          Alcotest.test_case "pareto report" `Quick test_pareto_report ] );
     ]

@@ -82,6 +82,41 @@ let test_request_three_level_roundtrip () =
   let back = Request.of_json (Json.parse_exn (line req)) in
   Alcotest.(check bool) "three-level round trip" true (Request.equal req back)
 
+let test_request_multi_level_roundtrip () =
+  let case = Gen.case ~profile:Gen.Mixed ~seed:13L () in
+  let req =
+    Request.make ~id:"ml"
+      ~arch:
+        (Request.Multi_level
+           { level_bytes = [ 256; 2048; 16384 ]; dma = true })
+      case.Gen.program
+  in
+  let back = Request.of_json (Json.parse_exn (line req)) in
+  Alcotest.(check bool) "multi-level round trip" true (Request.equal req back)
+
+let test_request_pareto_roundtrip () =
+  let case = Gen.case ~profile:Gen.Mixed ~seed:17L () in
+  let two_level =
+    Request.make ~id:"p2"
+      ~kind:(Request.Pareto { axes = [ [ 128; 512; 2048 ] ] })
+      ~arch:(Request.Two_level { onchip_bytes = 2048; dma = true })
+      case.Gen.program
+  in
+  let multi_level =
+    Request.make ~id:"pm"
+      ~kind:(Request.Pareto { axes = [ [ 256; 1024 ]; [ 512; 4096 ] ] })
+      ~arch:
+        (Request.Multi_level { level_bytes = [ 1024; 4096 ]; dma = false })
+      case.Gen.program
+  in
+  List.iter
+    (fun req ->
+      let back = Request.of_json (Json.parse_exn (line req)) in
+      Alcotest.(check bool)
+        (req.Request.id ^ ": pareto round trip")
+        true (Request.equal req back))
+    [ two_level; multi_level ]
+
 let test_request_decode_errors () =
   let ok = Json.parse_exn (line (sample 0)) in
   let patch fields =
@@ -99,6 +134,47 @@ let test_request_decode_errors () =
   check_invalid "bad arch" (fun () ->
       Request.of_json
         (Json.parse_exn "{\"id\": \"x\", \"program\": {}, \"arch\": {\"weird\": 1}}"))
+
+let test_request_pareto_decode_errors () =
+  let patch_onto base fields =
+    match Json.parse_exn (line base) with
+    | Json.Obj existing -> Json.obj (existing @ fields)
+    | _ -> assert false
+  in
+  let patch fields = patch_onto (sample 0) fields in
+  let axis sizes = Json.arr (List.map Json.int sizes) in
+  let grid axes = Json.arr (List.map axis axes) in
+  check_invalid "grid without pareto mode" (fun () ->
+      Request.of_json (patch [ ("grid", grid [ [ 128; 512 ] ]) ]));
+  check_invalid "pareto without grid" (fun () ->
+      Request.of_json (patch [ ("mode", Json.str "pareto") ]));
+  check_invalid "bad mode string" (fun () ->
+      Request.of_json (patch [ ("mode", Json.str "frontier") ]));
+  check_invalid "axes count must match on-chip levels" (fun () ->
+      Request.of_json
+        (patch
+           [ ("mode", Json.str "pareto");
+             ("grid", grid [ [ 128 ]; [ 256 ] ]) ]));
+  check_invalid "empty axis" (fun () ->
+      Request.of_json
+        (patch [ ("mode", Json.str "pareto"); ("grid", grid [ [] ]) ]));
+  check_invalid "non-positive size" (fun () ->
+      Request.of_json
+        (patch [ ("mode", Json.str "pareto"); ("grid", grid [ [ 0; 64 ] ]) ]));
+  check_invalid "faults rider on a pareto surface" (fun () ->
+      Request.of_json
+        (patch_onto
+           (sample 5
+              ~fault_spec:
+                {
+                  Request.faults = Faults.make ~failure_permille:10 ~seed:3L ();
+                  trials = 4;
+                })
+           [ ("mode", Json.str "pareto"); ("grid", grid [ [ 128; 512 ] ]) ]));
+  check_invalid "empty level_bytes" (fun () ->
+      Request.of_json
+        (Json.parse_exn
+           "{\"id\": \"x\", \"program\": {}, \"arch\": {\"level_bytes\": []}}"))
 
 let test_id_salvage () =
   Alcotest.(check (option string))
@@ -141,6 +217,47 @@ let test_service_ok_bit_identical () =
     responses;
   Alcotest.(check int) "nothing left to hand out" 0
     (List.length (Service.ready service))
+
+let test_service_pareto_end_to_end () =
+  let case = Gen.case ~profile:Gen.Mixed ~seed:23L () in
+  let axes = [ [ 128; 512; 2048 ] ] in
+  let req =
+    Request.make ~id:"pareto-e2e"
+      ~kind:(Request.Pareto { axes })
+      ~arch:(Request.Two_level { onchip_bytes = 2048; dma = true })
+      case.Gen.program
+  in
+  let service = Service.create () in
+  ignore (Service.submit service (line req));
+  let responses = Service.drain service in
+  Service.shutdown service;
+  match responses with
+  | [ resp ] ->
+    Alcotest.(check string) "status" "ok"
+      (Response.status_name resp.Response.status);
+    Alcotest.(check string) "id" "pareto-e2e" resp.Response.id;
+    let payload =
+      match resp.Response.result with
+      | Some p -> p
+      | None -> Alcotest.fail "ok response carries no payload"
+    in
+    (match payload with
+    | Json.Obj fields ->
+      (match List.assoc_opt "frontier" fields with
+      | Some (Json.Arr points) ->
+        Alcotest.(check bool) "frontier is non-empty" true (points <> [])
+      | _ -> Alcotest.fail "payload has no frontier array");
+      (match List.assoc_opt "partial" fields with
+      | Some (Json.Bool partial) ->
+        Alcotest.(check bool) "a finished surface is not partial" false partial
+      | _ -> Alcotest.fail "payload has no partial flag")
+    | _ -> Alcotest.fail "payload is not an object");
+    let direct =
+      Mhla_core.Report.pareto_to_json (Service.solve_pareto req ~axes)
+    in
+    Alcotest.(check bool) "bit-identical to direct pareto solve" true
+      (Json.equal payload direct)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
 
 let test_service_isolates_poison () =
   let service = Service.create () in
@@ -257,13 +374,21 @@ let () =
           Alcotest.test_case "round trip" `Quick test_request_roundtrip;
           Alcotest.test_case "three-level round trip" `Quick
             test_request_three_level_roundtrip;
+          Alcotest.test_case "multi-level round trip" `Quick
+            test_request_multi_level_roundtrip;
+          Alcotest.test_case "pareto round trip" `Quick
+            test_request_pareto_roundtrip;
           Alcotest.test_case "decode errors" `Quick test_request_decode_errors;
+          Alcotest.test_case "pareto decode errors" `Quick
+            test_request_pareto_decode_errors;
           Alcotest.test_case "id salvage" `Quick test_id_salvage;
         ] );
       ( "executor",
         [
           Alcotest.test_case "ok responses bit-identical" `Quick
             test_service_ok_bit_identical;
+          Alcotest.test_case "pareto end to end" `Quick
+            test_service_pareto_end_to_end;
           Alcotest.test_case "poison isolated" `Quick
             test_service_isolates_poison;
           Alcotest.test_case "timeout and error codes" `Quick

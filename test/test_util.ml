@@ -96,6 +96,124 @@ let prop_pareto_covers_inputs =
         (fun p -> on_front p || Pareto.mem_dominated p front)
         points)
 
+(* --- Pareto.Nd --------------------------------------------------------- *)
+
+module Nd = Pareto.Nd
+
+let expect_invalid name f =
+  match f () with
+  | exception Mhla_util.Error.Error { kind = Mhla_util.Error.Invalid_input; _ }
+    ->
+    ()
+  | _ -> Alcotest.failf "%s: expected an Invalid_input error" name
+
+let test_nd_point_basics () =
+  let p = Nd.point ~objectives:[| 1.; 2.; 3. |] "p" in
+  let q = Nd.point ~objectives:[| 1.; 2.; 4. |] "q" in
+  Alcotest.(check bool) "p dominates q" true (Nd.dominates p q);
+  Alcotest.(check bool) "q does not dominate p" false (Nd.dominates q p);
+  Alcotest.(check bool) "no self domination" false (Nd.dominates p p);
+  Alcotest.(check int) "dim" 3 (Nd.dim p);
+  Alcotest.(check string) "payload" "p" (Nd.payload p);
+  let mutated = Nd.objectives p in
+  mutated.(0) <- 99.;
+  Alcotest.(check (float 0.)) "objectives returns a copy" 1.
+    (Nd.objectives p).(0)
+
+let test_nd_point_rejected () =
+  expect_invalid "empty vector" (fun () ->
+      ignore (Nd.point ~objectives:[||] ()));
+  expect_invalid "nan objective" (fun () ->
+      ignore (Nd.point ~objectives:[| 1.; Float.nan |] ()));
+  let p2 = Nd.point ~objectives:[| 1.; 2. |] () in
+  let p3 = Nd.point ~objectives:[| 1.; 2.; 3. |] () in
+  expect_invalid "dimension mismatch in dominates" (fun () ->
+      ignore (Nd.dominates p2 p3));
+  expect_invalid "dimension mismatch in add" (fun () ->
+      ignore (Nd.add p3 (Nd.add p2 Nd.empty)))
+
+let test_nd_frontier_behaviour () =
+  let mk v payload = Nd.point ~objectives:v payload in
+  let front =
+    Nd.of_list
+      [ mk [| 3.; 1.; 1. |] "a"; mk [| 1.; 3.; 1. |] "b";
+        mk [| 1.; 1.; 3. |] "c" ]
+  in
+  Alcotest.(check int) "mutually non-dominated all kept" 3 (Nd.size front);
+  Alcotest.(check (list string)) "lex storage order" [ "c"; "b"; "a" ]
+    (List.map Nd.payload (Nd.to_list front));
+  (* A dominating point sweeps out everything it covers. *)
+  let front = Nd.add (mk [| 1.; 1.; 1. |] "d") front in
+  Alcotest.(check (list string)) "dominated points dropped" [ "d" ]
+    (List.map Nd.payload (Nd.to_list front));
+  Alcotest.(check bool) "mem_dominated" true
+    (Nd.mem_dominated (mk [| 2.; 2.; 2. |] "x") front);
+  Alcotest.(check bool) "non-dominated not mem" false
+    (Nd.mem_dominated (mk [| 1.; 1.; 1. |] "y") front);
+  (* Equal vector: the incumbent payload survives. *)
+  let front = Nd.add (mk [| 1.; 1.; 1. |] "late") front in
+  Alcotest.(check (list string)) "first writer wins" [ "d" ]
+    (List.map Nd.payload (Nd.to_list front));
+  Alcotest.(check bool) "empty is empty" true (Nd.is_empty Nd.empty)
+
+let nd_vector_gen =
+  (* Tiny integral coordinates: plenty of exact ties and dominations. *)
+  QCheck2.Gen.(
+    map3
+      (fun a b c -> [| float_of_int a; float_of_int b; float_of_int c |])
+      (int_range 0 6) (int_range 0 6) (int_range 0 6))
+
+let nd_points_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 40) (map (fun v -> Nd.point ~objectives:v ()) nd_vector_gen))
+
+let nd_vectors front = List.map Nd.objectives (Nd.to_list front)
+
+let prop_nd_of_list_non_dominated =
+  QCheck2.Test.make ~name:"pareto.nd: of_list is mutually non-dominated"
+    ~count:300 nd_points_gen (fun points ->
+      let front = Nd.to_list (Nd.of_list points) in
+      List.for_all
+        (fun p ->
+          List.for_all (fun q -> p == q || not (Nd.dominates p q)) front)
+        front)
+
+let prop_nd_insertion_order_invariant =
+  QCheck2.Test.make
+    ~name:"pareto.nd: the frontier is insertion-order invariant as a set"
+    ~count:300 nd_points_gen (fun points ->
+      nd_vectors (Nd.of_list points)
+      = nd_vectors (Nd.of_list (List.rev points)))
+
+let prop_nd_add_idempotent =
+  QCheck2.Test.make
+    ~name:"pareto.nd: re-adding any input leaves the frontier unchanged"
+    ~count:300 nd_points_gen (fun points ->
+      let front = Nd.of_list points in
+      let reference = nd_vectors front in
+      List.for_all
+        (fun p -> nd_vectors (Nd.add p front) = reference)
+        points)
+
+let prop_nd_ties_first_writer_wins =
+  QCheck2.Test.make
+    ~name:"pareto.nd: equal objective vectors keep the earliest payload"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 0 40) nd_vector_gen)
+    (fun vectors ->
+      let points = List.mapi (fun i v -> Nd.point ~objectives:v i) vectors in
+      let front = Nd.of_list points in
+      List.for_all
+        (fun p ->
+          match
+            List.find_opt
+              (fun q -> Nd.objectives q = Nd.objectives p)
+              points
+          with
+          | Some first -> Nd.payload p = Nd.payload first
+          | None -> false)
+        (Nd.to_list front))
+
 (* --- Interval --------------------------------------------------------- *)
 
 let test_interval_make_rejects_reversed () =
@@ -546,6 +664,18 @@ let () =
           Alcotest.test_case "empty" `Quick test_pareto_empty;
           qc prop_pareto_no_internal_domination;
           qc prop_pareto_covers_inputs;
+        ] );
+      ( "pareto.nd",
+        [
+          Alcotest.test_case "point basics" `Quick test_nd_point_basics;
+          Alcotest.test_case "bad points rejected" `Quick
+            test_nd_point_rejected;
+          Alcotest.test_case "frontier behaviour" `Quick
+            test_nd_frontier_behaviour;
+          qc prop_nd_of_list_non_dominated;
+          qc prop_nd_insertion_order_invariant;
+          qc prop_nd_add_idempotent;
+          qc prop_nd_ties_first_writer_wins;
         ] );
       ( "interval",
         [
