@@ -2,11 +2,13 @@
    extension experiments of DESIGN.md, then runs Bechamel
    micro-benchmarks of the tool's own algorithms.
 
-   Usage: dune exec bench/main.exe [-- SECTION ...]
+   Usage: dune exec bench/main.exe [-- [--check BASELINE] SECTION ...]
    Sections: FIG2 FIG3 TAB1 EXT-PARETO EXT-ORDER EXT-INPLACE EXT-GREEDY
    EXT-XVAL EXT-MODE EXT-CACHE EXT-3LEVEL EXT-MULTITASK EXT-TILE
    EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT EXT-TRACE EXT-CHECK EXT-GEN
-   EXT-SERVE MICRO (default: all). *)
+   EXT-SERVE EXT-POLICY MICRO (default: all). --check compares the
+   run's metrics against a committed baseline JSON (15% tolerance on
+   numeric keys) and exits non-zero on regression. *)
 
 module Apps = Mhla_apps.Registry
 module Assign = Mhla_core.Assign
@@ -1151,6 +1153,179 @@ let ext_serve () =
     [ 1; 4; 16 ];
   Table.print shed_table
 
+let ext_policy () =
+  section "EXT-POLICY"
+    "Pluggable policy layer: racing the default portfolio\n\
+     (greedy / greedy-first / anneal) per application — winner, wall\n\
+     clock serial vs parallel, win rate — then the corpus-fitted\n\
+     CC-pruning predictor: engine probes spent with and without the\n\
+     filter, and the filter's precision/recall against engine-verified\n\
+     single-placement gains.";
+  let module Policy = Mhla_policy.Policy in
+  let module Portfolio = Mhla_policy.Portfolio in
+  let module Predictor = Mhla_policy.Predictor in
+  let policies = Mhla_policy.Registry.default_portfolio in
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("winner", Table.Left);
+          ("objective", Table.Right);
+          ("wall -j1 (s)", Table.Right);
+          ("wall -j3 (s)", Table.Right);
+          ("speedup", Table.Right) ]
+  in
+  let wins = Hashtbl.create 8 in
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let name = app.Mhla_apps.Defs.name in
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let serial = Portfolio.race ~jobs:1 ~policies program hierarchy in
+      let t1 = Unix.gettimeofday () in
+      let parallel = Portfolio.race ~jobs:3 ~policies program hierarchy in
+      let t2 = Unix.gettimeofday () in
+      let wall_j1 = t1 -. t0 and wall_j3 = t2 -. t1 in
+      let winner = serial.Portfolio.winner in
+      let wname = winner.Portfolio.policy.Policy.name in
+      if
+        parallel.Portfolio.winner.Portfolio.policy.Policy.name <> wname
+        || parallel.Portfolio.winner.Portfolio.objective
+           <> winner.Portfolio.objective
+      then
+        Printf.printf "!! %s: -j1 and -j3 disagree on the winner\n" name;
+      Hashtbl.replace wins wname
+        (1 + Option.value ~default:0 (Hashtbl.find_opt wins wname));
+      let key m = Printf.sprintf "ext_policy.%s.%s" name m in
+      metric (key "winner") (Mhla_util.Json.str wname);
+      metric (key "wall_j1_s") (Mhla_util.Json.float wall_j1);
+      metric (key "wall_j3_s") (Mhla_util.Json.float wall_j3);
+      Table.add_row table
+        [ name;
+          wname;
+          Table.cell_float winner.Portfolio.objective;
+          Table.cell_float ~decimals:3 wall_j1;
+          Table.cell_float ~decimals:3 wall_j3;
+          Table.cell_float (wall_j1 /. Float.max wall_j3 1e-9) ])
+    Apps.all;
+  Table.print table;
+  List.iter
+    (fun (p : Policy.t) ->
+      let n =
+        Option.value ~default:0 (Hashtbl.find_opt wins p.Policy.name)
+      in
+      metric
+        (Printf.sprintf "ext_policy.portfolio.wins.%s" p.Policy.name)
+        (Mhla_util.Json.int n);
+      Printf.printf "  %-18s wins %d/%d\n" p.Policy.name n
+        (List.length Apps.all))
+    policies;
+  print_newline ();
+  (* The predictor trains on a seeded generated corpus — deliberately
+     disjoint from the nine registry apps it is then judged on. *)
+  let corpus_seed = 0xF17L and corpus_count = 24 in
+  let rng = Mhla_util.Prng.create ~seed:corpus_seed in
+  let rec draw k acc =
+    if k = corpus_count then List.rev acc
+    else draw (k + 1) (Mhla_util.Prng.next_int64 rng :: acc)
+  in
+  let samples =
+    List.concat_map
+      (fun s ->
+        let case =
+          Mhla_gen.Generate.case ~profile:Mhla_gen.Generate.Mixed ~seed:s ()
+        in
+        Predictor.samples case.Mhla_gen.Generate.program
+          (Mhla_arch.Presets.two_level
+             ~onchip_bytes:case.Mhla_gen.Generate.onchip_bytes ()))
+      (draw 0 [])
+  in
+  let model = Predictor.fit samples in
+  Printf.printf
+    "predictor: fitted on %d candidate sample(s) from %d generated \
+     program(s) (seed %Ld)\n\n"
+    (List.length samples) corpus_count corpus_seed;
+  metric "ext_policy.predictor.corpus_samples"
+    (Mhla_util.Json.int (List.length samples));
+  let ptable =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("probes greedy", Table.Right);
+          ("probes filtered", Table.Right);
+          ("saved", Table.Right);
+          ("objective drift %", Table.Right);
+          ("verifier", Table.Left) ]
+  in
+  let tp = ref 0 and fp = ref 0 and fn = ref 0 and tn = ref 0 in
+  List.iter
+    (fun (app : Mhla_apps.Defs.t) ->
+      let name = app.Mhla_apps.Defs.name in
+      let program = Lazy.force app.Mhla_apps.Defs.program in
+      let hierarchy =
+        Mhla_arch.Presets.two_level
+          ~onchip_bytes:app.Mhla_apps.Defs.onchip_bytes ()
+      in
+      let unfiltered = Explore.run program hierarchy in
+      let filtered =
+        Policy.run (Policy.predictor model) program hierarchy
+      in
+      let pg = unfiltered.Explore.assign.Assign.evaluations in
+      let pf = filtered.Explore.assign.Assign.evaluations in
+      let obj (r : Explore.result) =
+        Cost.scalar Cost.Energy_delay r.Explore.after_te
+      in
+      let drift =
+        100. *. (obj filtered -. obj unfiltered) /. obj unfiltered
+      in
+      let check =
+        Mhla_sim.Crosscheck.check_analysis
+          filtered.Explore.assign.Assign.mapping filtered.Explore.te
+      in
+      let clean = check.Mhla_sim.Crosscheck.analysis_clean in
+      let key m = Printf.sprintf "ext_policy.%s.%s" name m in
+      metric (key "probes_greedy") (Mhla_util.Json.int pg);
+      metric (key "probes_predictor") (Mhla_util.Json.int pf);
+      metric (key "predictor_clean") (Mhla_util.Json.bool clean);
+      Table.add_row ptable
+        [ name;
+          Table.cell_int pg;
+          Table.cell_int pf;
+          Table.cell_percent
+            (100. *. float_of_int (pg - pf) /. float_of_int (max 1 pg));
+          Table.cell_float drift;
+          (if clean then "clean" else "DIRTY") ];
+      (* Ground truth for the filter quality is the engine itself: a
+         candidate is genuinely useful when its probed single-placement
+         gain clears the model threshold. *)
+      List.iter
+        (fun (s : Predictor.sample) ->
+          let predicted =
+            Predictor.predict model s.Predictor.features
+            > model.Predictor.threshold
+          in
+          let actual = s.Predictor.gain > model.Predictor.threshold in
+          match (predicted, actual) with
+          | true, true -> incr tp
+          | true, false -> incr fp
+          | false, true -> incr fn
+          | false, false -> incr tn)
+        (Predictor.samples program hierarchy))
+    Apps.all;
+  Table.print ptable;
+  let ratio a b = float_of_int a /. float_of_int (max 1 (a + b)) in
+  let precision = ratio !tp !fp and recall = ratio !tp !fn in
+  metric "ext_policy.predictor.precision" (Mhla_util.Json.float precision);
+  metric "ext_policy.predictor.recall" (Mhla_util.Json.float recall);
+  Printf.printf
+    "predictor filter vs engine-verified gains over the nine apps:\n\
+    \  precision %.3f  recall %.3f  (tp %d fp %d fn %d tn %d)\n"
+    precision recall !tp !fp !fn !tn
+
 let sections =
   [ ("FIG2", fig2);
     ("FIG3", fig3);
@@ -1173,14 +1348,82 @@ let sections =
     ("EXT-CHECK", ext_check);
     ("EXT-GEN", ext_gen);
     ("EXT-SERVE", ext_serve);
+    ("EXT-POLICY", ext_policy);
     ("MICRO", micro) ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | [ _ ] | [] -> List.map fst sections
+(* Regression gate: compare this run's metrics against a committed
+   baseline. Only keys present in the baseline are checked (so the
+   baseline can be pruned to deterministic keys — wall clocks and
+   scheduling-dependent counters stay out of it); a missing key or a
+   numeric drift beyond 15% of the baseline magnitude fails the run. *)
+let check_baseline file =
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "--check: %s\n" msg;
+      exit 2
   in
+  let baseline =
+    match Mhla_util.Json.parse contents with
+    | Ok (Mhla_util.Json.Obj fields) -> fields
+    | Ok _ ->
+      Printf.eprintf "--check %s: baseline is not a JSON object\n" file;
+      exit 2
+    | Error e ->
+      Printf.eprintf "--check %s: %s\n" file
+        (Mhla_util.Json.parse_error_to_string e);
+      exit 2
+  in
+  let current = List.rev !bench_metrics in
+  let tolerance = 0.15 in
+  let offenders =
+    List.filter_map
+      (fun (key, want) ->
+        match List.assoc_opt key current with
+        | None -> Some (Printf.sprintf "%s: missing from this run" key)
+        | Some got -> (
+          let number = function
+            | Mhla_util.Json.Int i -> Some (float_of_int i)
+            | Mhla_util.Json.Float f -> Some f
+            | _ -> None
+          in
+          match (number want, number got) with
+          | Some w, Some g ->
+            if Float.abs (g -. w) > tolerance *. Float.max (Float.abs w) 1e-9
+            then
+              Some
+                (Printf.sprintf "%s: %.6g drifted >%.0f%% from baseline %.6g"
+                   key g (100. *. tolerance) w)
+            else None
+          | _ ->
+            if Mhla_util.Json.equal want got then None
+            else
+              Some
+                (Printf.sprintf "%s: %s <> baseline %s" key
+                   (Mhla_util.Json.to_string got)
+                   (Mhla_util.Json.to_string want))))
+      baseline
+  in
+  match offenders with
+  | [] ->
+    Printf.printf "baseline check OK (%d key(s) within %.0f%%)\n"
+      (List.length baseline) (100. *. tolerance)
+  | _ ->
+    Printf.eprintf "baseline check FAILED against %s:\n" file;
+    List.iter (Printf.eprintf "  %s\n") offenders;
+    exit 1
+
+let () =
+  let rec split_check acc = function
+    | "--check" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | "--check" :: [] ->
+      Printf.eprintf "--check requires a baseline file argument\n";
+      exit 2
+    | arg :: rest -> split_check (arg :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let check, names = split_check [] (List.tl (Array.to_list Sys.argv)) in
+  let requested = match names with [] -> List.map fst sections | _ -> names in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
@@ -1190,4 +1433,5 @@ let () =
           (String.concat ", " (List.map fst sections));
         exit 2)
     requested;
-  write_metrics ()
+  write_metrics ();
+  Option.iter check_baseline check

@@ -4,6 +4,8 @@
      list                      the nine bundled applications
      show APP                  print an application's loop-nest program
      run APP [--onchip N] ...  the full two-step flow with a report
+                               (--policy/--model pick a search policy,
+                               --portfolio races a field of them)
      emit APP                  pseudo-C of the transformed program
      sweep APP [--min/--max]   trade-off exploration over on-chip sizes
      pareto APP [--level ...]  budget-vector frontier over per-layer sizes
@@ -11,6 +13,7 @@
      robustness APP [--seed]   fault-injected TE stall inflation (EXT-FAULT)
      check APP [--Werror] ...  static verification of the solver output
      fuzz [--seed] [--count]   differential fuzzing over generated programs
+     fit [--seed] [--count]    fit the CC-pruning predictor on a corpus
      batch FILE.jsonl          solve a JSONL request file, one response each
      serve --stdin             daemon: JSONL requests in, responses out
      soak [--requests N]       chaos soak of the service (CI gate)
@@ -26,7 +29,11 @@ module Check_pass = Mhla_analysis.Pass
 module Cost = Mhla_core.Cost
 module Error = Mhla_util.Error
 module Explore = Mhla_core.Explore
+module Policy = Mhla_policy.Policy
+module Portfolio = Mhla_policy.Portfolio
+module Predictor = Mhla_policy.Predictor
 module Prefetch = Mhla_core.Prefetch
+module Registry = Mhla_policy.Registry
 module Report = Mhla_core.Report
 module Table = Mhla_util.Table
 module Telemetry = Mhla_obs.Telemetry
@@ -103,24 +110,22 @@ let mode_arg =
     & opt mode_conv Assign.default_config.Assign.transfer_mode
     & info [ "mode" ] ~docv:"MODE" ~doc)
 
-let search_conv =
-  let parse = function
-    | "greedy" -> Ok Explore.Greedy
-    | "anneal" | "annealing" ->
-      Ok (Explore.Annealing { seed = 42L; iterations = 4000 })
-    | s -> Error (`Msg (Printf.sprintf "unknown search %S" s))
-  in
-  let print ppf = function
-    | Explore.Greedy -> Fmt.string ppf "greedy"
-    | Explore.Annealing _ -> Fmt.string ppf "anneal"
-  in
-  Arg.conv (parse, print)
-
+(* The search name is taken as a plain string and resolved through the
+   policy-layer registry inside [guarded], so an unknown spelling gets
+   the structured Invalid_input diagnostic (exit 2) instead of
+   cmdliner's usage error — and the CLI, the service wire and the tests
+   accept exactly the same names. *)
 let search_arg =
-  let doc = "Step-1 search engine: greedy (steepest descent) or anneal." in
+  let doc =
+    "Step-1 search engine: greedy (steepest descent), first-improvement \
+     or anneal."
+  in
   Arg.(
-    value & opt search_conv Explore.Greedy
-    & info [ "search" ] ~docv:"ENGINE" ~doc)
+    value & opt (some string) None & info [ "search" ] ~docv:"ENGINE" ~doc)
+
+let resolve_search = function
+  | None -> Explore.Greedy
+  | Some s -> Registry.search_of_name ~context:"mhla" s
 
 let deadline_arg =
   let doc =
@@ -243,36 +248,171 @@ let json_arg =
   let doc = "Emit machine-readable JSON instead of text." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let load_model file =
+  let content =
+    let ic =
+      try open_in file
+      with Sys_error m ->
+        Error.invalidf ~context:"mhla run"
+          ~hint:"pass --model a JSON file written by mhla fit" "%s" m
+    in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Predictor.of_json (Mhla_util.Json.parse_exn content)
+
 let run_cmd =
-  let run name onchip dma objective mode search deadline_ms json verbosity
-      trace =
+  let run name onchip dma objective mode search policy model portfolio
+      policies jobs deadline_ms json verbosity trace =
     guarded @@ fun () ->
     let app = find_app name in
     validate_onchip onchip;
+    (match jobs with
+    | Some j when j < 1 ->
+      Error.invalidf ~context:"mhla" ~hint:"pass -j a positive worker count"
+        "jobs must be at least 1 (got %d)" j
+    | _ -> ());
     let program = Lazy.force app.Mhla_apps.Defs.program in
     let hierarchy = hierarchy_of app ~onchip ~dma in
     let config = config_of objective mode in
     let checkpoint = checkpoint_of deadline_ms in
-    let result =
-      with_telemetry ~trace ~verbosity @@ fun telemetry ->
-      Explore.run ~config ~search ~telemetry ?checkpoint program hierarchy
-    in
-    if json then
-      print_endline
-        (Mhla_util.Json.to_string ~indent:2
-           (Report.result_to_json ~name result))
-    else begin
-      match verbosity with
-      | Quiet -> ()
-      | Verbose | Debug -> print_endline (Report.detailed ~name result)
-      | Normal -> print_endline (Report.summary ~name result)
+    if portfolio then begin
+      if policy <> None || model <> None || search <> None then
+        Error.invalidf ~context:"mhla run"
+          ~hint:"--portfolio races whole policies; pick the field with \
+                 --policies"
+          "--portfolio conflicts with --policy, --model and --search";
+      let field =
+        match policies with
+        | None -> Registry.default_portfolio
+        | Some names -> List.map (Registry.find ~context:"mhla run") names
+      in
+      let outcome =
+        with_telemetry ~trace ~verbosity @@ fun telemetry ->
+        Portfolio.race ~config ?jobs ~telemetry ?checkpoint ~policies:field
+          program hierarchy
+      in
+      if json then
+        print_endline
+          (Mhla_util.Json.to_string ~indent:2
+             (Portfolio.to_json ~id:name outcome))
+      else begin
+        match verbosity with
+        | Quiet -> ()
+        | Normal | Verbose | Debug ->
+          List.iter
+            (fun (e : Portfolio.entry) ->
+              Fmt.pr "  %-18s %.6g%s@." e.Portfolio.policy.Policy.name
+                e.Portfolio.objective
+                (if e == outcome.Portfolio.winner then "  <- winner" else ""))
+            outcome.Portfolio.entrants;
+          print_endline
+            (Report.summary ~name outcome.Portfolio.winner.Portfolio.result)
+      end
     end
+    else begin
+      if policies <> None then
+        Error.invalidf ~context:"mhla run"
+          ~hint:"--policies names the field a --portfolio run races"
+          "--policies requires --portfolio";
+      if jobs <> None then
+        Error.invalidf ~context:"mhla run"
+          ~hint:"a single solve has nothing to parallelise; -j drives \
+                 --portfolio"
+          "-j requires --portfolio";
+      let chosen =
+        match (policy, model) with
+        | None, None -> None
+        | (Some "predictor" | None), Some file ->
+          Some (Policy.predictor (load_model file))
+        | Some "predictor", None ->
+          Error.invalidf ~context:"mhla run"
+            ~hint:"the predictor policy needs a fitted model; pass --model \
+                   FILE (see mhla fit)"
+            "--policy predictor requires --model"
+        | Some name, None -> Some (Registry.find ~context:"mhla run" name)
+        | Some name, Some _ ->
+          Error.invalidf ~context:"mhla run"
+            "--model only applies to the predictor policy (got --policy %s)"
+            name
+      in
+      (match (chosen, search) with
+      | Some _, Some _ ->
+        Error.invalidf ~context:"mhla run"
+          ~hint:"a policy already fixes the step-1 search"
+          "--policy/--model conflicts with --search"
+      | _ -> ());
+      let result =
+        with_telemetry ~trace ~verbosity @@ fun telemetry ->
+        match chosen with
+        | Some p ->
+          Policy.run ~config ~telemetry ?checkpoint p program hierarchy
+        | None ->
+          Explore.run ~config
+            ~search:(resolve_search search)
+            ~telemetry ?checkpoint program hierarchy
+      in
+      if json then
+        print_endline
+          (Mhla_util.Json.to_string ~indent:2
+             (Report.result_to_json ~name result))
+      else begin
+        match verbosity with
+        | Quiet -> ()
+        | Verbose | Debug -> print_endline (Report.detailed ~name result)
+        | Normal -> print_endline (Report.summary ~name result)
+      end
+    end
+  in
+  let policy_arg =
+    let doc =
+      "Run under a named policy (search + TE order + CC filter); see the \
+       registry: greedy, greedy-first, anneal, te-fifo, te-size, lean, or \
+       predictor (with $(b,--model))."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "policy" ] ~docv:"NAME" ~doc)
+  in
+  let model_arg =
+    let doc =
+      "Fitted CC-pruning predictor (JSON from $(b,mhla fit)); implies the \
+       predictor policy."
+    in
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE" ~doc)
+  in
+  let portfolio_arg =
+    let doc =
+      "Race a field of policies in parallel and report the best finisher \
+       (deterministic winner for every $(b,-j))."
+    in
+    Arg.(value & flag & info [ "portfolio" ] ~doc)
+  in
+  let policies_arg =
+    let doc =
+      "Comma-separated policy names for $(b,--portfolio); default: greedy, \
+       greedy-first, anneal."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "policies" ] ~docv:"NAMES" ~doc)
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains racing portfolio entrants in parallel; the \
+             winner is identical for every $(docv).")
   in
   let doc = "Run the two-step MHLA+TE flow on an application." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
-      $ search_arg $ deadline_arg $ json_arg $ verbosity_term $ trace_arg)
+      $ search_arg $ policy_arg $ model_arg $ portfolio_arg $ policies_arg
+      $ jobs_arg $ deadline_arg $ json_arg $ verbosity_term $ trace_arg)
 
 let emit_cmd =
   let run name onchip dma objective mode =
@@ -360,8 +500,9 @@ let pareto_cmd =
     let checkpoint = checkpoint_of deadline_ms in
     let outcome =
       with_telemetry ~trace ~verbosity @@ fun telemetry ->
-      Explore.pareto ~config ~dma ~search ?jobs ~telemetry ?checkpoint ~axes
-        program
+      Explore.pareto ~config ~dma
+        ~search:(resolve_search search)
+        ?jobs ~telemetry ?checkpoint ~axes program
     in
     if json then
       print_endline
@@ -655,7 +796,11 @@ let check_cmd =
     let policy = config.Assign.policy in
     let report =
       with_telemetry ~trace ~verbosity @@ fun telemetry ->
-      let result = Explore.run ~config ~search ~telemetry program hierarchy in
+      let result =
+        Explore.run ~config
+          ~search:(resolve_search search)
+          ~telemetry program hierarchy
+      in
       let mapping = result.Explore.assign.Assign.mapping in
       let te = result.Explore.te in
       let subject =
@@ -844,6 +989,101 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ profile_arg $ jobs_arg $ replay_arg
       $ mutate_arg $ verbosity_term)
+
+(* --- fit --------------------------------------------------------------- *)
+
+let fit_cmd =
+  let run seed count profile threshold ridge output verbosity =
+    guarded @@ fun () ->
+    if count < 1 then
+      Error.invalidf ~context:"mhla fit"
+        ~hint:"pass --count a positive number of programs"
+        "count must be at least 1 (got %d)" count;
+    (* The corpus is named exactly like the fuzzer's: case seeds drawn
+       from a root PRNG stream, each program solved under its profile
+       budget — so --seed N --count K labels the same training set on
+       every machine and the fitted weights are bit-reproducible. *)
+    let rng = Mhla_util.Prng.create ~seed in
+    let rec draw k acc =
+      if k = count then List.rev acc
+      else draw (k + 1) (Mhla_util.Prng.next_int64 rng :: acc)
+    in
+    let seeds = draw 0 [] in
+    let samples =
+      List.concat_map
+        (fun case_seed ->
+          let case = Gen.case ~profile ~seed:case_seed () in
+          let hierarchy =
+            Mhla_arch.Presets.two_level
+              ~onchip_bytes:case.Gen.onchip_bytes ()
+          in
+          Predictor.samples case.Gen.program hierarchy)
+        seeds
+    in
+    let model = Predictor.fit ~ridge ~threshold samples in
+    let text =
+      Mhla_util.Json.to_string ~indent:2 (Predictor.to_json model)
+    in
+    (match output with
+    | None -> print_endline text
+    | Some file ->
+      let oc =
+        try open_out file
+        with Sys_error m ->
+          Error.invalidf ~context:"mhla fit" ~hint:"pass -o a writable path"
+            "%s" m
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc text;
+          output_char oc '\n'));
+    if verbosity <> Quiet then
+      Fmt.epr
+        "fit: %d sample(s) from %d program(s) (profile %s, seed %Ld)@."
+        model.Predictor.samples count (Gen.profile_name profile) seed
+  in
+  let seed_arg =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"INT64"
+             ~doc:"Root seed of the corpus case-seed stream.")
+  in
+  let count_arg =
+    Arg.(value & opt int 40
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Programs to generate and label.")
+  in
+  let profile_arg =
+    Arg.(value & opt (enum Gen.all_profiles) Gen.Mixed
+         & info [ "profile" ] ~docv:"PROFILE"
+             ~doc:"Difficulty profile of the corpus (see $(b,mhla fuzz)).")
+  in
+  let threshold_arg =
+    Arg.(value & opt float Mhla_policy.Predictor.default_threshold
+         & info [ "threshold" ] ~docv:"GAIN"
+             ~doc:"Keep candidates whose predicted relative gain exceeds \
+                   $(docv); stored in the model.")
+  in
+  let ridge_arg =
+    Arg.(value & opt float 1e-6
+         & info [ "ridge" ] ~docv:"LAMBDA"
+             ~doc:"Ridge regularisation of the least-squares fit.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the model JSON to $(docv) instead of stdout.")
+  in
+  let doc =
+    "Fit the CC-pruning predictor: generate a seeded corpus of programs, \
+     label every copy candidate with its engine-probed single-placement \
+     gain, and fit the linear model $(b,mhla run --model) loads. \
+     Deterministic in the seed."
+  in
+  Cmd.v (Cmd.info "fit" ~doc)
+    Term.(
+      const run $ seed_arg $ count_arg $ profile_arg $ threshold_arg
+      $ ridge_arg $ output_arg $ verbosity_term)
 
 (* --- service (batch / serve / soak) ------------------------------------ *)
 
@@ -1094,5 +1334,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; pareto_cmd;
-            figures_cmd; robustness_cmd; check_cmd; fuzz_cmd; batch_cmd;
-            serve_cmd; soak_cmd ]))
+            figures_cmd; robustness_cmd; check_cmd; fuzz_cmd; fit_cmd;
+            batch_cmd; serve_cmd; soak_cmd ]))

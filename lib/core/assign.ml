@@ -10,6 +10,7 @@ type config = {
   allow_array_promotion : bool;
   max_chain_length : int;
   layer_budgets : int list option;
+  cc_filter : (Analysis.info -> Candidate.t -> bool) option;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     allow_array_promotion = true;
     max_chain_length = 2;
     layer_budgets = None;
+    cc_filter = None;
   }
 
 type step = { description : string; gain : float; objective_after : float }
@@ -58,6 +60,16 @@ let result ?(engine_stats = None) ~full_evaluations mapping breakdown steps
 let chains config (m : Mapping.t) (info : Analysis.info) =
   let on_chip = Hierarchy.on_chip_levels m.Mapping.hierarchy in
   let candidates = Analysis.useful_candidates info in
+  (* The CC-selection policy hook: a filter only narrows the chain
+     space ([Direct] always survives in [alternatives]), so any filter
+     is safe — at worst the search degenerates to the out-of-the-box
+     mapping. [None] (the default) keeps every useful candidate and is
+     bit-identical to the pre-policy behaviour. *)
+  let candidates =
+    match config.cc_filter with
+    | None -> candidates
+    | Some keep -> List.filter (keep info) candidates
+  in
   let depth_cap = min config.max_chain_length (List.length on_chip) in
   (* Build chains inner-to-outer: each extension picks a candidate of
      strictly lower level and a strictly higher layer. *)
@@ -205,11 +217,12 @@ let improves ~current ~candidate =
 let no_checkpoint () = ()
 
 let greedy ?(config = default_config) ?(oracle = false)
-    ?(telemetry = Telemetry.noop) ?reuse ?(checkpoint = no_checkpoint)
-    program hierarchy =
+    ?(first_improvement = false) ?(telemetry = Telemetry.noop) ?reuse
+    ?(checkpoint = no_checkpoint) program hierarchy =
   Telemetry.span telemetry ~cat:"assign" "assign.greedy"
     ~args:(fun () ->
       [ ("oracle", Telemetry.Bool oracle);
+        ("first_improvement", Telemetry.Bool first_improvement);
         ( "objective",
           Telemetry.Str (Fmt.str "%a" Cost.pp_objective config.objective) )
       ])
@@ -254,7 +267,25 @@ let greedy ?(config = default_config) ?(oracle = false)
             else best
         end
       in
-      match List.fold_left try_move None (moves config m) with
+      (* First-improving descent (a policy alternative to steepest):
+         commit the first move that improves, in the deterministic
+         [moves] order, instead of scanning them all. *)
+      let select ms =
+        if first_improvement then
+          List.find_map
+            (fun move ->
+              let next = apply_move m move in
+              if not (feasible config next) then None
+              else begin
+                let value = objective next in
+                if improves ~current ~candidate:value then
+                  Some (move, next, value)
+                else None
+              end)
+            ms
+        else List.fold_left try_move None ms
+      in
+      match select (moves config m) with
       | None -> (m, current, List.rev steps)
       | Some (move, next, value) ->
         descend next value (mk_step move ~current ~value :: steps)
@@ -285,7 +316,22 @@ let greedy ?(config = default_config) ?(oracle = false)
             else best
         end
       in
-      match List.fold_left try_move None (moves_with ~alts config m) with
+      let select ms =
+        if first_improvement then
+          List.find_map
+            (fun move ->
+              let next = apply_move m move in
+              if not (feasible config next) then None
+              else begin
+                incr evaluations;
+                let value = Engine.probe engine move in
+                if improves ~current ~candidate:value then Some (move, value)
+                else None
+              end)
+            ms
+        else List.fold_left try_move None ms
+      in
+      match select (moves_with ~alts config m) with
       | None -> (m, current, List.rev steps)
       | Some (move, value) ->
         let step = mk_step move ~current ~value in

@@ -27,13 +27,23 @@ type config = {
           capacity-bound. Budgets cap the assignment step's occupancy;
           to also cap the TE double buffers, shrink the hierarchy
           itself (what {!Explore.pareto} does per grid point). *)
+  cc_filter : (Mhla_reuse.Analysis.info -> Mhla_reuse.Candidate.t -> bool)
+              option;
+      (** the CC-selection policy hook: when set, only candidates the
+          filter keeps enter the copy-chain space. [Direct] always
+          remains an alternative, so any filter is safe (it narrows
+          the search, never breaks it). [None] (the default) keeps
+          every useful candidate — bit-identical to the pre-policy
+          behaviour. A config carrying a filter closure is no longer
+          structurally comparable; compare configs only at their
+          defaults. *)
 }
 
 val default_config : config
 (** Energy-delay objective (the balanced trade-off point the figures
     report), [Delta] transfers (the full technique with inter-copy
     reuse), in-place sizing, array promotion on, chains up to depth
-    2, no layer budgets. *)
+    2, no layer budgets, no CC filter. *)
 
 (** One applied move, for reporting. *)
 type step = {
@@ -86,13 +96,19 @@ val feasible : config -> Mapping.t -> bool
 val greedy :
   ?config:config ->
   ?oracle:bool ->
+  ?first_improvement:bool ->
   ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
   ?checkpoint:(unit -> unit) ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
   result
-(** Steepest descent. Probes run through the incremental {!Engine}
+(** Steepest descent — or, with [first_improvement] (default [false]),
+    first-improving descent: each round commits the first move of the
+    deterministic move order that improves the objective instead of
+    scanning every move for the best one (fewer probes per round, more
+    rounds, a different — not necessarily worse — local optimum).
+    Probes run through the incremental {!Engine}
     unless [oracle] (default [false]) forces from-scratch
     [Cost.evaluate] calls; both flavours return identical results (the
     engine is bit-exact), the oracle flavour exists as the reference to

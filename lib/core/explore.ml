@@ -11,9 +11,12 @@ type result = {
   ideal : Cost.breakdown;
 }
 
-type search = Greedy | Annealing of { seed : int64; iterations : int }
+type search =
+  | Greedy
+  | First_improvement
+  | Annealing of { seed : int64; iterations : int }
 
-let run ?config ?order ?(search = Greedy) ?defer_writebacks
+let run ?config ?order ?rank ?(search = Greedy) ?defer_writebacks
     ?(telemetry = Telemetry.noop) ?reuse ?checkpoint program hierarchy =
   Telemetry.span telemetry ~cat:"explore" "explore.run"
     ~args:(fun () ->
@@ -34,13 +37,17 @@ let run ?config ?order ?(search = Greedy) ?defer_writebacks
     match search with
     | Greedy ->
       Assign.greedy ?config ~telemetry ?reuse ?checkpoint program hierarchy
+    | First_improvement ->
+      Assign.greedy ?config ~first_improvement:true ~telemetry ?reuse
+        ?checkpoint program hierarchy
     | Annealing { seed; iterations } ->
       Assign.simulated_annealing ?config ~telemetry ?reuse ?checkpoint ~seed
         ~iterations program hierarchy
   in
   let te =
     stage "explore.te" @@ fun () ->
-    Prefetch.run ?order ?defer_writebacks ~telemetry assign.Assign.mapping
+    Prefetch.run ?order ?rank ?defer_writebacks ~telemetry
+      assign.Assign.mapping
   in
   stage "explore.evaluate" @@ fun () ->
   {

@@ -17,12 +17,19 @@ type result = {
   ideal : Cost.breakdown;  (** step-1 mapping, transfers fully hidden *)
 }
 
-(** Which step-1 search engine to use. *)
-type search = Greedy | Annealing of { seed : int64; iterations : int }
+(** Which step-1 search engine to use. [First_improvement] is
+    {!Assign.greedy} with first-improving (rather than steepest)
+    descent — one of the move-selection policies the policy layer
+    races. *)
+type search =
+  | Greedy
+  | First_improvement
+  | Annealing of { seed : int64; iterations : int }
 
 val run :
   ?config:Assign.config ->
   ?order:Prefetch.order ->
+  ?rank:(Prefetch.bt_stats -> float) ->
   ?search:search ->
   ?defer_writebacks:bool ->
   ?telemetry:Mhla_obs.Telemetry.t ->
@@ -31,7 +38,9 @@ val run :
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
   result
-(** [search] defaults to [Greedy]; [defer_writebacks] (default [false])
+(** [search] defaults to [Greedy]; [rank] (default absent) overrides
+    [order] with a policy-supplied TE ranking (see {!Prefetch.run});
+    [defer_writebacks] (default [false])
     also lets TE hide buffer drains (see {!Prefetch.run}). [reuse]
     shares a {!Mapping.precompute} of the same program (the sweep
     hoists one across all its points). [telemetry] (default noop) wraps

@@ -15,7 +15,7 @@ type failure = { check : string; detail : string }
 let check_names =
   [
     "json"; "engine"; "xval"; "verifier-greedy"; "verifier-anneal"; "interp";
-    "faults"; "pareto";
+    "faults"; "pareto"; "policy";
   ]
 
 (* Kept low: the annealing leg runs once per fuzz case, and the CI gate
@@ -155,6 +155,44 @@ let failures ?(mutate = No_mutation) ~onchip_bytes program =
             got
             Fmt.(brackets (list ~sep:semi (array ~sep:comma float)))
             want));
+    (* Portfolio invariants: the winner of a policy race must itself
+       verify clean, and — because greedy is in the field and ties
+       break towards it — must never be worse than the plain greedy
+       pipeline this case already solved. The annealing entrant runs
+       the short fuzz budget, not the CLI default. *)
+    (let module Policy = Mhla_policy.Policy in
+     let module Portfolio = Mhla_policy.Portfolio in
+     let policies =
+       [
+         Policy.greedy;
+         Policy.greedy_first;
+         Policy.make
+           ~search:
+             (Explore.Annealing
+                { seed = 0x5EEDL; iterations = anneal_iterations })
+           "anneal";
+       ]
+     in
+     let outcome = Portfolio.race ~jobs:1 ~policies program hierarchy in
+     let winner = outcome.Portfolio.winner in
+     let cp =
+       Crosscheck.check_analysis
+         winner.Portfolio.result.Explore.assign.Mhla_core.Assign.mapping
+         winner.Portfolio.result.Explore.te
+     in
+     if not cp.Crosscheck.analysis_clean then
+       fail "policy"
+         (Fmt.str "winner %s: %a" winner.Portfolio.policy.Policy.name
+            (Fmt.list ~sep:Fmt.comma Mhla_analysis.Diagnostic.pp)
+            cp.Crosscheck.analysis_errors);
+     let greedy_objective =
+       Cost.scalar Cost.Energy_delay r.Explore.after_te
+     in
+     if winner.Portfolio.objective > greedy_objective then
+       fail "policy"
+         (Fmt.str "winner %s objective %.17g worse than greedy %.17g"
+            winner.Portfolio.policy.Policy.name winner.Portfolio.objective
+            greedy_objective));
     List.rev !fails
   with e -> [ { check = "exception"; detail = Printexc.to_string e } ]
 

@@ -39,7 +39,10 @@ val check_names : string list
     (fault-injected pipeline degrades without breaking the analytic
     envelope), ["pareto"] (the branch-and-bound frontier over a tiny
     budget grid is exactly the brute-force fold of the full flow over
-    every grid point). Any exception escaping the battery is caught
+    every grid point), ["policy"] (the winner of a
+    greedy/greedy-first/anneal {!Mhla_policy.Portfolio} race verifies
+    clean and its objective is never worse than the plain greedy
+    pipeline's). Any exception escaping the battery is caught
     and reported as a single ["exception"] failure. *)
 
 val failures :

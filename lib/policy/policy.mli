@@ -1,0 +1,89 @@
+(** First-class search policies.
+
+    A policy bundles the three decision points of the MHLA flow that
+    were previously hard-wired call-site arguments:
+
+    - {e CC selection} — which copy candidates even enter the chain
+      space ({!cc_filter}, installed into
+      {!Mhla_core.Assign.config}'s [cc_filter] hook);
+    - {e layer assignment} — which step-1 search walks the move space
+      ({!Mhla_core.Explore.search});
+    - {e TE ordering} — how block transfers are granted slack
+      ({!Mhla_core.Prefetch.order}).
+
+    [run] is {!Mhla_core.Explore.run} with the three knobs set from
+    the policy; {!greedy} reproduces the default pipeline
+    bit-identically (the regression tests assert it). Policies are
+    plain data so the portfolio can race them and the registry can
+    name them; only the [Model] filter drags a fitted predictor
+    along. *)
+
+(** The CC-selection policies. [Keep_all] is the pre-policy behaviour
+    (every useful candidate). [Top_k k] keeps, per access, the [k]
+    candidates with the highest reuse factor under the config's
+    transfer mode (stable on ties, so deterministic). [Model m]
+    keeps candidates the fitted {!Predictor} expects to improve the
+    objective. [Direct] always remains an alternative, so every
+    filter is safe. *)
+type cc_filter = Keep_all | Top_k of int | Model of Predictor.model
+
+type t = {
+  name : string;  (** registry key, also used in reports *)
+  search : Mhla_core.Explore.search;
+  order : Mhla_core.Prefetch.order;
+  cc_filter : cc_filter;
+}
+
+val make :
+  ?search:Mhla_core.Explore.search ->
+  ?order:Mhla_core.Prefetch.order ->
+  ?cc_filter:cc_filter ->
+  string ->
+  t
+(** Defaults reproduce {!greedy}: steepest descent, time-over-size TE
+    ordering, no CC filtering. *)
+
+(** {2 The built-in policies} (see {!Registry.builtins}) *)
+
+val greedy : t
+(** ["greedy"] — the default pipeline, bit-identical to
+    [Explore.run] with no overrides. *)
+
+val greedy_first : t
+(** ["greedy-first"] — first-improving descent. *)
+
+val anneal : t
+(** ["anneal"] — simulated annealing, seed 42, 4000 iterations. *)
+
+val te_fifo : t
+(** ["te-fifo"] — greedy step 1, program-order TE grants. *)
+
+val te_size : t
+(** ["te-size"] — greedy step 1, biggest-transfer-first TE grants. *)
+
+val lean : t
+(** ["lean"] — greedy step 1 over only the single best candidate per
+    access ([Top_k 1]): the cheap end of the probe-budget spectrum. *)
+
+val predictor : Predictor.model -> t
+(** ["predictor"] — greedy step 1 with the fitted model filtering
+    candidates before any engine probe is spent on them. *)
+
+val install :
+  config:Mhla_core.Assign.config -> Mhla_ir.Program.t -> t ->
+  Mhla_core.Assign.config
+(** The config with this policy's [cc_filter] closure set (closing
+    over the config's transfer mode and the program). [Keep_all]
+    installs [None], keeping the config structurally comparable. *)
+
+val run :
+  ?config:Mhla_core.Assign.config ->
+  ?telemetry:Mhla_obs.Telemetry.t ->
+  ?reuse:Mhla_core.Mapping.reuse ->
+  ?checkpoint:(unit -> unit) ->
+  t ->
+  Mhla_ir.Program.t ->
+  Mhla_arch.Hierarchy.t ->
+  Mhla_core.Explore.result
+(** The full flow under this policy — [Explore.run] with the config
+    from {!install}, the policy's search and its TE order. *)

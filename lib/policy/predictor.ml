@@ -1,0 +1,188 @@
+module Analysis = Mhla_reuse.Analysis
+module Candidate = Mhla_reuse.Candidate
+module Feature = Mhla_reuse.Feature
+module Hierarchy = Mhla_arch.Hierarchy
+module Cost = Mhla_core.Cost
+module Engine = Mhla_core.Engine
+module Mapping = Mhla_core.Mapping
+module Error = Mhla_util.Error
+module Json = Mhla_util.Json
+
+type model = {
+  feature_names : string list;
+  weights : float array;
+  threshold : float;
+  samples : int;
+}
+
+type sample = { features : float array; gain : float }
+
+(* Labels come from the engine, not from a simulator run: from the
+   out-of-the-box mapping, probe the single-chain placement that serves
+   the access through just this candidate on the innermost on-chip
+   layer, and record the relative objective improvement. That is the
+   cheapest ground truth that still reflects what the greedy search's
+   very first sweep would see. *)
+let samples ?(transfer_mode = Candidate.Delta) program hierarchy =
+  match Hierarchy.on_chip_levels hierarchy with
+  | [] -> []
+  | layer :: _ ->
+      let m = Mapping.direct ~transfer_mode program hierarchy in
+      let engine = Engine.create ~objective:Cost.Energy_delay m in
+      let start = Engine.objective_value engine in
+      let scale = Float.abs start +. 1. in
+      List.concat_map
+        (fun (info : Analysis.info) ->
+          List.map
+            (fun c ->
+              let move =
+                Engine.Set_placement
+                  ( info.Analysis.ref_,
+                    Mapping.Chain [ { Mapping.candidate = c; layer } ] )
+              in
+              let value = Engine.probe engine move in
+              {
+                features = Feature.vector ~transfer_mode program info c;
+                gain = (start -. value) /. scale;
+              })
+            (Analysis.useful_candidates info))
+        m.Mapping.infos
+
+(* Gaussian elimination with partial pivoting; [a] is symmetric
+   positive definite after the ridge term, so the pivot never
+   vanishes. Deterministic: plain float arithmetic in a fixed order. *)
+let solve a b =
+  let d = Array.length b in
+  for col = 0 to d - 1 do
+    let pivot = ref col in
+    for row = col + 1 to d - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    if a.(col).(col) = 0. then
+      Error.internalf ~context:"Predictor.fit"
+        "singular normal equations despite ridge term";
+    for row = col + 1 to d - 1 do
+      let f = a.(row).(col) /. a.(col).(col) in
+      if f <> 0. then begin
+        for k = col to d - 1 do
+          a.(row).(k) <- a.(row).(k) -. (f *. a.(col).(k))
+        done;
+        b.(row) <- b.(row) -. (f *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make d 0. in
+  for row = d - 1 downto 0 do
+    let s = ref b.(row) in
+    for k = row + 1 to d - 1 do
+      s := !s -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. a.(row).(row)
+  done;
+  x
+
+let default_threshold = 1e-6
+
+let fit ?(ridge = 1e-6) ?(threshold = default_threshold) samples =
+  let n = List.length samples in
+  if n = 0 then
+    Error.invalidf ~context:"Predictor.fit"
+      ~hint:"fit on a corpus with at least one candidate"
+      "cannot fit a model on an empty sample set";
+  let d = Feature.dim in
+  let a = Array.make_matrix d d 0. in
+  let b = Array.make d 0. in
+  List.iter
+    (fun { features = x; gain } ->
+      if Array.length x <> d then
+        Error.invalidf ~context:"Predictor.fit"
+          "sample has %d features, expected %d" (Array.length x) d;
+      for i = 0 to d - 1 do
+        b.(i) <- b.(i) +. (x.(i) *. gain);
+        for j = 0 to d - 1 do
+          a.(i).(j) <- a.(i).(j) +. (x.(i) *. x.(j))
+        done
+      done)
+    samples;
+  for i = 0 to d - 1 do
+    a.(i).(i) <- a.(i).(i) +. ridge
+  done;
+  let weights = solve a b in
+  { feature_names = Feature.names; weights; threshold; samples = n }
+
+let predict model x =
+  let d = Array.length model.weights in
+  if Array.length x <> d then
+    Error.invalidf ~context:"Predictor.predict"
+      "feature vector has %d entries, model expects %d" (Array.length x) d;
+  let s = ref 0. in
+  for i = 0 to d - 1 do
+    s := !s +. (model.weights.(i) *. x.(i))
+  done;
+  !s
+
+let keep model ~transfer_mode program (info : Analysis.info)
+    (c : Candidate.t) =
+  predict model (Feature.vector ~transfer_mode program info c)
+  > model.threshold
+
+let to_json m =
+  Json.obj
+    [
+      ("features", Json.arr (List.map Json.str m.feature_names));
+      ( "weights",
+        Json.arr (Array.to_list (Array.map Json.float m.weights)) );
+      ("threshold", Json.float m.threshold);
+      ("samples", Json.int m.samples);
+    ]
+
+let of_json j =
+  let context = "Predictor.of_json" in
+  let fail fmt = Error.invalidf ~context fmt in
+  let fields =
+    match j with Json.Obj fs -> fs | _ -> fail "model must be an object"
+  in
+  let field name =
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> fail "model is missing the %S field" name
+  in
+  let as_float path = function
+    | Json.Float f -> f
+    | Json.Int i -> float_of_int i
+    | _ -> fail "%s must be a number" path
+  in
+  let names =
+    match field "features" with
+    | Json.Arr xs ->
+        List.map
+          (function Json.Str s -> s | _ -> fail "features must be strings")
+          xs
+    | _ -> fail "features must be an array"
+  in
+  if names <> Feature.names then
+    fail "model features do not match this build (expected %s)"
+      (String.concat ", " Feature.names);
+  let weights =
+    match field "weights" with
+    | Json.Arr xs -> Array.of_list (List.map (as_float "weights[]") xs)
+    | _ -> fail "weights must be an array"
+  in
+  if Array.length weights <> Feature.dim then
+    fail "model has %d weights, expected %d" (Array.length weights)
+      Feature.dim;
+  let threshold = as_float "threshold" (field "threshold") in
+  let samples =
+    match field "samples" with
+    | Json.Int i -> i
+    | _ -> fail "samples must be an integer"
+  in
+  { feature_names = names; weights; threshold; samples }

@@ -1,0 +1,67 @@
+(** The corpus-fitted copy-candidate pruning predictor.
+
+    Jamet et al.'s predict-then-filter split mapped onto MHLA: a
+    lightweight linear model over {!Mhla_reuse.Feature} vectors
+    predicts the single-placement objective gain of a candidate, and a
+    fitted model filters candidates {e before} the search spends
+    engine probes on them (the [Model] case of
+    {!Policy.cc_filter}). Fitting is plain ridge-regularised least
+    squares solved by Gaussian elimination — deterministic, dependency
+    free, and cheap enough to run inside [mhla fit]. *)
+
+type model = {
+  feature_names : string list;  (** {!Mhla_reuse.Feature.names} *)
+  weights : float array;  (** one per feature, same order *)
+  threshold : float;
+      (** a candidate is kept when its predicted gain exceeds this *)
+  samples : int;  (** training-set size, provenance only *)
+}
+
+type sample = {
+  features : float array;
+  gain : float;
+      (** engine-verified label: relative objective improvement of
+          placing just this candidate from the direct mapping *)
+}
+
+val samples :
+  ?transfer_mode:Mhla_reuse.Candidate.transfer_mode ->
+  Mhla_ir.Program.t ->
+  Mhla_arch.Hierarchy.t ->
+  sample list
+(** One labelled sample per useful candidate of every access: the
+    feature vector plus the engine-probed relative gain of serving the
+    access through that candidate alone (innermost on-chip layer,
+    energy-delay objective, measured from the out-of-the-box mapping).
+    Deterministic; empty when the hierarchy has no on-chip level. *)
+
+val default_threshold : float
+(** [1e-6] — keep candidates predicted to improve at all. *)
+
+val fit : ?ridge:float -> ?threshold:float -> sample list -> model
+(** Least squares over the samples ([ridge], default [1e-6],
+    regularises the normal equations; [threshold] defaults to [1e-6]
+    — keep candidates predicted to improve at all).
+    @raise Mhla_util.Error.Error ([Invalid_input]) on an empty sample
+    set or a feature-dimension mismatch. *)
+
+val predict : model -> float array -> float
+(** Predicted relative gain of one feature vector.
+    @raise Mhla_util.Error.Error on a dimension mismatch. *)
+
+val keep :
+  model ->
+  transfer_mode:Mhla_reuse.Candidate.transfer_mode ->
+  Mhla_ir.Program.t ->
+  Mhla_reuse.Analysis.info ->
+  Mhla_reuse.Candidate.t ->
+  bool
+(** The filter a fitted model induces — exactly the shape of
+    {!Mhla_core.Assign.config}'s [cc_filter]:
+    [predict model (Feature.vector c) > model.threshold]. *)
+
+val to_json : model -> Mhla_util.Json.t
+
+val of_json : Mhla_util.Json.t -> model
+(** @raise Mhla_util.Error.Error ([Invalid_input]) on malformed
+    documents — the loader behind [mhla run --model]. *)

@@ -1,0 +1,45 @@
+(** Cheap per-candidate features for learned copy-candidate filtering.
+
+    The predict-then-filter split of the policy layer needs a feature
+    vector that is computable from the reuse analysis alone — no
+    mapping, no cost model, no engine probe — so that a fitted
+    predictor can discard candidates {e before} the search spends
+    engine probes on them. Everything here derives from the program,
+    the access's {!Analysis.info} and the {!Candidate} record.
+
+    The freedom-loop walk (how many enclosing loops a prefetch of the
+    candidate could be extended across without racing a producer) is
+    shared with {!Mhla_core.Prefetch}, which delegates to
+    {!freedom_loops} — one dependence analysis, two consumers. *)
+
+val names : string list
+(** Feature names, in vector order: [bias], [reuse_ratio],
+    [log_footprint_bytes], [log_trip_product], [level], and
+    [freedom_depth]. *)
+
+val dim : int
+(** [List.length names]. *)
+
+val freedom_loops :
+  Mhla_ir.Program.t -> Analysis.info -> Candidate.t -> string list
+(** Figure 1's dep_analysis + loops_between: walking outward from the
+    candidate's refresh loop, the run of enclosing loops across which
+    advancing a prefetch of the candidate cannot race a producer of
+    its source region (for a write-direction candidate, nor any reader
+    of the drained region). Innermost first; empty for level-0
+    candidates (no refresh loop) or when the refresh loop itself
+    carries the dependence. *)
+
+val freedom_depth :
+  Mhla_ir.Program.t -> Analysis.info -> Candidate.t -> int
+(** [List.length (freedom_loops program info c)]. *)
+
+val vector :
+  transfer_mode:Candidate.transfer_mode ->
+  Mhla_ir.Program.t ->
+  Analysis.info ->
+  Candidate.t ->
+  float array
+(** The feature vector of one candidate, [dim] wide, ordered as
+    {!names}. Deterministic; logarithms compress the byte/trip scales
+    so least-squares weights stay comparable across programs. *)

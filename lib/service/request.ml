@@ -10,7 +10,10 @@ type arch =
   | Three_level of { l1_bytes : int; l2_bytes : int; dma : bool }
   | Multi_level of { level_bytes : int list; dma : bool }
 
-type kind = Solve | Pareto of { axes : int list list }
+type kind =
+  | Solve
+  | Pareto of { axes : int list list }
+  | Portfolio of { policies : string list }
 
 type inject = No_inject | Raise
 
@@ -24,6 +27,7 @@ type t = {
   objective : Cost.objective;
   transfer_mode : Candidate.transfer_mode;
   search : Explore.search;
+  policy : string option;
   deadline_ms : int option;
   fault_spec : fault_spec option;
   inject : inject;
@@ -54,11 +58,41 @@ let check_kind ~context ~arch ~transfer_mode ~fault_spec = function
       Error.invalidf ~context
         "the grid has %d axes but the arch has %d on-chip level(s)"
         (List.length axes) expected
+  | Portfolio { policies } ->
+    if transfer_mode <> Candidate.Delta then
+      Error.invalidf ~context
+        "a portfolio request cannot set a transfer mode (the \"mode\" \
+         field carries \"portfolio\")";
+    if fault_spec <> None then
+      Error.invalidf ~context
+        "the faults rider applies to a single solve, not a portfolio race";
+    if policies = [] then
+      Error.invalidf ~context "a portfolio must name at least one policy";
+    (* Names are validated here — at the boundary — so a bad one is a
+       decode error, not a worker crash mid-race. *)
+    List.iter
+      (fun name -> ignore (Mhla_policy.Registry.find ~context name))
+      policies
+
+let check_policy ~context ~kind ~search = function
+  | None -> ()
+  | Some name ->
+    ignore (Mhla_policy.Registry.find ~context name);
+    (match kind with
+    | Solve -> ()
+    | Pareto _ | Portfolio _ ->
+      Error.invalidf ~context
+        "the \"policy\" field applies to a single solve");
+    if search <> Explore.Greedy then
+      Error.invalidf ~context
+        "\"policy\" conflicts with \"search\" (the policy already fixes \
+         the step-1 search)"
 
 let make ?(kind = Solve) ?(objective = Cost.Energy_delay)
-    ?(transfer_mode = Candidate.Delta) ?(search = Explore.Greedy)
+    ?(transfer_mode = Candidate.Delta) ?(search = Explore.Greedy) ?policy
     ?deadline_ms ?fault_spec ?(inject = No_inject) ~id ~arch program =
   check_kind ~context:"Request.make" ~arch ~transfer_mode ~fault_spec kind;
+  check_policy ~context:"Request.make" ~kind ~search policy;
   {
     id;
     program;
@@ -67,6 +101,7 @@ let make ?(kind = Solve) ?(objective = Cost.Energy_delay)
     objective;
     transfer_mode;
     search;
+    policy;
     deadline_ms;
     fault_spec;
     inject;
@@ -109,6 +144,8 @@ let arch_to_json = function
 
 let search_to_json = function
   | Explore.Greedy -> Json.obj [ ("kind", Json.str "greedy") ]
+  | Explore.First_improvement ->
+    Json.obj [ ("kind", Json.str "first-improvement") ]
   | Explore.Annealing { seed; iterations } ->
     Json.obj
       [ ("kind", Json.str "anneal");
@@ -148,6 +185,12 @@ let to_json t =
              Json.arr
                (List.map (fun axis -> Json.arr (List.map Json.int axis)) axes))
           ]
+        | Portfolio { policies } ->
+          (* The field is always re-emitted explicitly — even when it
+             came from the default — so of_json ∘ to_json stays the
+             identity whatever the default evolves into. *)
+          [ ("mode", Json.str "portfolio");
+            ("policies", Json.arr (List.map Json.str policies)) ]
         | Solve ->
           if t.transfer_mode = Candidate.Delta then []
           else [ ("mode", Json.str (mode_name t.transfer_mode)) ])
@@ -155,6 +198,10 @@ let to_json t =
         (match t.search with
         | Explore.Greedy -> []
         | s -> [ ("search", search_to_json s) ])
+    @ optional
+        (match t.policy with
+        | None -> []
+        | Some p -> [ ("policy", Json.str p) ])
     @ optional
         (match t.deadline_ms with
         | None -> []
@@ -196,7 +243,7 @@ let field ~path fields name =
 
 let allowed_top =
   [ "id"; "program"; "arch"; "objective"; "mode"; "grid"; "search";
-    "deadline_ms"; "faults"; "inject" ]
+    "policy"; "policies"; "deadline_ms"; "faults"; "inject" ]
 
 let as_arr ~path = function
   | Json.Arr xs -> xs
@@ -266,22 +313,20 @@ let grid_of_json ~path j =
   if axes = [] then fail ~path "the grid must name at least one axis";
   axes
 
+(* Search names resolve through the one policy-layer registry, so the
+   wire, the CLI and the tests accept exactly the same spellings and
+   report unknown names with the same structured error. *)
 let search_of_json ~path j =
   let fields = as_obj ~path j in
-  match as_str ~path:(path ^ ".kind") (field ~path fields "kind") with
-  | "greedy" -> Explore.Greedy
-  | "anneal" ->
-    let get name default =
-      match List.assoc_opt name fields with
-      | None -> default
-      | Some v -> as_int ~path:(path ^ "." ^ name) v
-    in
-    Explore.Annealing
-      {
-        seed = Int64.of_int (get "seed" 42);
-        iterations = get "iterations" 4000;
-      }
-  | s -> fail ~path "bad search kind %S (greedy | anneal)" s
+  let get name default =
+    match List.assoc_opt name fields with
+    | None -> default
+    | Some v -> as_int ~path:(path ^ "." ^ name) v
+  in
+  Mhla_policy.Registry.search_of_name ~context:"Request.of_json"
+    ~seed:(Int64.of_int (get "seed" 42))
+    ~iterations:(get "iterations" 4000)
+    (as_str ~path:(path ^ ".kind") (field ~path fields "kind"))
 
 let fault_spec_of_json ~path j =
   let fields = as_obj ~path j in
@@ -343,11 +388,35 @@ let of_json j =
         grid_of_json ~path:"$.grid" (field ~path fields "grid")
       in
       (Pareto { axes }, Candidate.Delta)
-    | Some s -> fail ~path:"$.mode" "bad mode %S (full | delta | pareto)" s
+    | Some "portfolio" ->
+      let policies =
+        match List.assoc_opt "policies" fields with
+        | None -> Mhla_policy.Registry.default_portfolio_names
+        | Some j ->
+          let path = "$.policies" in
+          List.map (as_str ~path) (as_arr ~path j)
+      in
+      (Portfolio { policies }, Candidate.Delta)
+    | Some s ->
+      fail ~path:"$.mode" "bad mode %S (full | delta | pareto | portfolio)"
+        s
   in
-  (if kind = Solve && List.mem_assoc "grid" fields then
-     fail ~path:"$.grid" "only valid when \"mode\" is \"pareto\"");
+  (match kind with
+  | Pareto _ -> ()
+  | Solve | Portfolio _ ->
+    if List.mem_assoc "grid" fields then
+      fail ~path:"$.grid" "only valid when \"mode\" is \"pareto\"");
+  (match kind with
+  | Portfolio _ -> ()
+  | Solve | Pareto _ ->
+    if List.mem_assoc "policies" fields then
+      fail ~path:"$.policies" "only valid when \"mode\" is \"portfolio\"");
+  (if List.mem_assoc "policy" fields && List.mem_assoc "search" fields then
+     fail ~path:"$.policy"
+       "conflicts with \"search\" (the policy already fixes the step-1 \
+        search)");
   let search = Option.value ~default:Explore.Greedy (opt "search" search_of_json) in
+  let policy = Option.map (as_str ~path:"$.policy") (List.assoc_opt "policy" fields) in
   let deadline_ms = opt "deadline_ms" as_int in
   (match deadline_ms with
   | Some ms when ms < 0 -> fail ~path:"$.deadline_ms" "must be >= 0 (got %d)" ms
@@ -357,6 +426,7 @@ let of_json j =
     Option.value ~default:No_inject (opt "inject" inject_of_json)
   in
   check_kind ~context:"Request.of_json" ~arch ~transfer_mode ~fault_spec kind;
+  check_policy ~context:"Request.of_json" ~kind ~search policy;
   {
     id;
     program;
@@ -365,6 +435,7 @@ let of_json j =
     objective;
     transfer_mode;
     search;
+    policy;
     deadline_ms;
     fault_spec;
     inject;

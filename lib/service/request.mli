@@ -42,6 +42,24 @@
       "mode": "pareto",
       "grid": [[512, 1024, 2048], [4096, 16384]],
       "deadline_ms": 2000 }
+    v}
+
+    Setting ["mode": "portfolio"] races a field of named policies (see
+    {!Mhla_policy.Registry}) over the same solve and answers with the
+    best finisher; the optional ["policies"] array picks the field
+    (default: greedy, greedy-first, anneal). A single solve may instead
+    carry ["policy": "name"] to run under one named policy; it
+    conflicts with ["search"], which the policy already fixes. All
+    names resolve through {!Mhla_policy.Registry}, so the wire accepts
+    exactly the spellings the CLI does and rejects unknown ones at
+    decode time.
+
+    {v
+    { "id": "req-2",
+      "program": { ... },
+      "arch": { "onchip_bytes": 2048 },
+      "mode": "portfolio",
+      "policies": ["greedy", "te-size", "lean"] }
     v} *)
 
 type arch =
@@ -50,10 +68,14 @@ type arch =
   | Multi_level of { level_bytes : int list; dma : bool }
       (** innermost level first; must name at least one level *)
 
-(** What the request asks for: one solve, or a whole budget-vector
+(** What the request asks for: one solve, a whole budget-vector
     frontier ([axes] is one ascending size axis per on-chip level, fed
-    to {!Mhla_core.Explore.pareto}). *)
-type kind = Solve | Pareto of { axes : int list list }
+    to {!Mhla_core.Explore.pareto}), or a policy race ([policies] are
+    registry names, fed to {!Mhla_policy.Portfolio.race}). *)
+type kind =
+  | Solve
+  | Pareto of { axes : int list list }
+  | Portfolio of { policies : string list }
 
 (** Chaos hooks, deliberately undocumented on the wire: [Raise] makes
     the worker raise a bare exception mid-request — the poisoned
@@ -73,6 +95,9 @@ type t = {
   objective : Mhla_core.Cost.objective;
   transfer_mode : Mhla_reuse.Candidate.transfer_mode;
   search : Mhla_core.Explore.search;
+  policy : string option;
+      (** run the solve under one named policy; [Solve] only, mutually
+          exclusive with a non-default [search] *)
   deadline_ms : int option;  (** [None]: the service default applies *)
   fault_spec : fault_spec option;
   inject : inject;
@@ -83,6 +108,7 @@ val make :
   ?objective:Mhla_core.Cost.objective ->
   ?transfer_mode:Mhla_reuse.Candidate.transfer_mode ->
   ?search:Mhla_core.Explore.search ->
+  ?policy:string ->
   ?deadline_ms:int ->
   ?fault_spec:fault_spec ->
   ?inject:inject ->
@@ -91,10 +117,13 @@ val make :
   Mhla_ir.Program.t ->
   t
 (** Defaults: a single solve, energy-delay, delta transfers, greedy
-    search, no deadline, no faults, no injection.
+    search, no policy, no deadline, no faults, no injection.
     @raise Mhla_util.Error.Error ([Invalid_input]) when a [Pareto]
     kind carries a non-default transfer mode or a fault rider, or its
-    axis count differs from the arch's on-chip level count. *)
+    axis count differs from the arch's on-chip level count; when a
+    [Portfolio] kind is empty, names an unknown policy, or carries a
+    transfer mode or fault rider; or when [policy] is unknown, set on
+    a non-[Solve] kind, or combined with a non-default [search]. *)
 
 val hierarchy : t -> Mhla_arch.Hierarchy.t
 (** The {!Mhla_arch.Presets} platform the request names.

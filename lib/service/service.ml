@@ -64,8 +64,14 @@ let solve ?telemetry ?reuse ?checkpoint (req : Request.t) =
       transfer_mode = req.transfer_mode;
     }
   in
-  Explore.run ~config ?telemetry ~search:req.search ?reuse ?checkpoint
-    req.program (Request.hierarchy req)
+  match req.policy with
+  | Some name ->
+    Mhla_policy.Policy.run ~config ?telemetry ?reuse ?checkpoint
+      (Mhla_policy.Registry.find ~context:"Service.solve" name)
+      req.program (Request.hierarchy req)
+  | None ->
+    Explore.run ~config ?telemetry ~search:req.search ?reuse ?checkpoint
+      req.program (Request.hierarchy req)
 
 let ok_payload (req : Request.t) result =
   Report.result_to_json ~name:req.id result
@@ -81,6 +87,23 @@ let solve_pareto ?telemetry ?reuse ?checkpoint (req : Request.t) ~axes =
   in
   Explore.pareto ~config ?telemetry ~search:req.search ~dma:(Request.dma req)
     ~jobs:1 ?reuse ?checkpoint ~axes req.program
+
+(* A portfolio request, like a pareto one, keeps its fan-out on the
+   worker that owns it ([jobs:1]): the service parallelises across
+   requests, not within one. Entrant order is the request's, so the
+   deterministic tie-break survives the trip through the wire. *)
+let solve_portfolio ?telemetry ?reuse ?checkpoint (req : Request.t)
+    ~policies =
+  let config =
+    { Assign.default_config with objective = req.objective }
+  in
+  let policies =
+    List.map
+      (Mhla_policy.Registry.find ~context:"Service.solve_portfolio")
+      policies
+  in
+  Mhla_policy.Portfolio.race ~config ~jobs:1 ?telemetry ?reuse ?checkpoint
+    ~policies req.program (Request.hierarchy req)
 
 (* --- bookkeeping (all under [t.lock]) ---------------------------------- *)
 
@@ -166,6 +189,12 @@ let run_request t tele job (req : Request.t) =
       in
       Response.ok ~id ~seq ~elapsed_ns:(elapsed ())
         (Report.pareto_to_json outcome)
+    | Request.Portfolio { policies } ->
+      let outcome =
+        solve_portfolio ~telemetry:tele ~reuse ?checkpoint req ~policies
+      in
+      Response.ok ~id ~seq ~elapsed_ns:(elapsed ())
+        (Mhla_policy.Portfolio.to_json ~id outcome)
     | Request.Solve ->
       let result = solve ~telemetry:tele ~reuse ?checkpoint req in
       let robustness =

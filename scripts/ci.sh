@@ -192,26 +192,37 @@ for key in '"traceEvents"' '"ph"' '"displayTimeUnit"' '"otherData"'; do
 done
 rm -f "$trace"
 
-echo "== bench smoke (EXT-ENGINE, EXT-TRACE, EXT-CHECK, EXT-GEN, EXT-SERVE, EXT-PARETO) =="
+echo "== bench smoke + baseline gate (EXT-ENGINE, EXT-TRACE, EXT-CHECK, EXT-GEN, EXT-SERVE, EXT-PARETO, EXT-POLICY) =="
 # The bench writes BENCH_<rev>.json into its working directory; run it
-# from a scratch dir so CI never litters the checkout.
+# from a scratch dir so CI never litters the checkout. --check fails
+# the run when any stable metric drifts >15% from the committed
+# bench/baseline.json.
 bench_dir=$(mktemp -d /tmp/mhla_ci_bench.XXXXXX)
 repo_root=$(pwd)
 dune build bench/main.exe
 (cd "$bench_dir" && "$repo_root/_build/default/bench/main.exe" \
-  EXT-ENGINE EXT-TRACE EXT-CHECK EXT-GEN EXT-SERVE EXT-PARETO >/dev/null)
+  --check "$repo_root/bench/baseline.json" \
+  EXT-ENGINE EXT-TRACE EXT-CHECK EXT-GEN EXT-SERVE EXT-PARETO \
+  EXT-POLICY >/dev/null)
 # Every run must leave a machine-readable metrics file with the
-# EXT-PARETO keys the experiment log quotes.
+# EXT-PARETO and EXT-POLICY keys the experiment log quotes.
 if command -v python3 >/dev/null 2>&1; then
   python3 -c '
 import json, sys
 m = json.load(open(sys.argv[1]))
 for key in ("ext_pareto.motion_estimation.points_per_s",
-            "ext_pareto.motion_estimation.pruning_ratio"):
+            "ext_pareto.motion_estimation.pruning_ratio",
+            "ext_policy.motion_estimation.winner",
+            "ext_policy.predictor.precision"):
     if key not in m:
         sys.exit(f"BENCH json is missing {key}")
 if m["ext_pareto.motion_estimation.pruning_ratio"] <= 1.0:
     sys.exit("pruning ratio did not exceed 1 on the saturation grid")
+for app in ("motion_estimation", "qsdpcm", "cavity_detector"):
+    if not m[f"ext_policy.{app}.predictor_clean"]:
+        sys.exit(f"predictor-filtered solution for {app} failed the verifier")
+    if m[f"ext_policy.{app}.probes_predictor"] >= m[f"ext_policy.{app}.probes_greedy"]:
+        sys.exit(f"predictor saved no probes on {app}")
 ' "$bench_dir/BENCH_dev.json" || exit 1
 else
   echo "   (python3 not installed: skipping bench metrics validation)"
