@@ -248,6 +248,41 @@ let json_arg =
   let doc = "Emit machine-readable JSON instead of text." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+(* Suppression rules: an explicit --lint-config wins; otherwise
+   ./.mhla-lint is honoured when present (the same convention across
+   check, run --verify-live and the service front-ends), and no file
+   means no suppression. *)
+let load_suppress = function
+  | Some file -> (
+    try Mhla_analysis.Suppress.load file
+    with Sys_error m ->
+      Error.invalidf ~context:"mhla"
+        ~hint:"pass --lint-config a readable suppression file" "%s" m)
+  | None ->
+    if Sys.file_exists ".mhla-lint" then
+      Mhla_analysis.Suppress.load ".mhla-lint"
+    else Mhla_analysis.Suppress.empty
+
+let lint_config_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lint-config" ] ~docv:"FILE"
+        ~doc:
+          "Suppression rules, one $(b,CODE [field=value]...) per line \
+           ($(b,#) comments). Matching diagnostics are dropped and \
+           counted. Default: $(b,./.mhla-lint) when present.")
+
+let verify_live_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-live" ]
+        ~doc:
+          "Run the incremental verifier alongside the solve (re-checked \
+           after every committed move) and fail on any Error diagnostic. \
+           The observer never feeds back: output is bit-identical to a \
+           plain run.")
+
 let load_model file =
   let content =
     let ic =
@@ -264,10 +299,16 @@ let load_model file =
 
 let run_cmd =
   let run name onchip dma objective mode search policy model portfolio
-      policies jobs deadline_ms json verbosity trace =
+      policies jobs deadline_ms verify_live json verbosity trace =
     guarded @@ fun () ->
     let app = find_app name in
     validate_onchip onchip;
+    (* The observer reports on stderr only: a --verify-live run's
+       stdout is bit-identical to a plain one (pinned by CI). *)
+    let suppress =
+      if verify_live then load_suppress None
+      else Mhla_analysis.Suppress.empty
+    in
     (match jobs with
     | Some j when j < 1 ->
       Error.invalidf ~context:"mhla" ~hint:"pass -j a positive worker count"
@@ -290,8 +331,8 @@ let run_cmd =
       in
       let outcome =
         with_telemetry ~trace ~verbosity @@ fun telemetry ->
-        Portfolio.race ~config ?jobs ~telemetry ?checkpoint ~policies:field
-          program hierarchy
+        Portfolio.race ~config ?jobs ~telemetry ?checkpoint ~verify_live
+          ~suppress ~policies:field program hierarchy
       in
       if json then
         print_endline
@@ -345,13 +386,33 @@ let run_cmd =
       | _ -> ());
       let result =
         with_telemetry ~trace ~verbosity @@ fun telemetry ->
-        match chosen with
-        | Some p ->
-          Policy.run ~config ~telemetry ?checkpoint p program hierarchy
-        | None ->
-          Explore.run ~config
-            ~search:(resolve_search search)
-            ~telemetry ?checkpoint program hierarchy
+        let live =
+          if verify_live then
+            Some
+              (Mhla_analysis.Live.of_config ~suppress config program
+                 hierarchy)
+          else None
+        in
+        let on_commit =
+          Option.map (fun l m -> Mhla_analysis.Live.on_commit l m) live
+        in
+        let result =
+          match chosen with
+          | Some p ->
+            Policy.run ~config ~telemetry ?checkpoint ?on_commit p program
+              hierarchy
+          | None ->
+            Explore.run ~config
+              ~search:(resolve_search search)
+              ~telemetry ?checkpoint ?on_commit program hierarchy
+        in
+        Option.iter
+          (fun l ->
+            let report = Mhla_analysis.Live.check l result in
+            if verbosity <> Quiet then
+              Fmt.epr "verify-live: %a@." Check.pp_report report)
+          live;
+        result
       in
       if json then
         print_endline
@@ -412,7 +473,8 @@ let run_cmd =
     Term.(
       const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
       $ search_arg $ policy_arg $ model_arg $ portfolio_arg $ policies_arg
-      $ jobs_arg $ deadline_arg $ json_arg $ verbosity_term $ trace_arg)
+      $ jobs_arg $ deadline_arg $ verify_live_arg $ json_arg
+      $ verbosity_term $ trace_arg)
 
 let emit_cmd =
   let run name onchip dma objective mode =
@@ -687,12 +749,19 @@ let robustness_cmd =
 (* Seeded corruptions for the self-test gate: each breaks exactly the
    invariant one verifier pass re-derives, so that pass must catch it.
    CI uses these to prove the checkers are live, not vacuous. *)
-type mutation = No_mutation | Mutate_bounds | Mutate_te | Mutate_capacity
+type mutation =
+  | No_mutation
+  | Mutate_bounds
+  | Mutate_te
+  | Mutate_capacity
+  | Mutate_interference
+  | Mutate_lints
 
 let mutation_conv =
   Arg.enum
     [ ("none", No_mutation); ("bounds", Mutate_bounds); ("te", Mutate_te);
-      ("capacity", Mutate_capacity) ]
+      ("capacity", Mutate_capacity); ("interference", Mutate_interference);
+      ("lints", Mutate_lints) ]
 
 (* Push one subscript past its declared extent: the first access's
    first subscript [e] becomes [e + dim0], so its maximum lands at or
@@ -784,46 +853,164 @@ let mutate_capacity (m : Mhla_core.Mapping.t) schedule policy =
   in
   Mhla_core.Mapping.with_hierarchy m hierarchy
 
+(* Bump the highest plan's DMA priority out of the contiguous 0..n-1
+   sequence: the interference pass's priority audit (MHLA204) must
+   flag the hole. *)
+let mutate_interference (schedule : Prefetch.schedule) =
+  match schedule.Prefetch.plans with
+  | [] ->
+    Error.invalidf ~context:"mhla check"
+      ~hint:"pick an application whose TE step plans block transfers"
+      "--mutate interference: the schedule has no plans to corrupt"
+  | plan :: rest ->
+    let plan =
+      { plan with Prefetch.dma_priority = plan.Prefetch.dma_priority + 1 }
+    in
+    { schedule with Prefetch.plans = plan :: rest }
+
+(* Declare an array no statement accesses: the lints pass must report
+   MHLA301 on it. Lints are warnings, so the self-test gate is
+   [--mutate lints --Werror] (with pre-existing warnings suppressed
+   via a lint config when the subject has any). *)
+let mutate_lints (program : Mhla_ir.Program.t) =
+  let module P = Mhla_ir.Program in
+  P.make_exn
+    ~name:(program.P.name ^ "+lint")
+    ~arrays:
+      (program.P.arrays
+      @ [
+          Mhla_ir.Array_decl.make ~name:"__mhla_unused" ~dims:[ 4 ]
+            ~element_bytes:1;
+        ])
+    ~body:program.P.body
+
+let mutated_subject ~policy ~program ~mapping ~te = function
+  | No_mutation -> Check_pass.of_mapping ~schedule:te ~policy mapping
+  | Mutate_bounds -> Check_pass.subject ~policy (mutate_bounds program)
+  | Mutate_te ->
+    Check_pass.of_mapping ~schedule:(mutate_te mapping te) ~policy mapping
+  | Mutate_capacity ->
+    Check_pass.of_mapping ~schedule:te ~policy
+      (mutate_capacity mapping te policy)
+  | Mutate_interference ->
+    Check_pass.of_mapping ~schedule:(mutate_interference te) ~policy mapping
+  | Mutate_lints -> Check_pass.subject ~policy (mutate_lints program)
+
+let write_sarif ~file report =
+  let doc =
+    Mhla_analysis.Sarif.of_report ~tool_version:"1.0.0" report
+  in
+  let text = Mhla_util.Json.to_string ~indent:2 doc in
+  if file = "-" then print_endline text
+  else begin
+    let oc =
+      try open_out file
+      with Sys_error m ->
+        Error.invalidf ~context:"mhla check"
+          ~hint:"pass --sarif a writable path (or - for stdout)" "%s" m
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc text;
+        output_char oc '\n')
+  end
+
 let check_cmd =
   let run name onchip dma objective mode search json werror only skip mutate
-      verbosity trace =
+      explain sarif lint_config corpus seed profile verbosity trace =
     guarded @@ fun () ->
-    let app = find_app name in
-    validate_onchip onchip;
-    let program = Lazy.force app.Mhla_apps.Defs.program in
-    let hierarchy = hierarchy_of app ~onchip ~dma in
-    let config = config_of objective mode in
-    let policy = config.Assign.policy in
-    let report =
-      with_telemetry ~trace ~verbosity @@ fun telemetry ->
-      let result =
-        Explore.run ~config
-          ~search:(resolve_search search)
-          ~telemetry program hierarchy
-      in
-      let mapping = result.Explore.assign.Assign.mapping in
-      let te = result.Explore.te in
-      let subject =
-        match mutate with
-        | No_mutation -> Check_pass.of_mapping ~schedule:te ~policy mapping
-        | Mutate_bounds -> Check_pass.subject ~policy (mutate_bounds program)
-        | Mutate_te ->
-          Check_pass.of_mapping ~schedule:(mutate_te mapping te) ~policy
-            mapping
-        | Mutate_capacity ->
-          Check_pass.of_mapping ~schedule:te ~policy
-            (mutate_capacity mapping te policy)
-      in
+    match explain with
+    | Some code ->
+      Fmt.pr "%a@." Mhla_analysis.Explain.pp
+        (Mhla_analysis.Explain.explain code)
+    | None -> (
+      let suppress = load_suppress lint_config in
       let only = match only with [] -> None | l -> Some l in
       let skip = match skip with [] -> None | l -> Some l in
-      let report = Check.run ?only ?skip ~telemetry subject in
-      if werror then Check.promote_warnings report else report
-    in
-    if json then
-      print_endline
-        (Mhla_util.Json.to_string ~indent:2 (Check.report_to_json report))
-    else if verbosity <> Quiet then Fmt.pr "%a@." Check.pp_report report;
-    if not (Check.ok report) then exit 1
+      let config = config_of objective mode in
+      let policy = config.Assign.policy in
+      let checked ~telemetry program hierarchy =
+        let result =
+          Explore.run ~config
+            ~search:(resolve_search search)
+            ~telemetry program hierarchy
+        in
+        let mapping = result.Explore.assign.Assign.mapping in
+        let subject =
+          mutated_subject ~policy ~program ~mapping ~te:result.Explore.te
+            mutate
+        in
+        let report = Check.run ?only ?skip ~suppress ~telemetry subject in
+        if werror then Check.promote_warnings report else report
+      in
+      match corpus with
+      | Some count ->
+        if name <> None then
+          Error.invalidf ~context:"mhla check"
+            ~hint:"--corpus generates its own programs; drop APP"
+            "--corpus conflicts with an application argument";
+        if count < 1 then
+          Error.invalidf ~context:"mhla check"
+            ~hint:"pass --corpus a positive case count"
+            "corpus size must be at least 1 (got %d)" count;
+        if sarif <> None then
+          Error.invalidf ~context:"mhla check"
+            ~hint:"SARIF export covers a single subject; check one APP"
+            "--sarif conflicts with --corpus";
+        let module Gen = Mhla_gen.Generate in
+        let reports =
+          with_telemetry ~trace ~verbosity @@ fun telemetry ->
+          let rng = Mhla_util.Prng.create ~seed in
+          List.init count (fun _ -> Mhla_util.Prng.next_int64 rng)
+          |> List.map (fun case_seed ->
+                 let case = Gen.case ~profile ~seed:case_seed () in
+                 let hierarchy =
+                   Mhla_arch.Presets.two_level
+                     ~onchip_bytes:case.Gen.onchip_bytes ()
+                 in
+                 (case_seed, checked ~telemetry case.Gen.program hierarchy))
+        in
+        let failing =
+          List.filter (fun (_, r) -> not (Check.ok r)) reports
+        in
+        List.iter
+          (fun (case_seed, r) ->
+            Fmt.epr "@[<v>check corpus: case seed %Ld fails:@,%a@]@."
+              case_seed Check.pp_report r)
+          failing;
+        if verbosity <> Quiet then
+          Fmt.pr
+            "check corpus: %d case(s), %d failing (profile %s, seed %Ld)@."
+            count (List.length failing)
+            (Gen.profile_name profile)
+            seed;
+        if failing <> [] then exit 1
+      | None ->
+        let name =
+          match name with
+          | Some n -> n
+          | None ->
+            Error.invalidf ~context:"mhla check"
+              ~hint:"name an application (see mhla list), or use \
+                     --corpus N / --explain CODE"
+              "no application named"
+        in
+        let app = find_app name in
+        validate_onchip onchip;
+        let program = Lazy.force app.Mhla_apps.Defs.program in
+        let hierarchy = hierarchy_of app ~onchip ~dma in
+        let report =
+          with_telemetry ~trace ~verbosity @@ fun telemetry ->
+          checked ~telemetry program hierarchy
+        in
+        Option.iter (fun file -> write_sarif ~file report) sarif;
+        if json then
+          print_endline
+            (Mhla_util.Json.to_string ~indent:2 (Check.report_to_json report))
+        else if verbosity <> Quiet then
+          Fmt.pr "%a@." Check.pp_report report;
+        if not (Check.ok report) then exit 1)
   in
   let werror_arg =
     Arg.(value & flag
@@ -834,7 +1021,8 @@ let check_cmd =
     Arg.(value & opt_all string []
          & info [ "pass" ] ~docv:"NAME"
              ~doc:"Run only the named pass (repeatable): bounds, dma-race, \
-                   capacity or lints. Default: all.")
+                   capacity, interference, determinism or lints. Default: \
+                   all.")
   in
   let skip_arg =
     Arg.(value & opt_all string []
@@ -845,20 +1033,70 @@ let check_cmd =
     Arg.(value & opt mutation_conv No_mutation
          & info [ "mutate" ] ~docv:"KIND"
              ~doc:"Self-test: corrupt the solver output before checking \
-                   (bounds, te or capacity) — the run must then exit 1. \
-                   Default: none.")
+                   (bounds, te, capacity, interference or lints) — the run \
+                   must then exit 1 (lints needs $(b,--Werror)). Default: \
+                   none.")
+  in
+  let opt_app_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"APP"
+          ~doc:"Application name (see $(b,mhla list)); omitted with \
+                $(b,--corpus) or $(b,--explain).")
+  in
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"CODE"
+          ~doc:"Print a diagnostic code's derivation story (which pass, \
+                from which facts, what to do) and exit.")
+  in
+  let sarif_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:"Also write the report as SARIF 2.1.0 to $(docv) ($(b,-) \
+                for stdout).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "corpus" ] ~docv:"N"
+          ~doc:"Instead of one application, solve and check $(docv) \
+                generated programs (the fuzzer's generator, seeded by \
+                $(b,--seed)/$(b,--profile)); exits 1 if any case fails.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"INT64"
+          ~doc:"Root seed of the $(b,--corpus) case-seed stream.")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (enum Mhla_gen.Generate.all_profiles) Mhla_gen.Generate.Mixed
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:"Difficulty profile of the $(b,--corpus) programs (see \
+                $(b,mhla fuzz)).")
   in
   let doc =
     "Statically verify a solved application: re-derive subscript bounds, \
-     DMA-race freedom and layer occupancy from the program alone and \
-     check the solver's mapping and TE schedule against them; also lint \
-     the program. Exits 1 on any Error diagnostic."
+     DMA-race freedom, layer occupancy, TE interference and schedule \
+     determinism from the program alone and check the solver's mapping and \
+     TE schedule against them; also lint the program. Exits 1 on any Error \
+     diagnostic."
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
-      $ search_arg $ json_arg $ werror_arg $ pass_arg $ skip_arg $ mutate_arg
-      $ verbosity_term $ trace_arg)
+      const run $ opt_app_arg $ onchip_arg $ dma_arg $ objective_arg
+      $ mode_arg $ search_arg $ json_arg $ werror_arg $ pass_arg $ skip_arg
+      $ mutate_arg $ explain_arg $ sarif_arg $ lint_config_arg $ corpus_arg
+      $ seed_arg $ profile_arg $ verbosity_term $ trace_arg)
 
 (* --- fuzz -------------------------------------------------------------- *)
 
@@ -939,7 +1177,8 @@ let fuzz_cmd =
         (match mutate with
         | Oracle.No_mutation -> ""
         | Oracle.Drift_engine -> " --mutate engine"
-        | Oracle.Drift_interp -> " --mutate interp");
+        | Oracle.Drift_interp -> " --mutate interp"
+        | Oracle.Drift_verify -> " --mutate verify");
       exit 1
   in
   let seed_arg =
@@ -1119,7 +1358,8 @@ let shed_arg =
         ~doc:"When the queue is full, shed new requests with a structured \
               backpressure response instead of blocking the reader.")
 
-let service_config ~telemetry ~jobs ~queue_depth ~default_deadline_ms ~shed =
+let service_config ~telemetry ~jobs ~queue_depth ~default_deadline_ms ~shed
+    ~verify_live ~lint_config =
   if jobs < 1 then
     Error.invalidf ~context:"mhla" ~hint:"pass -j a positive worker count"
       "jobs must be at least 1 (got %d)" jobs;
@@ -1133,6 +1373,8 @@ let service_config ~telemetry ~jobs ~queue_depth ~default_deadline_ms ~shed =
     queue_depth;
     default_deadline_ms;
     admission = (if shed then Service.Shed else Service.Block);
+    verify_live;
+    suppress = load_suppress lint_config;
     telemetry;
   }
 
@@ -1162,14 +1404,14 @@ let report_summary ~json ~verbosity summary =
   else if verbosity <> Quiet then Fmt.epr "%a@." Service.pp_summary summary
 
 let batch_cmd =
-  let run file jobs queue_depth default_deadline_ms shed json verbosity trace
-      =
+  let run file jobs queue_depth default_deadline_ms shed verify_live
+      lint_config json verbosity trace =
     guarded @@ fun () ->
     let summary =
       with_telemetry ~trace ~verbosity @@ fun telemetry ->
       let config =
         service_config ~telemetry ~jobs ~queue_depth ~default_deadline_ms
-          ~shed
+          ~shed ~verify_live ~lint_config
       in
       if file = "-" then stream_requests config stdin
       else
@@ -1202,12 +1444,12 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run $ file_arg $ service_jobs_arg $ queue_depth_arg
-      $ default_deadline_ms_arg $ shed_arg $ json_arg $ verbosity_term
-      $ trace_arg)
+      $ default_deadline_ms_arg $ shed_arg $ verify_live_arg
+      $ lint_config_arg $ json_arg $ verbosity_term $ trace_arg)
 
 let serve_cmd =
-  let run use_stdin jobs queue_depth default_deadline_ms shed json verbosity
-      trace =
+  let run use_stdin jobs queue_depth default_deadline_ms shed verify_live
+      lint_config json verbosity trace =
     guarded @@ fun () ->
     if not use_stdin then
       Error.invalidf ~context:"mhla serve"
@@ -1217,7 +1459,7 @@ let serve_cmd =
       with_telemetry ~trace ~verbosity @@ fun telemetry ->
       let config =
         service_config ~telemetry ~jobs ~queue_depth ~default_deadline_ms
-          ~shed
+          ~shed ~verify_live ~lint_config
       in
       stream_requests config stdin
     in
@@ -1239,8 +1481,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ stdin_arg $ service_jobs_arg $ queue_depth_arg
-      $ default_deadline_ms_arg $ shed_arg $ json_arg $ verbosity_term
-      $ trace_arg)
+      $ default_deadline_ms_arg $ shed_arg $ verify_live_arg
+      $ lint_config_arg $ json_arg $ verbosity_term $ trace_arg)
 
 let soak_cmd =
   let run requests seed jobs queue_depth fault_permille malformed_permille

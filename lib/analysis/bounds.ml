@@ -1,13 +1,19 @@
-module Affine = Mhla_ir.Affine
 module Array_decl = Mhla_ir.Array_decl
 module Program = Mhla_ir.Program
 
 let name = "bounds"
 
-let diag ~code ?loc fmt =
-  Diagnostic.makef ~code ~severity:Diagnostic.Error ~pass:name ?loc fmt
+let diag ~code ?loc ?trail fmt =
+  Diagnostic.makef ~code ~severity:Diagnostic.Error ~pass:name ?loc ?trail fmt
 
-let check_access program (ctx : Program.context) k (a : Mhla_ir.Access.t) =
+(* Value ranges come from the solved abstract interpretation: the
+   fixpoint environment at the owning statement binds every enclosing
+   iterator to its full domain, and the affine evaluation in the
+   interval domain is exact — the same answers the old per-check
+   [Affine.min_value]/[max_value] enumeration produced, now derived
+   once and shared (the equivalence is pinned by a property test). *)
+let check_access solution (ctx : Program.context) program k
+    (a : Mhla_ir.Access.t) =
   let stmt = ctx.Program.stmt.Mhla_ir.Stmt.name in
   let loc ?dim () =
     Diagnostic.location ~array:a.Mhla_ir.Access.array ~stmt ~access_index:k
@@ -26,44 +32,55 @@ let check_access program (ctx : Program.context) k (a : Mhla_ir.Access.t) =
           (List.length dims);
       ]
     else begin
-      (* An iterator outside the enclosing loops would be a validation
-         failure upstream; range it over a single point here so the
-         checker stays total. *)
-      let trip iter =
-        match List.assoc_opt iter ctx.Program.loops with
-        | Some t -> t
-        | None -> 1
-      in
       let check_dim d (e, extent) =
-        let lo = Affine.min_value e ~trip in
-        let hi = Affine.max_value e ~trip in
-        let out_high =
-          if hi >= extent then
-            Some
-              (diag ~code:"MHLA001" ~loc:(loc ~dim:d ())
-                 "subscript sweeps [%d, %d] but the dimension extent is %d"
-                 lo hi extent)
-          else None
-        in
-        let out_low =
-          if lo < 0 then
-            Some
-              (diag ~code:"MHLA002" ~loc:(loc ~dim:d ())
-                 "subscript sweeps [%d, %d], below the array" lo hi)
-          else None
-        in
-        List.filter_map Fun.id [ out_high; out_low ]
+        match Fixpoint.eval solution ~stmt e with
+        | Domain.Itv.Bot -> []
+        | Domain.Itv.Range (lo_b, hi_b) -> (
+          match (lo_b, hi_b) with
+          | Domain.Itv.Fin lo, Domain.Itv.Fin hi ->
+            let trail () = Fixpoint.range_trail solution ~stmt e in
+            let out_high =
+              if hi >= extent then
+                Some
+                  (diag ~code:"MHLA001" ~loc:(loc ~dim:d ())
+                     ~trail:(trail ())
+                     "subscript sweeps [%d, %d] but the dimension extent \
+                      is %d"
+                     lo hi extent)
+              else None
+            in
+            let out_low =
+              if lo < 0 then
+                Some
+                  (diag ~code:"MHLA002" ~loc:(loc ~dim:d ())
+                     ~trail:(trail ())
+                     "subscript sweeps [%d, %d], below the array" lo hi)
+              else None
+            in
+            List.filter_map Fun.id [ out_high; out_low ]
+          | _ ->
+            (* Unbounded ranges cannot arise from the guarded loop
+               domains; treat one as an overflow finding so the checker
+               stays sound if a future domain loses precision. *)
+            [
+              diag ~code:"MHLA001" ~loc:(loc ~dim:d ())
+                ~trail:(Fixpoint.range_trail solution ~stmt e)
+                "subscript range is unbounded but the dimension extent is \
+                 %d"
+                extent;
+            ])
       in
       List.concat
         (List.mapi check_dim (List.combine a.Mhla_ir.Access.index dims))
     end
 
 let run (s : Pass.subject) =
+  let solution = Pass.solution s in
   Program.fold_stmts s.Pass.program ~init:[] ~f:(fun acc ctx ->
       let here =
         List.concat
           (List.mapi
-             (check_access s.Pass.program ctx)
+             (check_access solution ctx s.Pass.program)
              ctx.Program.stmt.Mhla_ir.Stmt.accesses)
       in
       acc @ here)
@@ -72,8 +89,9 @@ let pass =
   {
     Pass.name;
     description =
-      "every affine subscript's value range over the full loop domains \
-       stays within the declared dimension extents";
+      "every affine subscript's value range, derived from the interval \
+       fixpoint over the loop nest, stays within the declared dimension \
+       extents";
     codes = [ "MHLA001"; "MHLA002"; "MHLA003" ];
     run;
   }

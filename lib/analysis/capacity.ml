@@ -7,15 +7,14 @@ module Mapping = Mhla_core.Mapping
 module Occupancy = Mhla_lifetime.Occupancy
 module Prefetch = Mhla_core.Prefetch
 module Program = Mhla_ir.Program
-module Schedule = Mhla_lifetime.Schedule
 
 let name = "capacity"
 
-(* The buffers alive on one level, derived from the placements against
-   a freshly built timeline. Candidates sharing a [share_key] hold the
-   same data in the same rhythm: one buffer, alive over the hull of the
-   sharers' lifetimes. *)
-let placement_blocks sched (m : Mapping.t) ~level =
+(* The buffers alive on one level, their lifetimes taken from the
+   abstract interpretation's timeline. Candidates sharing a
+   [share_key] hold the same data in the same rhythm: one buffer,
+   alive over the hull of the sharers' lifetimes. *)
+let placement_blocks solution (m : Mapping.t) ~level =
   let shared = Hashtbl.create 16 in
   let order = ref [] in
   List.iter
@@ -27,7 +26,7 @@ let placement_blocks sched (m : Mapping.t) ~level =
           (fun (link : Mapping.chain_link) ->
             if link.Mapping.layer = level then begin
               let c = link.Mapping.candidate in
-              let interval = Schedule.candidate_interval sched c in
+              let interval = Fixpoint.candidate_interval solution c in
               let key = c.Candidate.share_key in
               match Hashtbl.find_opt shared key with
               | None ->
@@ -51,7 +50,7 @@ let placement_blocks sched (m : Mapping.t) ~level =
     m.Mapping.placements;
   List.rev_map (fun key -> Hashtbl.find shared key) !order
 
-let promoted_blocks sched (m : Mapping.t) ~level =
+let promoted_blocks solution (m : Mapping.t) ~level =
   List.filter_map
     (fun (array, l) ->
       if l <> level then None
@@ -62,7 +61,7 @@ let promoted_blocks sched (m : Mapping.t) ~level =
           Some
             {
               Occupancy.label = array;
-              interval = Schedule.array_interval sched m.Mapping.program array;
+              interval = Fixpoint.array_interval solution array;
               bytes = Array_decl.size_bytes decl;
             })
     m.Mapping.array_layers
@@ -72,7 +71,7 @@ let promoted_blocks sched (m : Mapping.t) ~level =
    a delta-mode transfer only re-primes the sliding window's new part;
    any other step needs a whole-footprint buffer. A granted loop the
    program does not know is the dma-race pass's finding, not ours. *)
-let te_blocks sched (m : Mapping.t) (schedule : Prefetch.schedule) ~level =
+let te_blocks solution (m : Mapping.t) (schedule : Prefetch.schedule) ~level =
   List.concat_map
     (fun (plan : Prefetch.plan) ->
       let bt = plan.Prefetch.bt in
@@ -81,7 +80,7 @@ let te_blocks sched (m : Mapping.t) (schedule : Prefetch.schedule) ~level =
         let c = bt.Mapping.bt_candidate in
         List.filter_map
           (fun iter ->
-            match Schedule.loop_interval sched iter with
+            match Fixpoint.loop_interval solution iter with
             | exception Not_found -> None
             | interval ->
               let sliding =
@@ -103,20 +102,63 @@ let te_blocks sched (m : Mapping.t) (schedule : Prefetch.schedule) ~level =
       end)
     schedule.Prefetch.plans
 
-let recomputed_peaks ?schedule ~policy (m : Mapping.t) =
-  let sched = Schedule.of_program m.Mapping.program in
+let level_peak solution ?schedule ~policy (m : Mapping.t) ~level =
+  let blocks =
+    placement_blocks solution m ~level
+    @ promoted_blocks solution m ~level
+    @
+    match schedule with
+    | None -> []
+    | Some s -> te_blocks solution m s ~level
+  in
+  Occupancy.peak_bytes policy blocks
+
+let recomputed_peaks ?schedule ?analysis ~policy (m : Mapping.t) =
+  let solution =
+    match analysis with
+    | Some s -> s
+    | None -> Fixpoint.analyze m.Mapping.program
+  in
   List.map
-    (fun level ->
-      let blocks =
-        placement_blocks sched m ~level
-        @ promoted_blocks sched m ~level
-        @
-        match schedule with
-        | None -> []
-        | Some s -> te_blocks sched m s ~level
-      in
-      (level, Occupancy.peak_bytes policy blocks))
+    (fun level -> (level, level_peak solution ?schedule ~policy m ~level))
     (Hierarchy.on_chip_levels m.Mapping.hierarchy)
+
+(* The per-level unit the incremental verifier recomputes when a move
+   dirties the level: whole-pass output is the concatenation over the
+   on-chip levels. *)
+let check_level solution ?schedule ~policy ~budget (m : Mapping.t) ~level =
+  let peak = level_peak solution ?schedule ~policy m ~level in
+  let layer = Hierarchy.layer m.Mapping.hierarchy level in
+  let over_capacity =
+    match layer.Layer.capacity_bytes with
+    | None -> []
+    | Some capacity ->
+      if peak > capacity then
+        [
+          Diagnostic.makef ~code:"MHLA201" ~severity:Diagnostic.Error
+            ~pass:name
+            ~loc:(Diagnostic.location ~layer:level ())
+            "recomputed peak occupancy is %dB but layer %s holds %dB" peak
+            layer.Layer.name capacity;
+        ]
+      else []
+  in
+  let over_budget =
+    match budget with
+    | None -> []
+    | Some budget ->
+      if peak > budget then
+        [
+          Diagnostic.makef ~code:"MHLA202" ~severity:Diagnostic.Error
+            ~pass:name
+            ~loc:(Diagnostic.location ~layer:level ())
+            "recomputed peak occupancy is %dB but the exploration budget \
+             for layer %s is %dB"
+            peak layer.Layer.name budget;
+        ]
+      else []
+  in
+  over_capacity @ over_budget
 
 let budget_for (s : Pass.subject) level =
   match s.Pass.layer_budgets with
@@ -127,44 +169,21 @@ let run (s : Pass.subject) =
   match s.Pass.mapping with
   | None -> []
   | Some m ->
+    let solution = Pass.solution s in
     List.concat_map
-      (fun (level, peak) ->
-        let layer = Hierarchy.layer m.Mapping.hierarchy level in
-        let over_capacity =
-          match layer.Layer.capacity_bytes with
-          | None -> []
-          | Some capacity ->
-            if peak > capacity then
-              [ Diagnostic.makef ~code:"MHLA201"
-                  ~severity:Diagnostic.Error ~pass:name
-                  ~loc:(Diagnostic.location ~layer:level ())
-                  "recomputed peak occupancy is %dB but layer %s holds %dB"
-                  peak layer.Layer.name capacity ]
-            else []
-        in
-        let over_budget =
-          match budget_for s level with
-          | None -> []
-          | Some budget ->
-            if peak > budget then
-              [ Diagnostic.makef ~code:"MHLA202"
-                  ~severity:Diagnostic.Error ~pass:name
-                  ~loc:(Diagnostic.location ~layer:level ())
-                  "recomputed peak occupancy is %dB but the exploration \
-                   budget for layer %s is %dB"
-                  peak layer.Layer.name budget ]
-            else []
-        in
-        over_capacity @ over_budget)
-      (recomputed_peaks ?schedule:s.Pass.schedule ~policy:s.Pass.policy m)
+      (fun level ->
+        check_level solution ?schedule:s.Pass.schedule ~policy:s.Pass.policy
+          ~budget:(budget_for s level) m ~level)
+      (Hierarchy.on_chip_levels m.Mapping.hierarchy)
 
 let pass =
   {
     Pass.name;
     description =
       "per-layer peak occupancy, recomputed from copy lifetimes plus TE \
-       extra buffers, stays within every on-chip capacity and, when the \
-       subject names one, the per-layer exploration budget";
+       extra buffers on the abstract interpretation's timeline, stays \
+       within every on-chip capacity and, when the subject names one, the \
+       per-layer exploration budget";
     codes = [ "MHLA201"; "MHLA202" ];
     run;
   }

@@ -1,27 +1,51 @@
 (** Layer-capacity checker.
 
     Recomputes every on-chip layer's peak occupancy from first
-    principles: a fresh program timeline
-    ({!Mhla_lifetime.Schedule.of_program}), the lifetime interval and
-    buffer size of every placed copy (shared buffers appear once, over
-    the hull of their sharers' lifetimes) and of every promoted array,
-    {e plus} the extra double buffers every granted Time-Extension loop
-    keeps alive — then folds them through
-    {!Mhla_lifetime.Occupancy.peak_bytes} under the subject's sizing
-    policy and flags any layer whose peak exceeds its capacity: the
-    user constraint both solver steps promised to respect.
+    principles: the timeline derived by the abstract interpretation
+    ({!Fixpoint.analyze}), the lifetime interval and buffer size of
+    every placed copy (shared buffers appear once, over the hull of
+    their sharers' lifetimes) and of every promoted array, {e plus} the
+    extra double buffers every granted Time-Extension loop keeps alive
+    — then folds them through {!Mhla_lifetime.Occupancy.peak_bytes}
+    under the subject's sizing policy and flags any layer whose peak
+    exceeds its capacity (the user constraint both solver steps
+    promised to respect) or, when the subject names one, the
+    exploration budget the solve was constrained by.
 
     Needs the mapping; the schedule is optional (no TE buffers without
     it).
 
-    Code: [MHLA201]. *)
+    Codes: [MHLA201], [MHLA202]. *)
 
 val pass : Pass.t
 
 val recomputed_peaks :
   ?schedule:Mhla_core.Prefetch.schedule ->
+  ?analysis:Fixpoint.solution ->
   policy:Mhla_lifetime.Occupancy.policy ->
   Mhla_core.Mapping.t ->
   (int * int) list
 (** [(level, peak_bytes)] for every on-chip level — exposed for tests
-    and the bench. *)
+    and the bench. Without [?analysis] the mapping's program is
+    re-analysed from scratch. *)
+
+val level_peak :
+  Fixpoint.solution ->
+  ?schedule:Mhla_core.Prefetch.schedule ->
+  policy:Mhla_lifetime.Occupancy.policy ->
+  Mhla_core.Mapping.t ->
+  level:int ->
+  int
+(** Peak occupancy of one level. *)
+
+val check_level :
+  Fixpoint.solution ->
+  ?schedule:Mhla_core.Prefetch.schedule ->
+  policy:Mhla_lifetime.Occupancy.policy ->
+  budget:int option ->
+  Mhla_core.Mapping.t ->
+  level:int ->
+  Diagnostic.t list
+(** Diagnostics for one level — the unit of recomputation the
+    incremental verifier re-runs when a move dirties that level; the
+    whole pass is the concatenation over the on-chip levels. *)

@@ -1,0 +1,29 @@
+(** Schedule-determinism advisories (never errors).
+
+    Two checks, both [Info]:
+
+    - [MHLA401]: two adjacent plans of the TE schedule tie on the
+      scheduling key recomputed from the mapping under the schedule's
+      recorded order. The greedy pass breaks ties by input position, so
+      their relative DMA priority follows enumeration order, not the
+      objective — worth knowing when comparing runs. FIFO schedules
+      never tie (input order {e is} the defined order), and fetches
+      never tie against drains (the partition is deliberate).
+    - [MHLA402]: a statement reads and writes overlapping regions of
+      one array, per the interval fixpoint's subscript boxes — a
+      recurrence, so the statement's iterations are not independent.
+      Program-only; needs no solver output.
+
+    Codes: [MHLA401], [MHLA402]. *)
+
+val pass : Pass.t
+
+val check_ties :
+  Mhla_core.Mapping.t -> Mhla_core.Prefetch.schedule -> Diagnostic.t list
+(** [MHLA401] findings — whole-schedule, cheap; the unit the
+    incremental verifier recomputes per schedule change. *)
+
+val check_recurrences :
+  Fixpoint.solution -> Mhla_ir.Program.t -> Diagnostic.t list
+(** [MHLA402] findings — pure function of the program, computed once
+    per incremental session. *)

@@ -38,7 +38,7 @@ let location ?array ?stmt ?access_index ?dim ?bt ?layer ?iter () =
   { array; stmt; access_index; dim; bt; layer; iter }
 
 (* (key, rendered value) of the populated fields, in a fixed order. *)
-let location_fields l =
+let loc_fields l =
   let str k v = Option.map (fun v -> (k, `S v)) v in
   let int k v = Option.map (fun v -> (k, `I v)) v in
   List.filter_map Fun.id
@@ -52,13 +52,18 @@ let location_fields l =
       str "iter" l.iter;
     ]
 
+let location_fields l =
+  List.map
+    (fun (k, v) -> (k, match v with `S s -> s | `I i -> string_of_int i))
+    (loc_fields l)
+
 let pp_location ppf l =
   let pp_field ppf (k, v) =
     match v with
     | `S s -> Fmt.pf ppf "%s=%s" k s
     | `I i -> Fmt.pf ppf "%s=%d" k i
   in
-  Fmt.(list ~sep:sp pp_field) ppf (location_fields l)
+  Fmt.(list ~sep:sp pp_field) ppf (loc_fields l)
 
 type t = {
   code : string;
@@ -66,6 +71,7 @@ type t = {
   pass : string;
   loc : location;
   message : string;
+  trail : string list;
 }
 
 (* The one authoritative list of codes: passes may only emit these,
@@ -100,6 +106,15 @@ let catalogue =
       "a layer's recomputed peak occupancy exceeds the per-layer \
        exploration budget the subject was checked under (a constraint \
        tighter than the physical capacity)" );
+    ( "MHLA203", Error,
+      "a granted Time-Extension loop's recomputed span does not enclose \
+       the lifetime of the transfer it extends (the prefetch buffer \
+       would be live during an unrelated program phase and interfere \
+       with it)" );
+    ( "MHLA204", Error,
+      "the TE plans' DMA priorities are not the contiguous sequence \
+       0..n-1 in schedule order (transfers would contend for the engine \
+       in an undefined order)" );
     ("MHLA301", Warning, "a declared array is never accessed");
     ("MHLA302", Warning, "an array is written but never read");
     ( "MHLA303", Info,
@@ -111,19 +126,30 @@ let catalogue =
     ( "MHLA306", Warning,
       "a fetch stream moves at least as many elements as the accesses it \
        serves (reuse factor <= 1)" );
+    ( "MHLA401", Info,
+      "two DMA-eligible transfers tie on the recomputed scheduling key \
+       (the TE grant order, and with it the objective, depends on \
+       enumeration order)" );
+    ( "MHLA402", Info,
+      "a statement both reads and writes overlapping regions of one \
+       array (a recurrence: iteration-reordering transforms would change \
+       the schedule the objective is computed on)" );
   ]
 
 let known_code code =
   List.exists (fun (c, _, _) -> c = code) catalogue
 
-let make ~code ~severity ~pass ?(loc = no_location) message =
+let make ~code ~severity ~pass ?(loc = no_location) ?(trail = []) message =
   if not (known_code code) then
     Mhla_util.Error.internalf ~context:"Diagnostic.make"
       "code %s is not in the catalogue" code;
-  { code; severity; pass; loc; message }
+  { code; severity; pass; loc; message; trail }
 
-let makef ~code ~severity ~pass ?loc fmt =
-  Fmt.kstr (fun message -> make ~code ~severity ~pass ?loc message) fmt
+let makef ~code ~severity ~pass ?loc ?trail fmt =
+  Fmt.kstr (fun message -> make ~code ~severity ~pass ?loc ?trail message) fmt
+
+let catalogue_entry code =
+  List.find_opt (fun (c, _, _) -> c = code) catalogue
 
 let is_error d = d.severity = Error
 
@@ -131,7 +157,7 @@ let promote_warnings d =
   match d.severity with Warning -> { d with severity = Error } | _ -> d
 
 let pp ppf d =
-  let fields = location_fields d.loc in
+  let fields = loc_fields d.loc in
   if fields = [] then
     Fmt.pf ppf "%s %a [%s]: %s" d.code pp_severity d.severity d.pass
       d.message
@@ -144,13 +170,36 @@ let to_json d =
     List.map
       (fun (k, v) ->
         (k, match v with `S s -> Json.str s | `I i -> Json.int i))
-      (location_fields d.loc)
+      (loc_fields d.loc)
   in
   Json.obj
-    [
-      ("code", Json.str d.code);
-      ("severity", Json.str (severity_label d.severity));
-      ("pass", Json.str d.pass);
-      ("location", Json.obj loc_fields);
-      ("message", Json.str d.message);
-    ]
+    ([
+       ("code", Json.str d.code);
+       ("severity", Json.str (severity_label d.severity));
+       ("pass", Json.str d.pass);
+       ("location", Json.obj loc_fields);
+       ("message", Json.str d.message);
+     ]
+    @
+    match d.trail with
+    | [] -> []
+    | trail -> [ ("trail", Json.arr (List.map Json.str trail)) ])
+
+(* The total order the report is normalised under: pass, then code,
+   then severity, then the rendered location fields, then message and
+   trail. Byte-stable whatever order passes emitted in. *)
+let compare_for_report a b =
+  let loc_key l =
+    List.map
+      (fun (k, v) ->
+        (k, match v with `S s -> s | `I i -> string_of_int i))
+      (loc_fields l)
+  in
+  let cmp =
+    compare
+      (a.pass, a.code, severity_rank a.severity, loc_key a.loc, a.message,
+       a.trail)
+      (b.pass, b.code, severity_rank b.severity, loc_key b.loc, b.message,
+       b.trail)
+  in
+  cmp

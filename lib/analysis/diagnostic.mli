@@ -46,23 +46,31 @@ val pp_location : location Fmt.t
 (** Compact [key=value] rendering of the populated fields; nothing for
     {!no_location}. *)
 
+val location_fields : location -> (string * string) list
+(** The populated fields as rendered [(key, value)] pairs, in the
+    fixed field order — what {!pp_location} prints and what suppression
+    rules match against. *)
+
 type t = {
   code : string;  (** stable, e.g. ["MHLA001"] *)
   severity : severity;
   pass : string;  (** name of the emitting pass *)
   loc : location;
   message : string;
+  trail : string list;
+      (** provenance: how the finding was derived (iterator ranges,
+          fixpoint facts), one step per line; often empty *)
 }
 
 val make :
   code:string -> severity:severity -> pass:string -> ?loc:location ->
-  string -> t
+  ?trail:string list -> string -> t
 (** @raise Mhla_util.Error.Error for a code missing from the
     {!catalogue} — a pass can only emit catalogued codes. *)
 
 val makef :
   code:string -> severity:severity -> pass:string -> ?loc:location ->
-  ('a, Format.formatter, unit, t) format4 -> 'a
+  ?trail:string list -> ('a, Format.formatter, unit, t) format4 -> 'a
 
 val is_error : t -> bool
 
@@ -73,6 +81,13 @@ val promote_warnings : t -> t
 val catalogue : (string * severity * string) list
 (** Every stable code the tool can emit with its default severity and
     trigger condition, sorted by code. *)
+
+val catalogue_entry : string -> (string * severity * string) option
+
+val compare_for_report : t -> t -> int
+(** The total order reports are normalised under: (pass, code,
+    severity, location, message, trail) — byte-stable whatever order
+    the passes emitted in. *)
 
 val pp : t Fmt.t
 (** One line: [CODE severity [pass] loc: message]. *)

@@ -1,0 +1,169 @@
+module Affine = Mhla_ir.Affine
+
+module Itv = struct
+  type bound = Ninf | Fin of int | Pinf
+
+  type t = Bot | Range of bound * bound
+
+  let bottom = Bot
+
+  let top = Range (Ninf, Pinf)
+
+  let of_int n = Range (Fin n, Fin n)
+
+  let make ~lo ~hi = if hi < lo then Bot else Range (Fin lo, Fin hi)
+
+  let bound_le a b =
+    match (a, b) with
+    | Ninf, _ | _, Pinf -> true
+    | Pinf, _ | _, Ninf -> false
+    | Fin a, Fin b -> a <= b
+
+  let bound_min a b = if bound_le a b then a else b
+
+  let bound_max a b = if bound_le a b then b else a
+
+  let equal a b = a = b
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Range (lo1, hi1), Range (lo2, hi2) ->
+      Range (bound_min lo1 lo2, bound_max hi1 hi2)
+
+  let meet a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Range (lo1, hi1), Range (lo2, hi2) ->
+      let lo = bound_max lo1 lo2 and hi = bound_min hi1 hi2 in
+      if bound_le lo hi then Range (lo, hi) else Bot
+
+  let widen old next =
+    match (old, next) with
+    | Bot, x -> x
+    | x, Bot -> x
+    | Range (lo1, hi1), Range (lo2, hi2) ->
+      let lo = if bound_le lo1 lo2 then lo1 else Ninf in
+      let hi = if bound_le hi2 hi1 then hi1 else Pinf in
+      Range (lo, hi)
+
+  let bound_add a b =
+    match (a, b) with
+    | Ninf, Pinf | Pinf, Ninf ->
+      Mhla_util.Error.internalf ~context:"Domain.Itv.add"
+        "adding opposite infinities"
+    | Ninf, _ | _, Ninf -> Ninf
+    | Pinf, _ | _, Pinf -> Pinf
+    | Fin a, Fin b -> Fin (a + b)
+
+  let add a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Range (lo1, hi1), Range (lo2, hi2) ->
+      Range (bound_add lo1 lo2, bound_add hi1 hi2)
+
+  let bound_scale k = function
+    | Ninf -> if k >= 0 then Ninf else Pinf
+    | Pinf -> if k >= 0 then Pinf else Ninf
+    | Fin n -> Fin (k * n)
+
+  let scale k = function
+    | Bot -> Bot
+    | Range _ when k = 0 -> of_int 0
+    | Range (lo, hi) ->
+      let a = bound_scale k lo and b = bound_scale k hi in
+      if k >= 0 then Range (a, b) else Range (b, a)
+
+  let lo_int = function Range (Fin n, _) -> Some n | _ -> None
+
+  let hi_int = function Range (_, Fin n) -> Some n | _ -> None
+
+  let pp_bound ppf = function
+    | Ninf -> Fmt.string ppf "-inf"
+    | Pinf -> Fmt.string ppf "+inf"
+    | Fin n -> Fmt.int ppf n
+
+  let pp ppf = function
+    | Bot -> Fmt.string ppf "_|_"
+    | Range (lo, hi) -> Fmt.pf ppf "[%a, %a]" pp_bound lo pp_bound hi
+end
+
+module Env = struct
+  module M = Map.Make (String)
+
+  (* [Reach] maps only live iterators; absence means "out of scope",
+     which {!eval} reads as the single point 0 (the same convention the
+     enumerated checker used for iterators outside the enclosing
+     loops). *)
+  type t = Unreachable | Reach of Itv.t M.t
+
+  let bottom = Unreachable
+
+  let empty = Reach M.empty
+
+  let is_bottom = function Unreachable -> true | Reach _ -> false
+
+  let set env iter itv =
+    match env with
+    | Unreachable -> Unreachable
+    | Reach m ->
+      if Itv.equal itv Itv.Bot then Unreachable
+      else Reach (M.add iter itv m)
+
+  let remove env iter =
+    match env with
+    | Unreachable -> Unreachable
+    | Reach m -> Reach (M.remove iter m)
+
+  let find env iter =
+    match env with Unreachable -> None | Reach m -> M.find_opt iter m
+
+  let bindings = function Unreachable -> [] | Reach m -> M.bindings m
+
+  let equal a b =
+    match (a, b) with
+    | Unreachable, Unreachable -> true
+    | Unreachable, Reach _ | Reach _, Unreachable -> false
+    | Reach a, Reach b -> M.equal Itv.equal a b
+
+  let merge_with f a b =
+    match (a, b) with
+    | Unreachable, x | x, Unreachable -> x
+    | Reach a, Reach b ->
+      Reach
+        (M.merge
+           (fun _ l r ->
+             match (l, r) with
+             | Some l, Some r -> Some (f l r)
+             | (Some _ as one), None | None, (Some _ as one) -> one
+             | None, None -> None)
+           a b)
+
+  let join = merge_with Itv.join
+
+  let widen = merge_with Itv.widen
+
+  let eval env (e : Affine.t) =
+    match env with
+    | Unreachable -> Itv.Bot
+    | Reach _ ->
+      List.fold_left
+        (fun acc iter ->
+          let range =
+            match find env iter with
+            | Some itv -> itv
+            | None -> Itv.of_int 0
+          in
+          Itv.add acc (Itv.scale (Affine.coeff e iter) range))
+        (Itv.of_int (Affine.constant_part e))
+        (Affine.iterators e)
+
+  let pp ppf = function
+    | Unreachable -> Fmt.string ppf "unreachable"
+    | Reach m ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (k, v) ->
+              Fmt.pf ppf "%s: %a" k Itv.pp v))
+        (M.bindings m)
+end

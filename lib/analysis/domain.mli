@@ -1,0 +1,101 @@
+(** Abstract domains for the dataflow framework.
+
+    {!Itv} is a classic interval lattice over the integers with
+    explicit bottom and unbounded ends, the base domain the verifier's
+    value-range questions run in. {!Env} lifts it pointwise to loop
+    iterators and adds the affine-form evaluation that makes the
+    product relational enough for MHLA subscripts: an affine expression
+    [c0 + c1*i1 + ... + cn*in] over {e independent} rectangular
+    iterator ranges evaluates to an exact interval, so the fixpoint
+    solution reproduces the enumerated bounds byte for byte.
+
+    Both satisfy {!Fixpoint.DOMAIN}; the engine is a functor, so
+    further domains (parities, congruences, octagons) plug in without
+    touching the solver. *)
+
+(** Integer intervals with infinities. *)
+module Itv : sig
+  type bound = Ninf | Fin of int | Pinf
+
+  type t = Bot | Range of bound * bound
+      (** [Range (lo, hi)] with [lo <= hi]; [Bot] is the empty set. *)
+
+  val bottom : t
+
+  val top : t
+
+  val of_int : int -> t
+  (** The singleton interval. *)
+
+  val make : lo:int -> hi:int -> t
+  (** [Bot] when [hi < lo]. *)
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+
+  val meet : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen old next]: unstable ends jump to the matching infinity —
+      the classic interval widening that forces termination on loops
+      whatever their trip counts. *)
+
+  val add : t -> t -> t
+  (** Exact interval sum. *)
+
+  val scale : int -> t -> t
+  (** Exact multiplication by a constant (negative constants flip the
+      ends). *)
+
+  val lo_int : t -> int option
+  (** The finite lower end, [None] for [Bot] or an unbounded end. *)
+
+  val hi_int : t -> int option
+
+  val pp : t Fmt.t
+end
+
+(** Iterator environments: a finite map from live iterator names to
+    their {!Itv} ranges, with an explicit unreachable element. *)
+module Env : sig
+  type t
+
+  val bottom : t
+  (** Unreachable: the identity of {!join}, absorbing under every
+      transfer. *)
+
+  val empty : t
+  (** Reachable, no iterator live (top of the scope lattice). *)
+
+  val is_bottom : t -> bool
+
+  val set : t -> string -> Itv.t -> t
+  (** Binding an iterator to [Itv.Bot] collapses the whole environment
+      to {!bottom} — an impossible iterator value means the program
+      point is unreachable. *)
+
+  val remove : t -> string -> t
+
+  val find : t -> string -> Itv.t option
+  (** [None] when the iterator is not live here. *)
+
+  val bindings : t -> (string * Itv.t) list
+  (** Sorted by iterator name. *)
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Pointwise; an iterator live on only one side keeps its range
+      (the other side is out of scope, not zero). *)
+
+  val widen : t -> t -> t
+
+  val eval : t -> Mhla_ir.Affine.t -> Itv.t
+  (** Exact interval value of an affine expression: iterators not live
+      in the environment are held at the single point [0], matching
+      the enumerated checker's treatment of out-of-scope iterators. On
+      {!bottom} the value is [Itv.Bot]. *)
+
+  val pp : t Fmt.t
+end

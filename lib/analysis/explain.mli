@@ -1,0 +1,22 @@
+(** [--explain CODE]: the static half of diagnostic provenance.
+
+    Each catalogued code has, beyond its one-line trigger, a recorded
+    derivation story: which analysis produces the finding, from which
+    facts, and what to do about it. The dynamic half is the per-finding
+    [trail] a diagnostic carries. A test pins that every catalogued
+    code has an entry here. *)
+
+type entry = {
+  code : string;
+  severity : Diagnostic.severity;
+  pass : string;  (** the registered pass owning the code *)
+  condition : string;  (** the catalogue's one-line trigger *)
+  detail : string;  (** how the finding is derived, and what to do *)
+}
+
+val find : string -> entry option
+
+val explain : string -> entry
+(** @raise Mhla_util.Error.Error for an uncatalogued code. *)
+
+val pp : entry Fmt.t

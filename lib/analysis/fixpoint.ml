@@ -1,0 +1,336 @@
+module I = Mhla_util.Interval
+module Program = Mhla_ir.Program
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+end
+
+type solver_stats = {
+  nodes : int;
+  edges : int;
+  visits : int;
+  widenings : int;
+  sweeps : int;
+}
+
+module Solver (D : DOMAIN) = struct
+  type graph = {
+    node_count : int;
+    edges : (int * (D.t -> D.t) * int) list;
+    widen_at : int -> bool;
+    clamp : int -> D.t -> D.t;
+        (** Per-node threshold: a sound invariant the node's value is met
+            with after widening. Without it, a widened outer iterator
+            flows around an inner loop's back edge and the descending
+            sweeps can never recover it — the stale [+inf] re-joins
+            itself, a stable (spurious) fixpoint of plain
+            recomputation. *)
+    entry : int;
+    init : D.t;
+  }
+
+  type outcome = { values : D.t array; stats : solver_stats }
+
+  (* Widening is delayed a couple of rounds so self-stabilising loops
+     (trip 1, or already at their guard bound) keep their exact value
+     without ever paying the precision loss. *)
+  let widen_delay = 2
+
+  let solve g =
+    let succs = Array.make g.node_count [] in
+    let preds = Array.make g.node_count [] in
+    List.iter
+      (fun (s, f, d) ->
+        succs.(s) <- d :: succs.(s);
+        preds.(d) <- (s, f) :: preds.(d))
+      g.edges;
+    (* Edge lists were consed backwards; restore the declaration order
+       so join order — hence any non-associative-float-free domain —
+       is deterministic. *)
+    Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
+    Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+    let values = Array.make g.node_count D.bottom in
+    let visits = Array.make g.node_count 0 in
+    let total_visits = ref 0 in
+    let widenings = ref 0 in
+    let inflow n =
+      let from_edges =
+        List.fold_left
+          (fun acc (s, f) -> D.join acc (f values.(s)))
+          D.bottom preds.(n)
+      in
+      if n = g.entry then D.join g.init from_edges else from_edges
+    in
+    let queue = Queue.create () in
+    let queued = Array.make g.node_count false in
+    let push n =
+      if not queued.(n) then begin
+        queued.(n) <- true;
+        Queue.push n queue
+      end
+    in
+    push g.entry;
+    while not (Queue.is_empty queue) do
+      let n = Queue.pop queue in
+      queued.(n) <- false;
+      incr total_visits;
+      visits.(n) <- visits.(n) + 1;
+      let flowed = g.clamp n (inflow n) in
+      let next =
+        if g.widen_at n && visits.(n) > widen_delay then begin
+          let widened = g.clamp n (D.widen values.(n) flowed) in
+          if not (D.equal widened flowed) then incr widenings;
+          widened
+        end
+        else flowed
+      in
+      if not (D.equal next values.(n)) then begin
+        values.(n) <- next;
+        List.iter push succs.(n)
+      end
+    done;
+    (* Descending phase: plain recomputation from the post-fixpoint
+       only moves down (monotone transfers), so each sweep is sound;
+       the guard meets on back edges narrow the widened heads back to
+       their loop domains. Bounded, in case a domain oscillates. *)
+    let sweeps = ref 0 in
+    let changed = ref true in
+    while !changed && !sweeps < 4 do
+      incr sweeps;
+      changed := false;
+      for n = 0 to g.node_count - 1 do
+        let flowed = g.clamp n (inflow n) in
+        if not (D.equal flowed values.(n)) then begin
+          values.(n) <- flowed;
+          changed := true
+        end
+      done
+    done;
+    {
+      values;
+      stats =
+        {
+          nodes = g.node_count;
+          edges = List.length g.edges;
+          visits = !total_visits;
+          widenings = !widenings;
+          sweeps = !sweeps;
+        };
+    }
+end
+
+module Env_solver = Solver (struct
+  type t = Domain.Env.t
+
+  let bottom = Domain.Env.bottom
+
+  let equal = Domain.Env.equal
+
+  let join = Domain.Env.join
+
+  let widen = Domain.Env.widen
+end)
+
+type solution = {
+  envs : (string, Domain.Env.t) Hashtbl.t;
+  stmt_slots : (string, I.t) Hashtbl.t;
+  loop_spans : (string, I.t) Hashtbl.t;
+  stmt_outermost_loop : (string, string option) Hashtbl.t;
+  array_intervals : (string, I.t) Hashtbl.t;
+  horizon : int;
+  stats : solver_stats;
+}
+
+let analyze (program : Program.t) =
+  let edges = ref [] in
+  let widen_nodes = Hashtbl.create 8 in
+  let clamp_nodes : (int, Domain.Env.t -> Domain.Env.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let next = ref 0 in
+  let fresh () =
+    let n = !next in
+    incr next;
+    n
+  in
+  let edge src f dst = edges := (src, f, dst) :: !edges in
+  let entry = fresh () in
+  let stmt_nodes = ref [] in
+  let stmt_slots = Hashtbl.create 64 in
+  let loop_spans = Hashtbl.create 64 in
+  let stmt_outermost_loop = Hashtbl.create 64 in
+  let clock = ref 0 in
+  (* One walk builds both views: the flow graph the solver runs on and
+     the program-order timeline (the same clocking as
+     [Schedule.of_program], pinned equivalent by tests). *)
+  let rec walk outer scope pred = function
+    | Program.Stmt s ->
+      let n = fresh () in
+      let name = s.Mhla_ir.Stmt.name in
+      let slot = !clock in
+      incr clock;
+      Hashtbl.replace stmt_slots name (I.make ~lo:slot ~hi:(slot + 1));
+      Hashtbl.replace stmt_outermost_loop name outer;
+      stmt_nodes := (name, n) :: !stmt_nodes;
+      edge pred Fun.id n;
+      n
+    | Program.Loop l ->
+      let iter = l.Program.iter and trip = l.Program.trip in
+      let head = fresh () in
+      Hashtbl.replace widen_nodes head ();
+      let guard = Domain.Itv.make ~lo:0 ~hi:(trip - 1) in
+      let scope = (iter, guard) :: scope in
+      (* Threshold at the head: every live iterator provably stays
+         within its trip-count guard, so meeting after widening keeps
+         them all finite. The scope must cover the ENCLOSING iterators
+         too, not just this loop's own: an outer iterator grows across
+         visits of this head (as the outer loop advances) and would be
+         widened to [+inf] right here — an imprecision that then
+         circulates the inner back edges as a stable fixpoint plain
+         descending sweeps can never leave. *)
+      Hashtbl.replace clamp_nodes head (fun env ->
+          List.fold_left
+            (fun env (iter, guard) ->
+              match Domain.Env.find env iter with
+              | None -> env
+              | Some itv ->
+                Domain.Env.set env iter (Domain.Itv.meet itv guard))
+            env scope);
+      let start = !clock in
+      let outer = match outer with None -> Some iter | some -> some in
+      (* Loop entry: the iterator enters scope at its first value. *)
+      edge pred
+        (fun env -> Domain.Env.set env iter (Domain.Itv.of_int 0))
+        head;
+      let body_end =
+        List.fold_left (walk outer scope) head l.Program.body
+      in
+      Hashtbl.replace loop_spans iter (I.make ~lo:start ~hi:!clock);
+      (* Back edge: advance the iterator under the trip-count guard.
+         At trip 1 the meet is empty and nothing flows back. *)
+      edge body_end
+        (fun env ->
+          match Domain.Env.find env iter with
+          | None -> Domain.Env.bottom
+          | Some itv ->
+            Domain.Env.set env iter
+              (Domain.Itv.meet
+                 (Domain.Itv.add itv (Domain.Itv.of_int 1))
+                 guard))
+        head;
+      (* Loop exit: the iterator leaves scope. *)
+      let exit_node = fresh () in
+      edge head (fun env -> Domain.Env.remove env iter) exit_node;
+      exit_node
+  in
+  ignore (List.fold_left (walk None []) entry program.Program.body : int);
+  let outcome =
+    Env_solver.solve
+      {
+        Env_solver.node_count = !next;
+        edges = List.rev !edges;
+        widen_at = Hashtbl.mem widen_nodes;
+        clamp =
+          (fun n env ->
+            match Hashtbl.find_opt clamp_nodes n with
+            | None -> env
+            | Some f -> f env);
+        entry;
+        init = Domain.Env.empty;
+      }
+  in
+  let envs = Hashtbl.create 64 in
+  List.iter
+    (fun (name, n) -> Hashtbl.replace envs name outcome.Env_solver.values.(n))
+    !stmt_nodes;
+  let array_intervals = Hashtbl.create 16 in
+  Program.fold_stmts program ~init:() ~f:(fun () ctx ->
+      let stmt = ctx.Program.stmt in
+      let slot = Hashtbl.find stmt_slots stmt.Mhla_ir.Stmt.name in
+      List.iter
+        (fun (a : Mhla_ir.Access.t) ->
+          let arr = a.Mhla_ir.Access.array in
+          let iv =
+            match Hashtbl.find_opt array_intervals arr with
+            | None -> slot
+            | Some prior -> I.hull prior slot
+          in
+          Hashtbl.replace array_intervals arr iv)
+        stmt.Mhla_ir.Stmt.accesses);
+  {
+    envs;
+    stmt_slots;
+    loop_spans;
+    stmt_outermost_loop;
+    array_intervals;
+    horizon = !clock;
+    stats = outcome.Env_solver.stats;
+  }
+
+let stats s = s.stats
+
+let env_at s ~stmt =
+  match Hashtbl.find_opt s.envs stmt with
+  | Some env -> env
+  | None -> Domain.Env.bottom
+
+let eval s ~stmt e = Domain.Env.eval (env_at s ~stmt) e
+
+let range_trail s ~stmt e =
+  let env = env_at s ~stmt in
+  let per_iter =
+    List.filter_map
+      (fun iter ->
+        let coeff = Mhla_ir.Affine.coeff e iter in
+        if coeff = 0 then None
+        else
+          let range =
+            match Domain.Env.find env iter with
+            | Some itv -> itv
+            | None -> Domain.Itv.of_int 0
+          in
+          Some (Fmt.str "iterator %s in %a (coefficient %d)" iter
+                  Domain.Itv.pp range coeff))
+      (Mhla_ir.Affine.iterators e)
+  in
+  per_iter
+  @ [
+      Fmt.str "affine value %a at statement %s (fixpoint of %d nodes, %d \
+               widenings)"
+        Domain.Itv.pp (eval s ~stmt e) stmt s.stats.nodes s.stats.widenings;
+    ]
+
+let horizon s = s.horizon
+
+let stmt_interval s name =
+  match Hashtbl.find_opt s.stmt_slots name with
+  | Some iv -> iv
+  | None -> raise Not_found
+
+let loop_interval s iter =
+  match Hashtbl.find_opt s.loop_spans iter with
+  | Some iv -> iv
+  | None -> raise Not_found
+
+let array_interval s array =
+  match Hashtbl.find_opt s.array_intervals array with
+  | Some iv -> iv
+  | None -> I.make ~lo:0 ~hi:0
+
+let candidate_interval s (c : Mhla_reuse.Candidate.t) =
+  match c.Mhla_reuse.Candidate.refresh_iter with
+  | Some iter -> loop_interval s iter
+  | None -> (
+    match
+      Hashtbl.find_opt s.stmt_outermost_loop c.Mhla_reuse.Candidate.stmt
+    with
+    | Some (Some outer) -> loop_interval s outer
+    | Some None | None -> stmt_interval s c.Mhla_reuse.Candidate.stmt)

@@ -71,37 +71,37 @@ let loop_lints (program : Program.t) =
 (* Chains run innermost link first and buffers must shrink inward: an
    inner link as large as the next outer one keeps the same data twice
    without saving a single transfer. *)
-let chain_lints (m : Mapping.t) =
-  List.concat_map
-    (fun ((ref_ : Mhla_reuse.Analysis.access_ref), placement) ->
-      match placement with
-      | Mapping.Direct -> []
-      | Mapping.Chain links ->
-        let rec pairs = function
-          | (inner : Mapping.chain_link) :: (outer :: _ as rest) ->
-            let ci = inner.Mapping.candidate
-            and co = outer.Mapping.candidate in
-            let here =
-              if
-                ci.Candidate.footprint_bytes >= co.Candidate.footprint_bytes
-              then
-                [
-                  diag ~code:"MHLA305" ~severity:Diagnostic.Warning
-                    ~loc:
-                      (Diagnostic.location ~stmt:ref_.Mhla_reuse.Analysis.stmt
-                         ~access_index:ref_.Mhla_reuse.Analysis.index
-                         ~layer:inner.Mapping.layer ())
-                    "link %s (%dB) does not shrink the outer link %s (%dB)"
-                    ci.Candidate.id ci.Candidate.footprint_bytes
-                    co.Candidate.id co.Candidate.footprint_bytes;
-                ]
-              else []
-            in
-            here @ pairs rest
-          | [ _ ] | [] -> []
+let placement_chain_lints
+    ((ref_ : Mhla_reuse.Analysis.access_ref), placement) =
+  match placement with
+  | Mapping.Direct -> []
+  | Mapping.Chain links ->
+    let rec pairs = function
+      | (inner : Mapping.chain_link) :: (outer :: _ as rest) ->
+        let ci = inner.Mapping.candidate
+        and co = outer.Mapping.candidate in
+        let here =
+          if ci.Candidate.footprint_bytes >= co.Candidate.footprint_bytes
+          then
+            [
+              diag ~code:"MHLA305" ~severity:Diagnostic.Warning
+                ~loc:
+                  (Diagnostic.location ~stmt:ref_.Mhla_reuse.Analysis.stmt
+                     ~access_index:ref_.Mhla_reuse.Analysis.index
+                     ~layer:inner.Mapping.layer ())
+                "link %s (%dB) does not shrink the outer link %s (%dB)"
+                ci.Candidate.id ci.Candidate.footprint_bytes
+                co.Candidate.id co.Candidate.footprint_bytes;
+            ]
+          else []
         in
-        pairs links)
-    m.Mapping.placements
+        here @ pairs rest
+      | [ _ ] | [] -> []
+    in
+    pairs links
+
+let chain_lints (m : Mapping.t) =
+  List.concat_map placement_chain_lints m.Mapping.placements
 
 let transfer_lints (m : Mapping.t) =
   List.filter_map

@@ -17,6 +17,10 @@ type subject = {
           innermost level first, when tighter than the capacities (see
           {!Mhla_core.Assign.config}); the capacity pass re-checks the
           mapping against it independently (default [None]) *)
+  analysis : Fixpoint.solution Lazy.t;
+      (** the solved abstract interpretation of [program]: forced by
+          the first pass that needs a value range or a lifetime
+          interval, shared by all of them *)
 }
 
 val subject :
@@ -24,16 +28,25 @@ val subject :
   ?schedule:Mhla_core.Prefetch.schedule ->
   ?policy:Mhla_lifetime.Occupancy.policy ->
   ?layer_budgets:int list ->
+  ?analysis:Fixpoint.solution ->
   Mhla_ir.Program.t ->
   subject
+(** [analysis] injects an already-solved fixpoint (it must belong to
+    this program) so repeated checks of one program — the incremental
+    verifier's whole life — never re-solve; by default the subject
+    solves lazily on first use. *)
 
 val of_mapping :
   ?schedule:Mhla_core.Prefetch.schedule ->
   ?policy:Mhla_lifetime.Occupancy.policy ->
   ?layer_budgets:int list ->
+  ?analysis:Fixpoint.solution ->
   Mhla_core.Mapping.t ->
   subject
 (** The mapping's own program becomes the subject's program. *)
+
+val solution : subject -> Fixpoint.solution
+(** Force and return the subject's abstract interpretation. *)
 
 (** One checker pass. *)
 type t = {

@@ -1,0 +1,118 @@
+module Json = Mhla_util.Json
+
+(* SARIF 2.1.0, the static-analysis interchange format: one run, the
+   whole diagnostic catalogue as the tool's rule table, one result per
+   finding. Locations are logical (statement / array / loop — there is
+   no source file to point into), carried both as logicalLocations and
+   as result properties so generic viewers and exact consumers each
+   get a usable shape. *)
+
+let version = "2.1.0"
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let sarif_level = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let rule_of_entry (code, severity, condition) =
+  Json.obj
+    [
+      ("id", Json.str code);
+      ( "shortDescription",
+        Json.obj [ ("text", Json.str condition) ] );
+      ( "defaultConfiguration",
+        Json.obj [ ("level", Json.str (sarif_level severity)) ] );
+    ]
+
+let result_of_diagnostic (d : Diagnostic.t) =
+  let fields = Diagnostic.location_fields d.Diagnostic.loc in
+  let logical =
+    match fields with
+    | [] -> []
+    | fields ->
+      [
+        ( "locations",
+          Json.arr
+            [
+              Json.obj
+                [
+                  ( "logicalLocations",
+                    Json.arr
+                      (List.map
+                         (fun (k, v) ->
+                           Json.obj
+                             [
+                               ( "fullyQualifiedName",
+                                 Json.str (k ^ "=" ^ v) );
+                               ("kind", Json.str k);
+                             ])
+                         fields) );
+                ];
+            ] );
+      ]
+  in
+  let properties =
+    let loc = List.map (fun (k, v) -> (k, Json.str v)) fields in
+    let trail =
+      match d.Diagnostic.trail with
+      | [] -> []
+      | trail -> [ ("trail", Json.arr (List.map Json.str trail)) ]
+    in
+    match loc @ trail with
+    | [] -> []
+    | props -> [ ("properties", Json.obj (("pass", Json.str d.Diagnostic.pass) :: props)) ]
+  in
+  Json.obj
+    ([
+       ("ruleId", Json.str d.Diagnostic.code);
+       ("level", Json.str (sarif_level d.Diagnostic.severity));
+       ( "message",
+         Json.obj [ ("text", Json.str d.Diagnostic.message) ] );
+     ]
+    @ logical @ properties)
+
+let of_report ~tool_version (r : Verify.report) =
+  Json.obj
+    [
+      ("version", Json.str version);
+      ("$schema", Json.str schema_uri);
+      ( "runs",
+        Json.arr
+          [
+            Json.obj
+              [
+                ( "tool",
+                  Json.obj
+                    [
+                      ( "driver",
+                        Json.obj
+                          [
+                            ("name", Json.str "mhla");
+                            ("version", Json.str tool_version);
+                            ( "informationUri",
+                              Json.str
+                                "https://doi.org/10.1109/DATE.2005.18" );
+                            ( "rules",
+                              Json.arr
+                                (List.map rule_of_entry
+                                   Diagnostic.catalogue) );
+                          ] );
+                    ] );
+                ( "properties",
+                  Json.obj
+                    [
+                      ("subject", Json.str r.Verify.subject);
+                      ( "passes",
+                        Json.arr
+                          (List.map Json.str r.Verify.passes_run) );
+                      ("suppressed", Json.int r.Verify.suppressed);
+                    ] );
+                ( "results",
+                  Json.arr
+                    (List.map result_of_diagnostic r.Verify.diagnostics) );
+              ];
+          ] );
+    ]

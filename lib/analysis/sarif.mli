@@ -1,0 +1,11 @@
+(** SARIF 2.1.0 export of a check report.
+
+    One run: the tool driver carries the complete diagnostic catalogue
+    as its rule table (so a viewer can show what each code means even
+    with zero findings), every diagnostic becomes a result with its
+    [ruleId], SARIF level ([Info] maps to ["note"]), message, logical
+    locations (statement / array / loop names — there is no source
+    file), and the provenance trail under [properties]. *)
+
+val of_report : tool_version:string -> Verify.report -> Mhla_util.Json.t
+(** The complete SARIF document, ready for [Json.to_channel]. *)

@@ -1,0 +1,89 @@
+module Error = Mhla_util.Error
+
+type rule = {
+  rule_code : string;
+  fields : (string * string) list;  (* must all match the rendered loc *)
+  origin : string;  (* "FILE:LINE" for error messages *)
+}
+
+type t = rule list
+
+let empty = []
+
+let rules t = List.map (fun r -> (r.rule_code, r.fields)) t
+
+(* One rule per line: a catalogue code, then zero or more
+   [field=value] constraints against the diagnostic's rendered
+   location. [#] starts a comment; blank lines are skipped. *)
+let parse_line ~origin line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let tokens =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | [] -> None
+  | code :: constraints ->
+    if Diagnostic.catalogue_entry code = None then
+      Error.invalidf ~context:"Suppress.parse"
+        ~hint:"rules are `CODE [field=value]...` with a catalogued code"
+        "%s: unknown diagnostic code %S" origin code;
+    let fields =
+      List.map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | None ->
+            Error.invalidf ~context:"Suppress.parse"
+              ~hint:"constraints look like stmt=S0 or layer=0"
+              "%s: malformed constraint %S (no `=`)" origin tok
+          | Some i ->
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) ))
+        constraints
+    in
+    Some { rule_code = code; fields; origin }
+
+let parse ~origin text =
+  let _, rules =
+    List.fold_left
+      (fun (lineno, acc) line ->
+        let origin = Printf.sprintf "%s:%d" origin lineno in
+        match parse_line ~origin line with
+        | None -> (lineno + 1, acc)
+        | Some r -> (lineno + 1, r :: acc))
+      (1, [])
+      (String.split_on_char '\n' text)
+  in
+  List.rev rules
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let text = really_input_string ic (in_channel_length ic) in
+      parse ~origin:path text)
+
+let matches (d : Diagnostic.t) rule =
+  rule.rule_code = d.Diagnostic.code
+  &&
+  let rendered = Diagnostic.location_fields d.Diagnostic.loc in
+  List.for_all
+    (fun (k, v) -> List.assoc_opt k rendered = Some v)
+    rule.fields
+
+let suppressed t d = List.exists (matches d) t
+
+let apply t diagnostics =
+  if t = [] then (diagnostics, 0)
+  else begin
+    let kept, dropped =
+      List.partition (fun d -> not (suppressed t d)) diagnostics
+    in
+    (kept, List.length dropped)
+  end

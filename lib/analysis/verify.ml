@@ -2,7 +2,15 @@ module Error = Mhla_util.Error
 module Json = Mhla_util.Json
 module Telemetry = Mhla_obs.Telemetry
 
-let passes = [ Bounds.pass; Dma_race.pass; Capacity.pass; Lints.pass ]
+let passes =
+  [
+    Bounds.pass;
+    Dma_race.pass;
+    Capacity.pass;
+    Interference.pass;
+    Determinism.pass;
+    Lints.pass;
+  ]
 
 let pass_names = List.map (fun (p : Pass.t) -> p.Pass.name) passes
 
@@ -10,7 +18,22 @@ type report = {
   subject : string;
   diagnostics : Diagnostic.t list;
   passes_run : string list;
+  suppressed : int;
 }
+
+(* The one normalisation both the batch verifier and the incremental
+   one funnel through: total order, exact duplicates collapsed. Two
+   passes proving the same fact from the same evidence is one finding.
+   Byte-stable whatever order (or parallelism) produced the input. *)
+let normalize diagnostics =
+  let sorted = List.sort Diagnostic.compare_for_report diagnostics in
+  let rec dedupe = function
+    | a :: (b :: _ as rest) ->
+      if Diagnostic.compare_for_report a b = 0 then dedupe rest
+      else a :: dedupe rest
+    | tail -> tail
+  in
+  dedupe sorted
 
 let check_known ~what names =
   List.iter
@@ -21,7 +44,12 @@ let check_known ~what names =
           "unknown pass %S in %s" n what)
     names
 
-let run ?only ?(skip = []) ?(telemetry = Telemetry.noop) (s : Pass.subject) =
+let report ?(suppress = Suppress.empty) ~subject ~passes_run diagnostics =
+  let diagnostics, suppressed = Suppress.apply suppress diagnostics in
+  { subject; diagnostics = normalize diagnostics; passes_run; suppressed }
+
+let run ?only ?(skip = []) ?(suppress = Suppress.empty)
+    ?(telemetry = Telemetry.noop) (s : Pass.subject) =
   Option.iter (check_known ~what:"only") only;
   check_known ~what:"skip" skip;
   let enabled (p : Pass.t) =
@@ -41,11 +69,10 @@ let run ?only ?(skip = []) ?(telemetry = Telemetry.noop) (s : Pass.subject) =
         found)
       selected
   in
-  {
-    subject = s.Pass.program.Mhla_ir.Program.name;
-    diagnostics;
-    passes_run = List.map (fun (p : Pass.t) -> p.Pass.name) selected;
-  }
+  report ~suppress
+    ~subject:s.Pass.program.Mhla_ir.Program.name
+    ~passes_run:(List.map (fun (p : Pass.t) -> p.Pass.name) selected)
+    diagnostics
 
 let promote_warnings r =
   { r with diagnostics = List.map Diagnostic.promote_warnings r.diagnostics }
@@ -62,11 +89,13 @@ let ok r = errors r = []
 
 let pp_report ppf r =
   List.iter (fun d -> Fmt.pf ppf "%a@," Diagnostic.pp d) r.diagnostics;
-  Fmt.pf ppf "check %s: %d error(s), %d warning(s) from %d pass(es) — %s"
+  Fmt.pf ppf "check %s: %d error(s), %d warning(s) from %d pass(es)%t — %s"
     r.subject
     (List.length (errors r))
     (List.length (warnings r))
     (List.length r.passes_run)
+    (fun ppf ->
+      if r.suppressed > 0 then Fmt.pf ppf ", %d suppressed" r.suppressed)
     (if ok r then "OK" else "FAIL")
 
 let report_to_json r =
@@ -76,6 +105,7 @@ let report_to_json r =
       ("passes", Json.arr (List.map Json.str r.passes_run));
       ("errors", Json.int (List.length (errors r)));
       ("warnings", Json.int (List.length (warnings r)));
+      ("suppressed", Json.int r.suppressed);
       ("ok", Json.bool (ok r));
       ( "diagnostics",
         Json.arr (List.map Diagnostic.to_json r.diagnostics) );

@@ -5,29 +5,52 @@
     ([?only]) or disabled ([?skip]) by name; every pass runs inside a
     telemetry span and bumps the [analysis.diagnostics] counter with
     what it found, so a traced [mhla check] shows where verification
-    time goes. *)
+    time goes.
+
+    Every report is {e normalised}: diagnostics sorted under
+    {!Diagnostic.compare_for_report} with exact duplicates collapsed,
+    so the rendered output is byte-stable whatever order — or
+    parallelism — produced the findings, and an incremental report
+    equals a from-scratch one by construction. *)
 
 val passes : Pass.t list
 (** The registry, in execution order: [bounds], [dma-race], [capacity],
-    [lints]. *)
+    [interference], [determinism], [lints]. *)
 
 val pass_names : string list
 
 type report = {
   subject : string;  (** the program's name *)
-  diagnostics : Diagnostic.t list;  (** in pass, then emission order *)
+  diagnostics : Diagnostic.t list;  (** normalised: sorted, deduped *)
   passes_run : string list;
+  suppressed : int;  (** findings removed by suppression rules *)
 }
+
+val normalize : Diagnostic.t list -> Diagnostic.t list
+(** Sort under {!Diagnostic.compare_for_report} and collapse exact
+    duplicates — the shared funnel of both the batch and the
+    incremental verifier. *)
+
+val report :
+  ?suppress:Suppress.t ->
+  subject:string ->
+  passes_run:string list ->
+  Diagnostic.t list ->
+  report
+(** Assemble a normalised report from raw findings — the constructor
+    {!Incremental} shares with {!run}. *)
 
 val run :
   ?only:string list ->
   ?skip:string list ->
+  ?suppress:Suppress.t ->
   ?telemetry:Mhla_obs.Telemetry.t ->
   Pass.subject ->
   report
 (** [only] (default: all) restricts the registry to the named passes,
     [skip] then removes names; execution order is always registry
-    order.
+    order. [suppress] (default {!Suppress.empty}) drops matching
+    findings, counting them in the report.
     @raise Mhla_util.Error.Error for a name not in the registry. *)
 
 val promote_warnings : report -> report

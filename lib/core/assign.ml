@@ -216,9 +216,11 @@ let improves ~current ~candidate =
 
 let no_checkpoint () = ()
 
+let no_commit (_ : move) = ()
+
 let greedy ?(config = default_config) ?(oracle = false)
     ?(first_improvement = false) ?(telemetry = Telemetry.noop) ?reuse
-    ?(checkpoint = no_checkpoint) program hierarchy =
+    ?(checkpoint = no_checkpoint) ?(on_commit = no_commit) program hierarchy =
   Telemetry.span telemetry ~cat:"assign" "assign.greedy"
     ~args:(fun () ->
       [ ("oracle", Telemetry.Bool oracle);
@@ -288,6 +290,7 @@ let greedy ?(config = default_config) ?(oracle = false)
       match select (moves config m) with
       | None -> (m, current, List.rev steps)
       | Some (move, next, value) ->
+        on_commit move;
         descend next value (mk_step move ~current ~value :: steps)
     in
     let start_value = objective start in
@@ -336,6 +339,7 @@ let greedy ?(config = default_config) ?(oracle = false)
       | Some (move, value) ->
         let step = mk_step move ~current ~value in
         Engine.commit engine move;
+        on_commit move;
         descend value (step :: steps)
     in
     incr evaluations (* parity with the oracle's initial evaluation *);
@@ -349,7 +353,8 @@ let greedy ?(config = default_config) ?(oracle = false)
 
 let simulated_annealing ?(config = default_config) ?(oracle = false)
     ?(telemetry = Telemetry.noop) ?reuse ?(checkpoint = no_checkpoint)
-    ?(seed = 42L) ?(iterations = 4000) program hierarchy =
+    ?(on_commit = no_commit) ?(seed = 42L) ?(iterations = 4000) program
+    hierarchy =
   Telemetry.span telemetry ~cat:"assign" "assign.anneal"
     ~args:(fun () ->
       [ ("oracle", Telemetry.Bool oracle);
@@ -426,6 +431,7 @@ let simulated_annealing ?(config = default_config) ?(oracle = false)
               ("objective", Telemetry.Float value) ]);
         if accept then begin
           (match engine with None -> () | Some e -> Engine.commit e move);
+          on_commit move;
           current := next;
           current_value := value;
           if value < !best_value then begin

@@ -100,6 +100,7 @@ val greedy :
   ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
   ?checkpoint:(unit -> unit) ->
+  ?on_commit:(move -> unit) ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
   result
@@ -121,7 +122,11 @@ val greedy :
     {!Mhla_util.Error.Error} with kind [Deadline] — to abandon the
     search without corrupting any shared state. As long as it returns
     normally it must not observe or mutate the search, so the result
-    stays independent of how often it fires. *)
+    stays independent of how often it fires. [on_commit] (default a
+    no-op) observes every committed move, in order, right after the
+    search's state advances — the hook live verification rides on; the
+    same independence contract as [checkpoint] applies: the search
+    never lets it change a decision. *)
 
 val exhaustive :
   ?config:config ->
@@ -139,6 +144,7 @@ val simulated_annealing :
   ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
   ?checkpoint:(unit -> unit) ->
+  ?on_commit:(move -> unit) ->
   ?seed:int64 ->
   ?iterations:int ->
   Mhla_ir.Program.t ->
@@ -156,4 +162,6 @@ val simulated_annealing :
     [anneal.accept]/[anneal.reject] events carrying the temperature,
     plus [anneal.best] marks on improvements — the annealing trajectory
     as observable data. [checkpoint] is invoked before every iteration,
-    as in {!greedy}. *)
+    and [on_commit] on every {e accepted} move (the search walks the
+    current state; the result is still the best state seen), as in
+    {!greedy}. *)

@@ -17,7 +17,8 @@ type search =
   | Annealing of { seed : int64; iterations : int }
 
 let run ?config ?order ?rank ?(search = Greedy) ?defer_writebacks
-    ?(telemetry = Telemetry.noop) ?reuse ?checkpoint program hierarchy =
+    ?(telemetry = Telemetry.noop) ?reuse ?checkpoint ?on_commit program
+    hierarchy =
   Telemetry.span telemetry ~cat:"explore" "explore.run"
     ~args:(fun () ->
       [ ("program", Telemetry.Str program.Mhla_ir.Program.name) ])
@@ -36,13 +37,14 @@ let run ?config ?order ?rank ?(search = Greedy) ?defer_writebacks
     stage "explore.assign" @@ fun () ->
     match search with
     | Greedy ->
-      Assign.greedy ?config ~telemetry ?reuse ?checkpoint program hierarchy
+      Assign.greedy ?config ~telemetry ?reuse ?checkpoint ?on_commit program
+        hierarchy
     | First_improvement ->
       Assign.greedy ?config ~first_improvement:true ~telemetry ?reuse
-        ?checkpoint program hierarchy
+        ?checkpoint ?on_commit program hierarchy
     | Annealing { seed; iterations } ->
-      Assign.simulated_annealing ?config ~telemetry ?reuse ?checkpoint ~seed
-        ~iterations program hierarchy
+      Assign.simulated_annealing ?config ~telemetry ?reuse ?checkpoint
+        ?on_commit ~seed ~iterations program hierarchy
   in
   let te =
     stage "explore.te" @@ fun () ->

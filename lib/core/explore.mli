@@ -35,6 +35,7 @@ val run :
   ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mapping.reuse ->
   ?checkpoint:(unit -> unit) ->
+  ?on_commit:(Assign.move -> unit) ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
   result
@@ -49,7 +50,10 @@ val run :
     [explore.evaluate]) and is passed down to {!Assign} and
     {!Prefetch}; it never changes the result. [checkpoint] is handed to
     the step-1 search (see {!Assign.greedy}): a deadline guard may
-    raise from it to abandon the run between search steps. *)
+    raise from it to abandon the run between search steps. [on_commit]
+    observes every committed step-1 move (see {!Assign.greedy}) — the
+    hook [--verify-live] keeps its incremental verifier current
+    through; it must not change the search's behaviour. *)
 
 (** Normalised views used by the paper's figures (baseline = 1.0). *)
 

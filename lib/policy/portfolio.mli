@@ -28,6 +28,8 @@ val race :
   ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mhla_core.Mapping.reuse ->
   ?checkpoint:(unit -> unit) ->
+  ?verify_live:bool ->
+  ?suppress:Mhla_analysis.Suppress.t ->
   policies:Policy.t list ->
   Mhla_ir.Program.t ->
   Mhla_arch.Hierarchy.t ->
@@ -37,7 +39,14 @@ val race :
     supplied). [telemetry] gives each worker domain a child sink (a
     [portfolio.entrant] span per policy, merged deterministically) and
     records the winner as a [portfolio.winner] instant.
-    @raise Mhla_util.Error.Error ([Invalid_input]) on an empty field. *)
+    [verify_live] (default [false]) rides an incremental verifier
+    along every entrant's search and checks each entrant's final
+    result ({!Mhla_analysis.Live}); the observer never changes any
+    entrant's behaviour, so the outcome is bit-identical either way.
+    [suppress] filters the live findings.
+    @raise Mhla_util.Error.Error ([Invalid_input]) on an empty field;
+    ([Internal]) when a live-verified entrant's output fails
+    verification. *)
 
 val to_json : id:string -> outcome -> Mhla_util.Json.t
 (** The wire/report shape: winner name and objective, the per-entrant

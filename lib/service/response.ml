@@ -11,9 +11,10 @@ type t = {
   elapsed_ns : int;
   result : Json.t option;
   robustness : Json.t option;
+  verify : Json.t option;
 }
 
-let ok ?robustness ~id ~seq ~elapsed_ns result =
+let ok ?robustness ?verify ~id ~seq ~elapsed_ns result =
   {
     id;
     seq;
@@ -23,6 +24,7 @@ let ok ?robustness ~id ~seq ~elapsed_ns result =
     elapsed_ns;
     result = Some result;
     robustness;
+    verify;
   }
 
 let error ~id ~seq ~elapsed_ns ~code message =
@@ -35,6 +37,7 @@ let error ~id ~seq ~elapsed_ns ~code message =
     elapsed_ns;
     result = None;
     robustness = None;
+    verify = None;
   }
 
 let timeout ~id ~seq ~elapsed_ns message =
@@ -65,10 +68,13 @@ let to_json t =
     @ (match t.result with
       | None -> []
       | Some r -> [ ("result", r) ])
+    @ (match t.robustness with
+      | None -> []
+      | Some r -> [ ("robustness", r) ])
     @
-    match t.robustness with
+    match t.verify with
     | None -> []
-    | Some r -> [ ("robustness", r) ])
+    | Some v -> [ ("verify", v) ])
 
 let status_of_json = function
   | Json.Obj fields -> (

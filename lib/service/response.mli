@@ -11,7 +11,8 @@
     {v
     { "id": "req-0", "seq": 0, "status": "ok", "elapsed_ns": 812345,
       "result": { ... Report.result_to_json ... },
-      "robustness": { ... } }                    // only when requested
+      "robustness": { ... },                     // only when requested
+      "verify": { ... } }                        // only under live verification
     { "id": "req-1", "seq": 1, "status": "error", "code": "decode",
       "message": "$.arch: expected an object", "elapsed_ns": 1234 }
     { "id": "req-2", "seq": 2, "status": "timeout", "code": "deadline",
@@ -38,10 +39,15 @@ type t = {
   result : Mhla_util.Json.t option;  (** the solve payload on [Ok] *)
   robustness : Mhla_util.Json.t option;
       (** fault-injection report, when the request asked for one *)
+  verify : Mhla_util.Json.t option;
+      (** the in-loop verification report of the response's own
+          solution (a {!Mhla_analysis.Verify.report_to_json} document),
+          when the service runs with live verification *)
 }
 
 val ok :
   ?robustness:Mhla_util.Json.t ->
+  ?verify:Mhla_util.Json.t ->
   id:string ->
   seq:int ->
   elapsed_ns:int ->

@@ -8,6 +8,8 @@ module Report = Mhla_core.Report
 module Pass = Mhla_analysis.Pass
 module Verify = Mhla_analysis.Verify
 module Robustness = Mhla_sim.Robustness
+module Live = Mhla_analysis.Live
+module Suppress = Mhla_analysis.Suppress
 
 type admission = Block | Shed
 
@@ -18,6 +20,8 @@ type config = {
   admission : admission;
   max_request_bytes : int;
   telemetry : Telemetry.t;
+  verify_live : bool;
+  suppress : Suppress.t;
 }
 
 let default_config =
@@ -28,6 +32,8 @@ let default_config =
     admission = Block;
     max_request_bytes = 1 lsl 20;
     telemetry = Telemetry.noop;
+    verify_live = false;
+    suppress = Suppress.empty;
   }
 
 type job = { seq : int; line : string; submitted_ns : int }
@@ -56,22 +62,23 @@ type t = {
 
 (* --- the direct path --------------------------------------------------- *)
 
-let solve ?telemetry ?reuse ?checkpoint (req : Request.t) =
-  let config =
-    {
-      Assign.default_config with
-      objective = req.objective;
-      transfer_mode = req.transfer_mode;
-    }
-  in
+let solve_config (req : Request.t) =
+  {
+    Assign.default_config with
+    objective = req.objective;
+    transfer_mode = req.transfer_mode;
+  }
+
+let solve ?telemetry ?reuse ?checkpoint ?on_commit (req : Request.t) =
+  let config = solve_config req in
   match req.policy with
   | Some name ->
-    Mhla_policy.Policy.run ~config ?telemetry ?reuse ?checkpoint
+    Mhla_policy.Policy.run ~config ?telemetry ?reuse ?checkpoint ?on_commit
       (Mhla_policy.Registry.find ~context:"Service.solve" name)
       req.program (Request.hierarchy req)
   | None ->
     Explore.run ~config ?telemetry ~search:req.search ?reuse ?checkpoint
-      req.program (Request.hierarchy req)
+      ?on_commit req.program (Request.hierarchy req)
 
 let ok_payload (req : Request.t) result =
   Report.result_to_json ~name:req.id result
@@ -157,7 +164,10 @@ let intern_reuse t program =
 let run_request t tele job (req : Request.t) =
   let elapsed () = Deadline.now_ns () - job.submitted_ns in
   let id = req.id and seq = job.seq in
-  let report = Verify.run ~telemetry:tele (Pass.subject req.program) in
+  let report =
+    Verify.run ~suppress:t.cfg.suppress ~telemetry:tele
+      (Pass.subject req.program)
+  in
   if not (Verify.ok report) then
     let errs = Verify.errors report in
     Response.error ~id ~seq ~elapsed_ns:(elapsed ()) ~code:"verify"
@@ -195,19 +205,43 @@ let run_request t tele job (req : Request.t) =
       in
       Response.ok ~id ~seq ~elapsed_ns:(elapsed ())
         (Mhla_policy.Portfolio.to_json ~id outcome)
-    | Request.Solve ->
-      let result = solve ~telemetry:tele ~reuse ?checkpoint req in
-      let robustness =
-        Option.map
-          (fun (fs : Request.fault_spec) ->
-            Robustness.to_json
-              (Robustness.analyze ~trials:fs.trials ~telemetry:tele
-                 ~faults:fs.faults result.Explore.assign.Assign.mapping
-                 result.Explore.te))
-          req.fault_spec
+    | Request.Solve -> (
+      (* With live verification on, an incremental verifier follows the
+         search move by move and the response's own solution is checked
+         before it leaves — at per-move bucket-recompute cost, not a
+         from-scratch re-verification. The observer never feeds back,
+         so the [result] payload is bit-identical either way. *)
+      let live =
+        if t.cfg.verify_live then
+          Some
+            (Live.of_config ~reuse ~suppress:t.cfg.suppress
+               (solve_config req) req.program (Request.hierarchy req))
+        else None
       in
-      Response.ok ?robustness ~id ~seq ~elapsed_ns:(elapsed ())
-        (ok_payload req result)
+      let on_commit = Option.map (fun l move -> Live.on_commit l move) live in
+      let result = solve ~telemetry:tele ~reuse ?checkpoint ?on_commit req in
+      let vreport = Option.map (fun l -> Live.finish l result) live in
+      match vreport with
+      | Some r when not (Verify.ok r) ->
+        Response.error ~id ~seq ~elapsed_ns:(elapsed ()) ~code:"verify"
+          (Fmt.str "solution failed live verification: %d error(s); first: %a"
+             (List.length (Verify.errors r))
+             Mhla_analysis.Diagnostic.pp
+             (List.hd (Verify.errors r)))
+      | _ ->
+        let robustness =
+          Option.map
+            (fun (fs : Request.fault_spec) ->
+              Robustness.to_json
+                (Robustness.analyze ~trials:fs.trials ~telemetry:tele
+                   ~faults:fs.faults result.Explore.assign.Assign.mapping
+                   result.Explore.te))
+            req.fault_spec
+        in
+        Response.ok ?robustness
+          ?verify:(Option.map Verify.report_to_json vreport)
+          ~id ~seq ~elapsed_ns:(elapsed ())
+          (ok_payload req result))
   end
 
 (* Never raises: every failure mode becomes a structured response. *)

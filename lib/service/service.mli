@@ -36,11 +36,20 @@ type config = {
   max_request_bytes : int;
       (** longer submissions are rejected ([oversized]) before parse *)
   telemetry : Mhla_obs.Telemetry.t;
+  verify_live : bool;
+      (** run an incremental verifier along every [Solve] request's
+          search and check its response's own solution before emitting
+          it: a failing solution becomes a [verify]-coded error
+          response, a passing one carries its report in the response's
+          [verify] field. Never changes the [result] payload. *)
+  suppress : Mhla_analysis.Suppress.t;
+      (** suppression rules applied to both the pre-solve program
+          verification and the live verification *)
 }
 
 val default_config : config
 (** 1 worker, depth 16, no default deadline, [Block], 1 MiB cap, noop
-    telemetry. *)
+    telemetry, no live verification, no suppressions. *)
 
 type t
 
@@ -98,6 +107,7 @@ val solve :
   ?telemetry:Mhla_obs.Telemetry.t ->
   ?reuse:Mhla_core.Mapping.reuse ->
   ?checkpoint:(unit -> unit) ->
+  ?on_commit:(Mhla_core.Assign.move -> unit) ->
   Request.t ->
   Mhla_core.Explore.result
 (** Build the request's hierarchy and run the full

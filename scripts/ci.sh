@@ -77,6 +77,92 @@ if [ "$rc" -ne 1 ]; then
   echo "expected exit 1 for the seeded TE race, got $rc" >&2
   exit 1
 fi
+# ...export well-formed SARIF 2.1.0 with a populated rules table and
+# one fully-located result per finding...
+sarif=/tmp/mhla_ci_check.sarif
+dune exec -- bin/mhla_cli.exe check motion_estimation --sarif "$sarif" -q
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+if d["version"] != "2.1.0":
+    sys.exit("SARIF version is not 2.1.0")
+run = d["runs"][0]
+for key in ("results", "tool"):
+    if key not in run:
+        sys.exit(f"SARIF run is missing runs[].{key}")
+if not run["tool"]["driver"]["rules"]:
+    sys.exit("SARIF rules table is empty")
+for r in run["results"]:
+    for key in ("ruleId", "level", "message"):
+        if key not in r:
+            sys.exit(f"SARIF result is missing {key}")
+' "$sarif" || exit 1
+else
+  echo "   (python3 not installed: skipping SARIF validation)"
+fi
+rm -f "$sarif"
+# ...explain any catalogued code on demand...
+dune exec -- bin/mhla_cli.exe check --explain MHLA203 \
+  | grep -q interference || {
+  echo "check --explain MHLA203 did not name its owning pass" >&2
+  exit 1
+}
+# ...catch the interference corruption (a punctured DMA priority
+# sequence)...
+rc=0
+dune exec -- bin/mhla_cli.exe check motion_estimation --mutate interference \
+  -q >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "expected exit 1 for the seeded priority hole, got $rc" >&2
+  exit 1
+fi
+# ...catch a planted dead array under --Werror, with the application's
+# own pre-existing warning suppressed via .mhla-lint syntax so the
+# unmutated run stays clean (proving suppression narrows, not blinds)...
+lint_cfg=/tmp/mhla_ci_lint.cfg
+printf 'MHLA302 array=subband\n' >"$lint_cfg"
+dune exec -- bin/mhla_cli.exe check mp3_filterbank --Werror \
+  --lint-config "$lint_cfg" -q || {
+  echo "suppressed mp3_filterbank check is not clean under --Werror" >&2
+  exit 1
+}
+rc=0
+dune exec -- bin/mhla_cli.exe check mp3_filterbank --Werror \
+  --lint-config "$lint_cfg" --mutate lints -q >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "expected exit 1 for the planted dead array, got $rc" >&2
+  exit 1
+fi
+rm -f "$lint_cfg"
+# ...and hold a 100-program generated corpus to zero errors under
+# --Werror (the suppression file scopes out the lint classes random
+# programs hit by design: dead arrays, non-amortising streams).
+corpus_cfg=/tmp/mhla_ci_corpus.cfg
+printf 'MHLA301\nMHLA302\nMHLA305\nMHLA306\n' >"$corpus_cfg"
+dune exec -- bin/mhla_cli.exe check --corpus 100 --seed 42 --Werror \
+  --lint-config "$corpus_cfg" -q || {
+  echo "generated-corpus check gate failed" >&2
+  exit 1
+}
+rm -f "$corpus_cfg"
+
+echo "== verify-live gate =="
+# In-loop verification must be free of observable effect on the solve:
+# a run under --verify-live prints bit-identical stdout to the plain
+# run (its report goes to stderr), on an app with and one without TE
+# extensions.
+for app in motion_estimation qsdpcm; do
+  plain=/tmp/mhla_ci_plain.out
+  live=/tmp/mhla_ci_live.out
+  dune exec -- bin/mhla_cli.exe run "$app" >"$plain" 2>/dev/null
+  dune exec -- bin/mhla_cli.exe run "$app" --verify-live >"$live" 2>/dev/null
+  cmp -s "$plain" "$live" || {
+    echo "run $app --verify-live stdout differs from the plain solve" >&2
+    exit 1
+  }
+  rm -f "$plain" "$live"
+done
 
 echo "== pareto gate =="
 # A small budget grid that spans SRAM energy saturation (so the
@@ -139,6 +225,15 @@ echo "$fuzz_out" | grep -q "shrunk reproducer" || {
   echo "seeded engine drift did not print a shrunk reproducer" >&2
   exit 1
 }
+# The incremental-verify differential must be live too: a seeded drift
+# between the incremental and from-scratch reports has to fail.
+rc=0
+dune exec -- bin/mhla_cli.exe fuzz --seed 42 --count 2 --jobs 1 \
+  --mutate verify -q >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "expected exit 1 for the seeded verify drift, got $rc" >&2
+  exit 1
+fi
 
 echo "== soak gate =="
 # The in-process chaos soak: 200 seeded requests (valid solves, fault
@@ -213,9 +308,13 @@ m = json.load(open(sys.argv[1]))
 for key in ("ext_pareto.motion_estimation.points_per_s",
             "ext_pareto.motion_estimation.pruning_ratio",
             "ext_policy.motion_estimation.winner",
-            "ext_policy.predictor.precision"):
+            "ext_policy.predictor.precision",
+            "ext_check.incremental.median_speedup"):
     if key not in m:
         sys.exit(f"BENCH json is missing {key}")
+if m["ext_check.incremental.median_speedup"] <= 5.0:
+    sys.exit("incremental verification is not >5x faster per move than "
+             "a full suite run")
 if m["ext_pareto.motion_estimation.pruning_ratio"] <= 1.0:
     sys.exit("pruning ratio did not exceed 1 on the saturation grid")
 for app in ("motion_estimation", "qsdpcm", "cavity_detector"):

@@ -13,19 +13,33 @@ let invalid ?hint context message =
 let internal context message =
   Mhla_util.Error.(Error (make Internal ~context message))
 
+module Access = Mhla_ir.Access
+module Affine = Mhla_ir.Affine
 module Apps = Mhla_apps.Registry
 module Assign = Mhla_core.Assign
 module Build = Mhla_ir.Build
 module Capacity = Mhla_analysis.Capacity
 module Defs = Mhla_apps.Defs
+module Determinism = Mhla_analysis.Determinism
 module Diagnostic = Mhla_analysis.Diagnostic
 module Dma_race = Mhla_analysis.Dma_race
+module Explain = Mhla_analysis.Explain
 module Explore = Mhla_core.Explore
+module Fixpoint = Mhla_analysis.Fixpoint
+module Incremental = Mhla_analysis.Incremental
+module Itv = Mhla_analysis.Domain.Itv
+module Lifetime = Mhla_lifetime.Schedule
 module Mapping = Mhla_core.Mapping
 module Pass = Mhla_analysis.Pass
 module Prefetch = Mhla_core.Prefetch
 module Presets = Mhla_arch.Presets
+module Program = Mhla_ir.Program
+module Sarif = Mhla_analysis.Sarif
+module Stmt = Mhla_ir.Stmt
+module Suppress = Mhla_analysis.Suppress
 module Verify = Mhla_analysis.Verify
+
+let app_program name = Lazy.force (Apps.find_exn name).Defs.program
 
 let contains ~needle hay =
   let n = String.length needle and h = String.length hay in
@@ -321,12 +335,16 @@ let test_only_and_skip () =
     r.Verify.passes_run;
   let r = Verify.run ~skip:[ "lints"; "bounds" ] (Pass.subject p) in
   Alcotest.(check (list string)) "skip removes passes"
-    [ "dma-race"; "capacity" ] r.Verify.passes_run;
+    [ "dma-race"; "capacity"; "interference"; "determinism" ]
+    r.Verify.passes_run;
   Alcotest.(check bool) "skipping bounds hides the defect" true
     (Verify.ok r);
   Alcotest.check_raises "unknown pass name"
-    (invalid ~hint:"passes: bounds, dma-race, capacity, lints" "Verify.run"
-       "unknown pass \"typo\" in skip")
+    (invalid
+       ~hint:
+         "passes: bounds, dma-race, capacity, interference, determinism, \
+          lints"
+       "Verify.run" "unknown pass \"typo\" in skip")
     (fun () -> ignore (Verify.run ~skip:[ "typo" ] (Pass.subject p)))
 
 let test_werror_promotion () =
@@ -379,6 +397,386 @@ let test_crosscheck_hook () =
   let report = Mhla_sim.Crosscheck.crosscheck m te in
   Alcotest.(check bool) "crosscheck carries the analysis verdict" true
     report.Mhla_sim.Crosscheck.analysis.Mhla_sim.Crosscheck.analysis_clean
+
+(* --- fixpoint (abstract interpretation) -------------------------------- *)
+
+let rec node_names (stmts, iters) = function
+  | Program.Stmt s -> (s.Stmt.name :: stmts, iters)
+  | Program.Loop l ->
+    List.fold_left node_names (stmts, l.Program.iter :: iters) l.Program.body
+
+let program_names (p : Program.t) =
+  List.fold_left node_names ([], []) p.Program.body
+
+let test_fixpoint_timeline_matches_enumeration () =
+  (* The worklist fixpoint re-derives the lifetime timeline that
+     {!Mhla_lifetime.Schedule} computes by direct enumeration; on every
+     registry application the two must agree interval-for-interval —
+     the capacity pass's occupancy recomputation rides on this. *)
+  List.iter
+    (fun name ->
+      let program = app_program name in
+      let sol = Fixpoint.analyze program in
+      let sched = Lifetime.of_program program in
+      Alcotest.(check int)
+        (name ^ ": horizon")
+        (Lifetime.horizon sched) (Fixpoint.horizon sol);
+      let stmts, iters = program_names program in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (name ^ "/" ^ s ^ ": stmt interval")
+            true
+            (Lifetime.stmt_interval sched s = Fixpoint.stmt_interval sol s))
+        stmts;
+      List.iter
+        (fun it ->
+          Alcotest.(check bool)
+            (name ^ "/" ^ it ^ ": loop interval")
+            true
+            (Lifetime.loop_interval sched it = Fixpoint.loop_interval sol it))
+        iters;
+      List.iter
+        (fun (a : Mhla_ir.Array_decl.t) ->
+          let arr = a.Mhla_ir.Array_decl.name in
+          Alcotest.(check bool)
+            (name ^ "/" ^ arr ^ ": array interval")
+            true
+            (Lifetime.array_interval sched program arr
+            = Fixpoint.array_interval sol arr))
+        program.Program.arrays)
+    Apps.names
+
+let test_fixpoint_eval_matches_enumeration () =
+  (* At every statement of every application, the interval the fixpoint
+     assigns to each affine subscript is exactly the min/max over the
+     enclosing iteration space — value ranges are derived, not
+     enumerated, and they lose nothing. *)
+  List.iter
+    (fun name ->
+      let program = app_program name in
+      let sol = Fixpoint.analyze program in
+      List.iter
+        (fun (ctx : Program.context) ->
+          let trip it =
+            match List.assoc_opt it ctx.Program.loops with
+            | Some t -> t
+            | None -> 1
+          in
+          let stmt = ctx.Program.stmt.Stmt.name in
+          List.iter
+            (fun (a : Access.t) ->
+              List.iter
+                (fun e ->
+                  let itv = Fixpoint.eval sol ~stmt e in
+                  Alcotest.(check (option int))
+                    (Fmt.str "%s/%s/%s: lo" name stmt a.Access.array)
+                    (Some (Affine.min_value e ~trip))
+                    (Itv.lo_int itv);
+                  Alcotest.(check (option int))
+                    (Fmt.str "%s/%s/%s: hi" name stmt a.Access.array)
+                    (Some (Affine.max_value e ~trip))
+                    (Itv.hi_int itv))
+                a.Access.index)
+            ctx.Program.stmt.Stmt.accesses)
+        (Program.contexts program))
+    Apps.names
+
+let test_fixpoint_converges_finitely () =
+  (* Widening must terminate and narrowing must recover every iterator
+     to its exact [0, trip-1] guard — no residual infinities. *)
+  let sol = Fixpoint.analyze (app_program "mp3_filterbank") in
+  let stats = Fixpoint.stats sol in
+  Alcotest.(check bool) "visited nodes" true (stats.Fixpoint.visits > 0);
+  Alcotest.(check bool) "bounded sweeps" true (stats.Fixpoint.sweeps <= 4)
+
+(* --- interference ------------------------------------------------------- *)
+
+let verify_interference m te =
+  Verify.run ~only:[ "interference" ] (Pass.of_mapping ~schedule:te m)
+
+let test_interference_accepts_solver () =
+  List.iter
+    (fun name ->
+      let m, te = solved name in
+      Alcotest.(check (list string))
+        (name ^ ": solver schedule interferes with nothing")
+        []
+        (codes (verify_interference m te)))
+    Apps.names
+
+let test_interference_detects_priority_hole () =
+  let m, te, plan = extended_plan () in
+  let bad =
+    { plan with Prefetch.dma_priority = plan.Prefetch.dma_priority + 1 }
+  in
+  let r = verify_interference m (with_plan te bad) in
+  Alcotest.(check bool) "MHLA204 fired" true (has_code "MHLA204" r);
+  Alcotest.(check bool) "priority hole is an error" false (Verify.ok r)
+
+let test_interference_detects_misgrant () =
+  (* Grant a plan an iterator from a disjoint loop nest: that loop's
+     span on the fixpoint timeline cannot enclose the candidate's
+     buffer lifetime, so containment (MHLA203) must fire. *)
+  let module I = Mhla_util.Interval in
+  let found =
+    List.find_map
+      (fun name ->
+        let m, te = solved name in
+        let sol = Fixpoint.analyze m.Mapping.program in
+        let _, iters = program_names m.Mapping.program in
+        List.find_map
+          (fun (p : Prefetch.plan) ->
+            let life =
+              Fixpoint.candidate_interval sol p.Prefetch.bt.Mapping.bt_candidate
+            in
+            List.find_map
+              (fun it ->
+                let span = Fixpoint.loop_interval sol it in
+                if span.I.lo <= life.I.lo && life.I.hi <= span.I.hi then None
+                else Some (m, te, p, it))
+              iters)
+          te.Prefetch.plans)
+      Apps.names
+  in
+  match found with
+  | None -> Alcotest.fail "no app offers a non-enclosing iterator to misgrant"
+  | Some (m, te, plan, it) ->
+    let bad =
+      { plan with Prefetch.extended = [ it ]; Prefetch.extra_buffers = 1 }
+    in
+    let r = verify_interference m (with_plan te bad) in
+    Alcotest.(check bool) "MHLA203 fired" true (has_code "MHLA203" r);
+    Alcotest.(check bool) "misgrant is an error" false (Verify.ok r)
+
+(* --- determinism -------------------------------------------------------- *)
+
+let test_determinism_flags_ties () =
+  let m, te = solved "qsdpcm" in
+  let ties = Determinism.check_ties m te in
+  Alcotest.(check bool) "qsdpcm's greedy order carries ties" true (ties <> []);
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Alcotest.(check string) "tie code" "MHLA401" (code_of d);
+      Alcotest.(check bool) "advisory severity" true
+        (d.Diagnostic.severity = Diagnostic.Info))
+    ties;
+  let r = Verify.run ~only:[ "determinism" ] (Pass.of_mapping ~schedule:te m) in
+  Alcotest.(check bool) "ties never fail the report" true (Verify.ok r)
+
+let test_determinism_flags_recurrence () =
+  let open Build in
+  let p =
+    program "recur"
+      ~arrays:[ array "a" [ 8 ] ]
+      [ loop "i" 8 [ stmt "s" [ rd "a" [ i "i" ]; wr "a" [ i "i" ] ] ] ]
+  in
+  let r = Verify.run ~only:[ "determinism" ] (Pass.subject p) in
+  Alcotest.(check (list string)) "MHLA402 fired" [ "MHLA402" ] (codes r);
+  Alcotest.(check bool) "recurrence is advisory" true (Verify.ok r)
+
+let test_determinism_silent_on_disjoint_regions () =
+  let open Build in
+  let p =
+    program "disjoint"
+      ~arrays:[ array "a" [ 16 ] ]
+      [ loop "i" 8 [ stmt "s" [ rd "a" [ i "i" ]; wr "a" [ i "i" +$ c 8 ] ] ] ]
+  in
+  let r = Verify.run ~only:[ "determinism" ] (Pass.subject p) in
+  Alcotest.(check (list string)) "disjoint boxes are silent" [] (codes r)
+
+(* --- suppression -------------------------------------------------------- *)
+
+let test_suppress_parse_and_apply () =
+  let sup =
+    Suppress.parse ~origin:"test"
+      "# a comment\n\nMHLA001 array=a dim=0\nMHLA301  # trailing comment\n"
+  in
+  Alcotest.(check int) "two rules parsed" 2 (List.length (Suppress.rules sup));
+  let r =
+    Verify.run ~only:[ "bounds" ] ~suppress:sup
+      (Pass.subject (oob_high_program ()))
+  in
+  Alcotest.(check (list string)) "matching rule silences" [] (codes r);
+  Alcotest.(check int) "counted, not forgotten" 1 r.Verify.suppressed;
+  Alcotest.(check bool) "report turns ok" true (Verify.ok r)
+
+let test_suppress_mismatch_keeps_finding () =
+  let sup = Suppress.parse ~origin:"test" "MHLA001 array=zzz" in
+  let r =
+    Verify.run ~only:[ "bounds" ] ~suppress:sup
+      (Pass.subject (oob_high_program ()))
+  in
+  Alcotest.(check (list string)) "constraint mismatch keeps it" [ "MHLA001" ]
+    (codes r);
+  Alcotest.(check int) "nothing suppressed" 0 r.Verify.suppressed
+
+let test_suppress_rejects_garbage () =
+  Alcotest.check_raises "unknown code"
+    (invalid
+       ~hint:"rules are `CODE [field=value]...` with a catalogued code"
+       "Suppress.parse" "cfg:1: unknown diagnostic code \"MHLA999\"")
+    (fun () -> ignore (Suppress.parse ~origin:"cfg" "MHLA999"));
+  Alcotest.check_raises "malformed constraint"
+    (invalid
+       ~hint:"constraints look like stmt=S0 or layer=0"
+       "Suppress.parse" "cfg:1: malformed constraint \"array\" (no `=`)")
+    (fun () -> ignore (Suppress.parse ~origin:"cfg" "MHLA001 array"))
+
+(* --- explain ------------------------------------------------------------ *)
+
+let test_explain_covers_catalogue () =
+  (* Every catalogued code must have an owning pass and a real
+     derivation story — the --explain surface has no holes. *)
+  List.iter
+    (fun (c, severity, _) ->
+      match Explain.find c with
+      | None -> Alcotest.fail (c ^ " has no explanation")
+      | Some e ->
+        Alcotest.(check string) (c ^ ": code echoed") c e.Explain.code;
+        Alcotest.(check bool) (c ^ ": severity matches") true
+          (e.Explain.severity = severity);
+        Alcotest.(check bool) (c ^ ": owned by a pass") true
+          (e.Explain.pass <> "unregistered");
+        Alcotest.(check bool) (c ^ ": has a derivation story") true
+          (e.Explain.detail <> "(no extended explanation recorded)");
+        let text = Fmt.str "%a" Explain.pp e in
+        Alcotest.(check bool) (c ^ ": rendering mentions the code") true
+          (contains ~needle:c text))
+    Diagnostic.catalogue
+
+let test_explain_rejects_unknown_code () =
+  Alcotest.check_raises "unknown code"
+    (invalid
+       ~hint:"codes are listed by `mhla check --help` and DESIGN.md"
+       "Explain.explain" "unknown diagnostic code \"MHLA999\"")
+    (fun () -> ignore (Explain.explain "MHLA999"))
+
+(* --- sarif -------------------------------------------------------------- *)
+
+let test_sarif_export () =
+  let m, te = solved "motion_estimation" in
+  let r = Verify.run (Pass.of_mapping ~schedule:te m) in
+  let doc = Sarif.of_report ~tool_version:"test" r in
+  let s = Mhla_util.Json.to_string doc in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains ~needle s))
+    [ "2.1.0"; "motion_estimation"; "\"results\""; "\"rules\"" ];
+  (match Mhla_util.Json.parse s with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.fail
+      ("SARIF does not reparse: " ^ Mhla_util.Json.parse_error_to_string e));
+  (* one SARIF result per reported diagnostic *)
+  let count needle hay =
+    let n = String.length needle in
+    let rec go acc i =
+      if i + n > String.length hay then acc
+      else if String.sub hay i n = needle then go (acc + 1) (i + n)
+      else go acc (i + 1)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one result per diagnostic"
+    (List.length r.Verify.diagnostics)
+    (count "\"ruleId\"" s)
+
+(* --- incremental verification ------------------------------------------- *)
+
+let incremental_for config (program : Program.t) hierarchy =
+  Incremental.create
+    (Mapping.direct ~transfer_mode:config.Assign.transfer_mode program
+       hierarchy)
+
+let test_incremental_matches_scratch () =
+  (* The acceptance invariant: after EVERY move of a deterministic walk,
+     and again after rebasing onto the solved mapping with its TE
+     schedule installed, the incremental report equals a from-scratch
+     Verify.run structurally. *)
+  List.iter
+    (fun name ->
+      let app = Apps.find_exn name in
+      let program = Lazy.force app.Defs.program in
+      let hierarchy = Presets.two_level ~onchip_bytes:app.Defs.onchip_bytes () in
+      let config = Assign.default_config in
+      let inc = incremental_for config program hierarchy in
+      let scratch () =
+        Verify.run
+          (Pass.of_mapping
+             ?schedule:(Incremental.schedule inc)
+             (Incremental.mapping inc))
+      in
+      let agree label =
+        Alcotest.(check bool)
+          (Fmt.str "%s: incremental = full %s" name label)
+          true
+          (Incremental.report inc = scratch ())
+      in
+      agree "at the direct start";
+      for step = 1 to 8 do
+        (match Assign.moves config (Incremental.mapping inc) with
+        | [] -> ()
+        | candidates ->
+          Incremental.apply inc
+            (List.nth candidates (step * 7 mod List.length candidates)));
+        agree (Fmt.str "after move %d" step)
+      done;
+      let r =
+        Explore.run program hierarchy
+      in
+      Incremental.rebase inc r.Explore.assign.Assign.mapping;
+      agree "after rebase onto the solve";
+      Incremental.set_schedule inc (Some r.Explore.te);
+      agree "with the TE schedule installed";
+      let stats = Incremental.stats inc in
+      Alcotest.(check bool) (name ^ ": counted its moves") true
+        (stats.Incremental.moves_applied >= 8);
+      Alcotest.(check int) (name ^ ": one schedule update") 1
+        stats.Incremental.schedule_updates)
+    Apps.names
+
+let test_incremental_rejects_foreign_rebase () =
+  let config = Assign.default_config in
+  let h = Presets.two_level ~onchip_bytes:4096 () in
+  let inc = incremental_for config (app_program "motion_estimation") h in
+  let foreign =
+    Mapping.direct ~transfer_mode:config.Assign.transfer_mode
+      (app_program "qsdpcm") h
+  in
+  Alcotest.check_raises "foreign program rejected"
+    (invalid
+       ~hint:
+         "create the verifier from Mapping.direct with the solve's own \
+          transfer mode and hierarchy (see Live.of_config)"
+       "Incremental.rebase"
+       "target mapping solves a different problem (program differs; program \
+        qsdpcm vs motion_estimation)")
+    (fun () -> Incremental.rebase inc foreign)
+
+(* --- normalisation ------------------------------------------------------ *)
+
+let test_normalize_dedups_and_orders () =
+  let lint =
+    Diagnostic.make ~code:"MHLA301" ~severity:Diagnostic.Warning ~pass:"lints"
+      ~loc:(Diagnostic.location ~array:"a" ())
+      "dead array"
+  in
+  let oob =
+    Diagnostic.make ~code:"MHLA001" ~severity:Diagnostic.Error ~pass:"bounds"
+      ~loc:(Diagnostic.location ~array:"a" ~dim:0 ())
+      "out of bounds"
+  in
+  let n = Verify.normalize [ lint; oob; lint; oob; lint ] in
+  Alcotest.(check int) "exact duplicates collapse" 2 (List.length n);
+  Alcotest.(check (list string))
+    "stable order, independent of input order"
+    (List.map code_of n)
+    (List.map code_of (Verify.normalize [ oob; lint ]));
+  Alcotest.(check (list string))
+    "reversal changes nothing"
+    (List.map code_of (Verify.normalize [ lint; oob ]))
+    (List.map code_of (Verify.normalize [ oob; lint ]))
 
 let () =
   Alcotest.run "analysis"
@@ -434,5 +832,60 @@ let () =
           Alcotest.test_case "verifier accepts solver" `Slow
             test_verifier_accepts_solver;
           Alcotest.test_case "crosscheck hook" `Quick test_crosscheck_hook;
+        ] );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "timeline matches enumeration" `Quick
+            test_fixpoint_timeline_matches_enumeration;
+          Alcotest.test_case "eval matches enumeration" `Quick
+            test_fixpoint_eval_matches_enumeration;
+          Alcotest.test_case "converges finitely" `Quick
+            test_fixpoint_converges_finitely;
+        ] );
+      ( "interference",
+        [
+          Alcotest.test_case "accepts solver" `Slow
+            test_interference_accepts_solver;
+          Alcotest.test_case "priority hole" `Quick
+            test_interference_detects_priority_hole;
+          Alcotest.test_case "misgranted loop" `Slow
+            test_interference_detects_misgrant;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "flags ties" `Quick test_determinism_flags_ties;
+          Alcotest.test_case "flags recurrence" `Quick
+            test_determinism_flags_recurrence;
+          Alcotest.test_case "silent on disjoint regions" `Quick
+            test_determinism_silent_on_disjoint_regions;
+        ] );
+      ( "suppress",
+        [
+          Alcotest.test_case "parse and apply" `Quick
+            test_suppress_parse_and_apply;
+          Alcotest.test_case "mismatch keeps finding" `Quick
+            test_suppress_mismatch_keeps_finding;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_suppress_rejects_garbage;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "covers catalogue" `Quick
+            test_explain_covers_catalogue;
+          Alcotest.test_case "rejects unknown code" `Quick
+            test_explain_rejects_unknown_code;
+        ] );
+      ("sarif", [ Alcotest.test_case "export" `Quick test_sarif_export ]);
+      ( "incremental",
+        [
+          Alcotest.test_case "matches scratch at every move" `Slow
+            test_incremental_matches_scratch;
+          Alcotest.test_case "rejects foreign rebase" `Quick
+            test_incremental_rejects_foreign_rebase;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "dedup and order" `Quick
+            test_normalize_dedups_and_orders;
         ] );
     ]
