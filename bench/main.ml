@@ -4,7 +4,7 @@
 
    Usage: dune exec bench/main.exe [-- [--check BASELINE] SECTION ...]
    Sections: FIG2 FIG3 TAB1 EXT-PARETO EXT-ORDER EXT-INPLACE EXT-GREEDY
-   EXT-XVAL EXT-MODE EXT-CACHE EXT-3LEVEL EXT-MULTITASK EXT-TILE
+   EXT-XVAL EXT-ESIM EXT-MODE EXT-CACHE EXT-3LEVEL EXT-MULTITASK EXT-TILE
    EXT-SEARCH EXT-ENGINE EXT-WB EXT-FAULT EXT-TRACE EXT-CHECK EXT-GEN
    EXT-SERVE EXT-POLICY MICRO (default: all). --check compares the
    run's metrics against a committed baseline JSON (15% tolerance on
@@ -326,6 +326,80 @@ let ext_xval () =
             (List.length report.Mhla_sim.Crosscheck.checks
             - List.length report.Mhla_sim.Crosscheck.disagreements);
           Table.cell_int (List.fold_left max 0 deviations) ])
+    (Lazy.force default_results);
+  Table.print table
+
+let ext_esim () =
+  section "EXT-ESIM"
+    "Discrete-event cycle-level DMA/bus simulation of every TE stream\n\
+     vs the analytic model: per app, the gain divergence (must stay\n\
+     within the documented tolerance) and the simulator's event\n\
+     throughput. doc/TREND.md renders these metrics across revisions.";
+  let table =
+    Table.create
+      ~columns:
+        [ ("application", Table.Left);
+          ("streams", Table.Right);
+          ("agree", Table.Right);
+          ("max gain dev", Table.Right);
+          ("events", Table.Right);
+          ("cycles", Table.Right);
+          ("Mcycles/s", Table.Right) ]
+  in
+  List.iter
+    (fun (name, (r : Explore.result)) ->
+      let t0 = Unix.gettimeofday () in
+      let report =
+        Mhla_sim.Crosscheck.check_event r.Explore.assign.Assign.mapping
+          r.Explore.te
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let checks = report.Mhla_sim.Crosscheck.event_checks in
+      let deviation (c : Mhla_sim.Crosscheck.event_check) =
+        abs
+          (c.Mhla_sim.Crosscheck.event_gain_cycles
+          - c.Mhla_sim.Crosscheck.analytic_gain_cycles)
+      in
+      let max_dev = List.fold_left (fun m c -> max m (deviation c)) 0 checks in
+      let events =
+        List.fold_left
+          (fun acc (c : Mhla_sim.Crosscheck.event_check) ->
+            acc
+            + c.Mhla_sim.Crosscheck.extended_outcome.Mhla_sim.Event
+                .events_processed
+            + c.Mhla_sim.Crosscheck.baseline_outcome.Mhla_sim.Event
+                .events_processed)
+          0 checks
+      in
+      let cycles =
+        List.fold_left
+          (fun acc (c : Mhla_sim.Crosscheck.event_check) ->
+            acc
+            + c.Mhla_sim.Crosscheck.extended_outcome.Mhla_sim.Event
+                .total_cycles
+            + c.Mhla_sim.Crosscheck.baseline_outcome.Mhla_sim.Event
+                .total_cycles)
+          0 checks
+      in
+      let agree =
+        List.length checks
+        - List.length report.Mhla_sim.Crosscheck.event_divergences
+      in
+      let key k = Printf.sprintf "esim.%s.%s" name k in
+      metric (key "streams") (Mhla_util.Json.int (List.length checks));
+      metric (key "agree") (Mhla_util.Json.int agree);
+      metric (key "max_gain_dev") (Mhla_util.Json.int max_dev);
+      metric (key "cycles") (Mhla_util.Json.int cycles);
+      metric (key "wall_s") (Mhla_util.Json.float wall);
+      Table.add_row table
+        [ name;
+          Table.cell_int (List.length checks);
+          Table.cell_int agree;
+          Table.cell_int max_dev;
+          Table.cell_int events;
+          Table.cell_int cycles;
+          Table.cell_float ~decimals:1
+            (float_of_int cycles /. wall /. 1e6) ])
     (Lazy.force default_results);
   Table.print table
 
@@ -1414,6 +1488,7 @@ let sections =
     ("EXT-INPLACE", ext_inplace);
     ("EXT-GREEDY", ext_greedy);
     ("EXT-XVAL", ext_xval);
+    ("EXT-ESIM", ext_esim);
     ("EXT-MODE", ext_mode);
     ("EXT-CACHE", ext_cache);
     ("EXT-3LEVEL", ext_three_level);

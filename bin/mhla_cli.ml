@@ -11,6 +11,8 @@
      pareto APP [--level ...]  budget-vector frontier over per-layer sizes
      figures                   regenerate the paper's Figures 2 and 3
      robustness APP [--seed]   fault-injected TE stall inflation (EXT-FAULT)
+     simulate APP [--channels] event-driven DMA/bus sim vs analytic gain
+                               (EXT-ESIM; --queue-depth/--shared-bus/...)
      check APP [--Werror] ...  static verification of the solver output
      fuzz [--seed] [--count]   differential fuzzing over generated programs
      fit [--seed] [--count]    fit the CC-pruning predictor on a corpus
@@ -743,6 +745,114 @@ let robustness_cmd =
       const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
       $ seed_arg $ trials_arg $ jitter_arg $ failure_arg $ retries_arg
       $ patience_arg $ json_arg $ verbosity_term $ trace_arg)
+
+(* --- simulate ---------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run name onchip dma objective mode channels queue_depth arbitration
+      shared_bus invalidate json verbosity trace =
+    guarded @@ fun () ->
+    let app = find_app name in
+    validate_onchip onchip;
+    (match channels with
+    | Some c when c < 1 ->
+      Error.invalidf ~context:"mhla"
+        ~hint:"pass a positive channel count to --channels"
+        "channel count must be >= 1 (got %d)" c
+    | _ -> ());
+    (match queue_depth with
+    | Some d when d < 1 ->
+      Error.invalidf ~context:"mhla"
+        ~hint:"pass a positive slot count to --queue-depth"
+        "queue depth must be >= 1 (got %d)" d
+    | _ -> ());
+    let program = Lazy.force app.Mhla_apps.Defs.program in
+    let hierarchy = hierarchy_of app ~onchip ~dma in
+    let config = config_of objective mode in
+    let report =
+      with_telemetry ~trace ~verbosity @@ fun telemetry ->
+      let result = Explore.run ~config ~telemetry program hierarchy in
+      let sim_config =
+        let base =
+          Mhla_sim.Event.of_hierarchy ?queue_depth ~arbitration
+            ~shared_bus ~invalidate_on_miss:invalidate hierarchy
+        in
+        match channels with
+        | None -> base
+        | Some channels -> { base with Mhla_sim.Event.channels }
+      in
+      Mhla_sim.Crosscheck.check_event ~telemetry ~config:sim_config
+        result.Explore.assign.Assign.mapping result.Explore.te
+    in
+    if json then
+      print_endline
+        (Mhla_util.Json.to_string ~indent:2
+           (Mhla_sim.Crosscheck.event_report_to_json report))
+    else if report.Mhla_sim.Crosscheck.event_checks = [] then begin
+      if verbosity <> Quiet then
+        print_endline
+          "no prefetch streams to simulate (TE planned no block transfers)"
+    end
+    else if verbosity <> Quiet then begin
+      List.iter
+        (Fmt.pr "%a@." Mhla_sim.Crosscheck.pp_event_check)
+        report.Mhla_sim.Crosscheck.event_checks;
+      match report.Mhla_sim.Crosscheck.event_divergences with
+      | [] ->
+        Fmt.pr "agreement: analytic and event-driven TE gains track on \
+                all %d streams@."
+          (List.length report.Mhla_sim.Crosscheck.event_checks)
+      | ds ->
+        List.iter (Fmt.pr "%a@." Mhla_sim.Crosscheck.pp_event_divergence) ds
+    end
+  in
+  let channels_arg =
+    Arg.(value & opt (some int) None
+         & info [ "channels" ] ~docv:"N"
+             ~doc:"DMA channels to simulate; defaults to the hierarchy's \
+                   DMA preset.")
+  in
+  let queue_depth_arg =
+    Arg.(value & opt (some int) None
+         & info [ "queue-depth" ] ~docv:"SLOTS"
+             ~doc:"Bound the prefetch queue to $(docv) outstanding \
+                   transfers; issues beyond it are deferred. Default: \
+                   unbounded.")
+  in
+  let arbitration_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("earliest-free", Mhla_sim.Event.Earliest_free);
+                  ("round-robin", Mhla_sim.Event.Round_robin) ])
+             Mhla_sim.Event.Earliest_free
+         & info [ "arbitration" ] ~docv:"POLICY"
+             ~doc:"Channel arbitration: earliest-free (the analytic \
+                   model's argmin) or round-robin.")
+  in
+  let shared_bus_arg =
+    Arg.(value & flag
+         & info [ "shared-bus" ]
+             ~doc:"All channels and the CPU demand path contend for one \
+                   single-occupancy bus.")
+  in
+  let invalidate_arg =
+    Arg.(value & flag
+         & info [ "invalidate-on-miss" ]
+             ~doc:"A demand miss flushes queued-but-unstarted prefetches \
+                   (the GBA prefetch-buffer rule).")
+  in
+  let doc =
+    "Replay an application's TE schedule on the discrete-event \
+     cycle-level DMA/bus simulator and cross-validate the analytic TE \
+     gain against the event-driven one (EXT-ESIM). Divergences are \
+     reported as structured diagnostics, not failures."
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ app_arg $ onchip_arg $ dma_arg $ objective_arg $ mode_arg
+      $ channels_arg $ queue_depth_arg $ arbitration_arg $ shared_bus_arg
+      $ invalidate_arg $ json_arg $ verbosity_term $ trace_arg)
 
 (* --- check ------------------------------------------------------------- *)
 
@@ -1576,5 +1686,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; emit_cmd; sweep_cmd; pareto_cmd;
-            figures_cmd; robustness_cmd; check_cmd; fuzz_cmd; fit_cmd;
-            batch_cmd; serve_cmd; soak_cmd ]))
+            figures_cmd; robustness_cmd; simulate_cmd; check_cmd; fuzz_cmd;
+            fit_cmd; batch_cmd; serve_cmd; soak_cmd ]))

@@ -15,8 +15,8 @@ type failure = { check : string; detail : string }
 
 let check_names =
   [
-    "json"; "engine"; "xval"; "verifier-greedy"; "verifier-anneal"; "interp";
-    "faults"; "pareto"; "policy"; "incremental-verify";
+    "json"; "engine"; "xval"; "esim"; "verifier-greedy"; "verifier-anneal";
+    "interp"; "faults"; "pareto"; "policy"; "incremental-verify";
   ]
 
 (* Kept low: the annealing leg runs once per fuzz case, and the CI gate
@@ -73,6 +73,16 @@ let failures ?(mutate = No_mutation) ~onchip_bytes program =
       (fun c ->
         fail "xval" (Fmt.str "%a" Crosscheck.pp_check c))
       report.Crosscheck.disagreements;
+    (* The discrete-event simulator is an independent implementation of
+       the same machine: on every generated program the analytic TE
+       gain must track the event-driven one within the documented
+       tolerance, and the neutral configuration must replay
+       Pipeline.run cycle for cycle. *)
+    (let er = Crosscheck.check_event m te in
+     List.iter
+       (fun d ->
+         fail "esim" (Fmt.str "%a" Crosscheck.pp_event_divergence d))
+       er.Crosscheck.event_divergences);
     if not report.Crosscheck.analysis.Crosscheck.analysis_clean then
       fail "verifier-greedy"
         (Fmt.str "%a"

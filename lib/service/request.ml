@@ -14,6 +14,7 @@ type kind =
   | Solve
   | Pareto of { axes : int list list }
   | Portfolio of { policies : string list }
+  | Simulate of { channels : int option; queue_depth : int option }
 
 type inject = No_inject | Raise
 
@@ -73,13 +74,30 @@ let check_kind ~context ~arch ~transfer_mode ~fault_spec = function
     List.iter
       (fun name -> ignore (Mhla_policy.Registry.find ~context name))
       policies
+  | Simulate { channels; queue_depth } ->
+    if transfer_mode <> Candidate.Delta then
+      Error.invalidf ~context
+        "a simulate request cannot set a transfer mode (the \"mode\" \
+         field carries \"simulate\")";
+    if fault_spec <> None then
+      Error.invalidf ~context
+        "the faults rider drives the robustness trials, not the event \
+         simulator";
+    (match channels with
+    | Some c when c < 1 ->
+      Error.invalidf ~context "channels must be >= 1 (got %d)" c
+    | _ -> ());
+    (match queue_depth with
+    | Some d when d < 1 ->
+      Error.invalidf ~context "queue_depth must be >= 1 (got %d)" d
+    | _ -> ())
 
 let check_policy ~context ~kind ~search = function
   | None -> ()
   | Some name ->
     ignore (Mhla_policy.Registry.find ~context name);
     (match kind with
-    | Solve -> ()
+    | Solve | Simulate _ -> ()
     | Pareto _ | Portfolio _ ->
       Error.invalidf ~context
         "the \"policy\" field applies to a single solve");
@@ -191,6 +209,15 @@ let to_json t =
              identity whatever the default evolves into. *)
           [ ("mode", Json.str "portfolio");
             ("policies", Json.arr (List.map Json.str policies)) ]
+        | Simulate { channels; queue_depth } ->
+          ("mode", Json.str "simulate")
+          :: ((match channels with
+              | None -> []
+              | Some c -> [ ("channels", Json.int c) ])
+             @
+             match queue_depth with
+             | None -> []
+             | Some d -> [ ("queue_depth", Json.int d) ])
         | Solve ->
           if t.transfer_mode = Candidate.Delta then []
           else [ ("mode", Json.str (mode_name t.transfer_mode)) ])
@@ -243,7 +270,8 @@ let field ~path fields name =
 
 let allowed_top =
   [ "id"; "program"; "arch"; "objective"; "mode"; "grid"; "search";
-    "policy"; "policies"; "deadline_ms"; "faults"; "inject" ]
+    "policy"; "policies"; "channels"; "queue_depth"; "deadline_ms";
+    "faults"; "inject" ]
 
 let as_arr ~path = function
   | Json.Arr xs -> xs
@@ -397,20 +425,39 @@ let of_json j =
           List.map (as_str ~path) (as_arr ~path j)
       in
       (Portfolio { policies }, Candidate.Delta)
+    | Some "simulate" ->
+      let opt_int name =
+        Option.map
+          (as_int ~path:("$." ^ name))
+          (List.assoc_opt name fields)
+      in
+      ( Simulate
+          { channels = opt_int "channels";
+            queue_depth = opt_int "queue_depth" },
+        Candidate.Delta )
     | Some s ->
-      fail ~path:"$.mode" "bad mode %S (full | delta | pareto | portfolio)"
-        s
+      fail ~path:"$.mode"
+        "bad mode %S (full | delta | pareto | portfolio | simulate)" s
   in
   (match kind with
   | Pareto _ -> ()
-  | Solve | Portfolio _ ->
+  | Solve | Portfolio _ | Simulate _ ->
     if List.mem_assoc "grid" fields then
       fail ~path:"$.grid" "only valid when \"mode\" is \"pareto\"");
   (match kind with
   | Portfolio _ -> ()
-  | Solve | Pareto _ ->
+  | Solve | Pareto _ | Simulate _ ->
     if List.mem_assoc "policies" fields then
       fail ~path:"$.policies" "only valid when \"mode\" is \"portfolio\"");
+  (match kind with
+  | Simulate _ -> ()
+  | Solve | Pareto _ | Portfolio _ ->
+    List.iter
+      (fun name ->
+        if List.mem_assoc name fields then
+          fail ~path:("$." ^ name)
+            "only valid when \"mode\" is \"simulate\"")
+      [ "channels"; "queue_depth" ]);
   (if List.mem_assoc "policy" fields && List.mem_assoc "search" fields then
      fail ~path:"$.policy"
        "conflicts with \"search\" (the policy already fixes the step-1 \

@@ -70,12 +70,18 @@ type arch =
 
 (** What the request asks for: one solve, a whole budget-vector
     frontier ([axes] is one ascending size axis per on-chip level, fed
-    to {!Mhla_core.Explore.pareto}), or a policy race ([policies] are
-    registry names, fed to {!Mhla_policy.Portfolio.race}). *)
+    to {!Mhla_core.Explore.pareto}), a policy race ([policies] are
+    registry names, fed to {!Mhla_policy.Portfolio.race}), or a solve
+    followed by the discrete-event DMA/bus cross-validation
+    ({!Mhla_sim.Crosscheck.check_event}; [channels]/[queue_depth]
+    override the hierarchy-derived simulator config — wire fields
+    ["channels"]/["queue_depth"], valid only with
+    ["mode": "simulate"]). *)
 type kind =
   | Solve
   | Pareto of { axes : int list list }
   | Portfolio of { policies : string list }
+  | Simulate of { channels : int option; queue_depth : int option }
 
 (** Chaos hooks, deliberately undocumented on the wire: [Raise] makes
     the worker raise a bare exception mid-request — the poisoned
@@ -122,8 +128,10 @@ val make :
     kind carries a non-default transfer mode or a fault rider, or its
     axis count differs from the arch's on-chip level count; when a
     [Portfolio] kind is empty, names an unknown policy, or carries a
-    transfer mode or fault rider; or when [policy] is unknown, set on
-    a non-[Solve] kind, or combined with a non-default [search]. *)
+    transfer mode or fault rider; when a [Simulate] kind carries a
+    transfer mode, a fault rider, or a non-positive channel count or
+    queue depth; or when [policy] is unknown, set on a [Pareto] or
+    [Portfolio] kind, or combined with a non-default [search]. *)
 
 val hierarchy : t -> Mhla_arch.Hierarchy.t
 (** The {!Mhla_arch.Presets} platform the request names.

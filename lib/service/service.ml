@@ -205,6 +205,29 @@ let run_request t tele job (req : Request.t) =
       in
       Response.ok ~id ~seq ~elapsed_ns:(elapsed ())
         (Mhla_policy.Portfolio.to_json ~id outcome)
+    | Request.Simulate { channels; queue_depth } ->
+      (* Solve first (honouring policy/search like a plain solve), then
+         replay the TE schedule on the event simulator and attach the
+         cross-validation report — divergences ride along as data, they
+         never fail the response. *)
+      let result = solve ~telemetry:tele ~reuse ?checkpoint req in
+      let config =
+        let base =
+          Mhla_sim.Event.of_hierarchy ?queue_depth (Request.hierarchy req)
+        in
+        match channels with
+        | None -> base
+        | Some channels -> { base with Mhla_sim.Event.channels }
+      in
+      let report =
+        Mhla_sim.Crosscheck.check_event ~telemetry:tele ~config
+          result.Explore.assign.Assign.mapping result.Explore.te
+      in
+      Response.ok ~id ~seq ~elapsed_ns:(elapsed ())
+        (Json.obj
+           [ ("result", ok_payload req result);
+             ("simulate",
+              Mhla_sim.Crosscheck.event_report_to_json report) ])
     | Request.Solve -> (
       (* With live verification on, an incremental verifier follows the
          search move by move and the response's own solution is checked

@@ -109,3 +109,92 @@ val crosscheck :
     mapping/schedule pair. *)
 
 val pp_check : bt_check Fmt.t
+
+(** {2 Analytic vs discrete-event cross-validation (EXT-ESIM)}
+
+    {!check_event} drives the {!Event} simulator with the same
+    block-transfer streams the TE step planned and compares the time
+    extensions' {e gain} — stall cycles removed relative to a
+    lookahead-0 run — between the analytic model and the event
+    simulation. Divergences are data, never asserts: the report
+    carries them as structured records for the CLI, the service and
+    the fuzz oracle to render or gate on. *)
+
+type event_divergence = {
+  divergence_id : string;  (** block-transfer id *)
+  divergence_kind : [ `Gain_out_of_tolerance | `Neutral_drift ];
+  divergence_analytic : int;
+  divergence_event : int;
+  divergence_tolerance : int;
+  divergence_detail : string;  (** human-readable one-liner *)
+}
+
+type event_check = {
+  event_check_id : string;
+  stream : Event.stream;  (** the plan, as a simulator stream *)
+  event_config : Event.config;
+      (** per-region waitstates installed from the plan's own
+          source/destination layers *)
+  analytic_gain_cycles : int;
+      (** [analytic_stall (lookahead=0) - analytic_stall (lookahead=k)]
+          on the flattened single-stream shape *)
+  schedule_gain_cycles : int;
+      (** [issues * hidden_cycles] — the schedule's own claim, which
+          may differ from [analytic_gain_cycles] when the extension
+          spans loops of unequal iteration cost *)
+  event_gain_cycles : int;  (** {!Event.te_gain} under the config *)
+  gain_tolerance_cycles : int;
+      (** [(lookahead + 2) * (transfer + setup)]: the sum of the two
+          legs' cold-start bounds — see doc/MODEL.md for the argument *)
+  extended_outcome : Event.outcome;
+  baseline_outcome : Event.outcome;  (** the lookahead-0 leg *)
+  neutral_consistent : bool;
+      (** {!Event.run} under {!Event.neutral} was cycle-identical to
+          {!Pipeline.run} on both legs *)
+}
+
+val event_within_tolerance : event_check -> bool
+(** [|event_gain - analytic_gain| <= gain_tolerance_cycles]. *)
+
+val event_agrees : event_check -> bool
+(** {!event_within_tolerance} and [neutral_consistent]. *)
+
+val waitstates_of_bt :
+  Mhla_core.Mapping.t -> Mhla_core.Mapping.block_transfer -> Event.waitstates
+(** The per-region waitstate table of one block transfer: first-access
+    penalty = source-layer latency, one cycle per beat of the
+    narrowest on-path bandwidth — the decomposition of
+    [Cost.bt_cycles_per_issue], so the event latency equals [bt_time]. *)
+
+val stream_of_plan :
+  Mhla_core.Mapping.t -> Mhla_core.Prefetch.plan -> Event.stream
+(** The simulator stream of one TE plan, derived exactly as the
+    analytic pipeline check derives its {!Pipeline.params}. *)
+
+type event_report = {
+  event_checks : event_check list;
+  event_divergences : event_divergence list;  (** empty = agreement *)
+}
+
+val check_event :
+  ?telemetry:Mhla_obs.Telemetry.t ->
+  ?config:Event.config ->
+  Mhla_core.Mapping.t ->
+  Mhla_core.Prefetch.schedule ->
+  event_report
+(** One check per TE plan with at least one issue and a non-empty
+    payload. [config] (default {!Event.of_hierarchy} of the mapping's
+    hierarchy) sets channels, queue depth, arbitration, bus sharing
+    and invalidation; its waitstate table is replaced per plan by
+    {!waitstates_of_bt}. *)
+
+val event_check_to_json : event_check -> Mhla_util.Json.t
+val event_divergence_to_json : event_divergence -> Mhla_util.Json.t
+
+val event_report_to_json : event_report -> Mhla_util.Json.t
+(** [{"checks": [...], "divergences": [...], "agreement": bool}] — the
+    payload [mhla simulate --json] and the service's simulate mode
+    emit. *)
+
+val pp_event_check : event_check Fmt.t
+val pp_event_divergence : event_divergence Fmt.t

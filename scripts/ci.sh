@@ -203,6 +203,67 @@ else
   echo "   (python3 not installed: skipping frontier JSON validation)"
 fi
 
+echo "== simulate gate =="
+# The discrete-event simulator must cross-validate the analytic TE
+# gain on real applications: exit 0, agreement reported, and every
+# stream's divergence inside its own documented tolerance.
+for app in motion_estimation wavelet_2d; do
+  dune exec -- bin/mhla_cli.exe simulate "$app" >/dev/null || {
+    echo "mhla simulate $app failed" >&2
+    exit 1
+  }
+done
+if command -v python3 >/dev/null 2>&1; then
+  sim_json=/tmp/mhla_ci_simulate.json
+  dune exec -- bin/mhla_cli.exe simulate motion_estimation --json \
+    >"$sim_json"
+  python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+if not d["checks"]:
+    sys.exit("simulate --json reported no streams")
+if not d["agreement"]:
+    sys.exit("analytic and event-driven TE gains diverged: "
+             + json.dumps(d["divergences"]))
+for c in d["checks"]:
+    dev = abs(c["event_gain_cycles"] - c["analytic_gain_cycles"])
+    if dev > c["gain_tolerance_cycles"]:
+        sys.exit("%s: divergence %d exceeds tolerance %d"
+                 % (c["id"], dev, c["gain_tolerance_cycles"]))
+    if not c["neutral_consistent"]:
+        sys.exit("neutral event sim drifted from Pipeline.run")
+' "$sim_json" || exit 1
+  rm -f "$sim_json"
+else
+  echo "   (python3 not installed: skipping divergence validation)"
+fi
+
+echo "== trend page gate =="
+# doc/TREND.md is generated from bench/history/ by scripts/trend.py;
+# the rendering is deterministic, so re-rendering must reproduce the
+# committed page byte for byte (stale or hand-edited pages fail).
+if command -v python3 >/dev/null 2>&1; then
+  trend_md=/tmp/mhla_ci_trend.md
+  trend_html=/tmp/mhla_ci_trend.html
+  python3 scripts/trend.py --out "$trend_md" --html "$trend_html" \
+    >/dev/null
+  cmp -s "$trend_md" doc/TREND.md || {
+    echo "doc/TREND.md is stale — run 'python3 scripts/trend.py'" >&2
+    exit 1
+  }
+  grep -q "esim" "$trend_md" || {
+    echo "trend page carries no EXT-ESIM metrics" >&2
+    exit 1
+  }
+  grep -q "<table>" "$trend_html" || {
+    echo "trend HTML page carries no tables" >&2
+    exit 1
+  }
+  rm -f "$trend_md" "$trend_html"
+else
+  echo "   (python3 not installed: skipping trend page validation)"
+fi
+
 echo "== fuzz gate =="
 # 200 seeded random programs through the full differential battery
 # (engine, pipeline cross-validation, verifier on both search engines,

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Render the committed bench history into a perf-trend page.
+
+The bench harness writes one ``BENCH_<rev>.json`` per run (a flat
+object of stable metric keys).  Snapshots worth keeping are committed
+under ``bench/history/`` with a zero-padded sequence prefix::
+
+    bench/history/BENCH_0001-45bf2b7.json
+    bench/history/BENCH_0002-9c01d22.json
+
+so lexicographic filename order is chronological order.  This script
+folds every snapshot into one Markdown page (and, optionally, a
+standalone HTML page) with one table per metric group: rows are metric
+keys, columns are revisions, and each numeric row gets a Unicode
+sparkline plus the relative change from the first to the last
+revision.
+
+Only the Python standard library is used; the output depends only on
+the history files, so CI can re-render the page and diff it against
+the committed one.
+
+Usage:
+    python3 scripts/trend.py [--history bench/history]
+                             [--out doc/TREND.md] [--html FILE]
+"""
+
+import argparse
+import html
+import json
+import os
+import re
+import sys
+
+SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+# Keys matching any of these patterns are wall-clock or
+# machine-dependent; they are rendered but flagged so nobody reads a
+# hardware upgrade as an algorithmic win.
+NOISY_PATTERNS = (
+    re.compile(r"\.wall_s$"),
+    re.compile(r"_per_s$"),
+    re.compile(r"\.speedup$"),
+    re.compile(r"median_speedup$"),
+)
+
+
+def is_noisy(key):
+    return any(p.search(key) for p in NOISY_PATTERNS)
+
+
+def load_history(history_dir):
+    """Return [(label, metrics_dict)] in filename (= chronological) order."""
+    try:
+        names = sorted(os.listdir(history_dir))
+    except FileNotFoundError:
+        sys.exit(f"trend: history directory {history_dir!r} does not exist")
+    snapshots = []
+    for name in names:
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(history_dir, name)
+        with open(path) as f:
+            try:
+                metrics = json.load(f)
+            except json.JSONDecodeError as e:
+                sys.exit(f"trend: {path} is not valid JSON: {e}")
+        if not isinstance(metrics, dict):
+            sys.exit(f"trend: {path} must contain a JSON object")
+        label = name[len("BENCH_"):-len(".json")]
+        # Strip the ordering prefix for display: 0002-9c01d22 -> 9c01d22.
+        label = re.sub(r"^\d+-", "", label)
+        snapshots.append((label, metrics))
+    if not snapshots:
+        sys.exit(f"trend: no BENCH_*.json snapshots in {history_dir!r}")
+    return snapshots
+
+
+def group_of(key):
+    return key.split(".", 1)[0] if "." in key else "(top level)"
+
+
+def fmt_value(v):
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    if isinstance(v, (int, str)):
+        return str(v)
+    return json.dumps(v)
+
+
+def numeric_series(series):
+    """The numeric values of a per-revision series (None for gaps)."""
+    out = []
+    for v in series:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            out.append(None)
+        else:
+            out.append(float(v))
+    return out
+
+
+def sparkline(values):
+    present = [v for v in values if v is not None]
+    if len(present) < 2:
+        return ""
+    lo, hi = min(present), max(present)
+    if hi == lo:
+        return SPARK_TICKS[0] * len(present)
+    return "".join(
+        SPARK_TICKS[int((v - lo) / (hi - lo) * (len(SPARK_TICKS) - 1))]
+        for v in values
+        if v is not None
+    )
+
+
+def delta(values):
+    present = [v for v in values if v is not None]
+    if len(present) < 2:
+        return ""
+    first, last = present[0], present[-1]
+    if first == 0:
+        return "" if last == 0 else "new"
+    change = (last - first) / abs(first) * 100.0
+    if abs(change) < 0.005:
+        return "0%"
+    return f"{change:+.1f}%"
+
+
+def collect(snapshots):
+    """-> (labels, {group: [(key, series)]}) with stable ordering."""
+    labels = [label for label, _ in snapshots]
+    keys = []
+    seen = set()
+    for _, metrics in snapshots:
+        for key in metrics:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    groups = {}
+    for key in keys:
+        series = [metrics.get(key) for _, metrics in snapshots]
+        groups.setdefault(group_of(key), []).append((key, series))
+    return labels, groups
+
+
+def render_markdown(labels, groups):
+    lines = [
+        "# Performance trend",
+        "",
+        "Every committed bench snapshot under `bench/history/`, one",
+        "column per revision (oldest first). Regenerate after adding a",
+        "snapshot:",
+        "",
+        "```sh",
+        "MHLA_BENCH_REV=$(git rev-parse --short HEAD) \\",
+        "  dune exec bench/main.exe -- EXT-ESIM  # or any section list",
+        "mv \"BENCH_$(git rev-parse --short HEAD).json\" \\",
+        "  bench/history/BENCH_NNNN-$(git rev-parse --short HEAD).json",
+        "python3 scripts/trend.py",
+        "```",
+        "",
+        "Keys marked `~` are wall-clock or throughput measurements: they",
+        "move with the machine the bench ran on, not only with the code.",
+        "The trend column is first-to-last relative change; the sparkline",
+        "spans the full history.",
+        "",
+        "This page is generated by `scripts/trend.py`; do not edit by",
+        "hand (CI re-renders it and diffs against this file).",
+    ]
+    for group in sorted(groups):
+        lines.append("")
+        lines.append(f"## {group}")
+        lines.append("")
+        header = ["metric"] + labels + ["trend", ""]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for key, series in groups[group]:
+            nums = numeric_series(series)
+            cells = [f"`{key}`" + (" ~" if is_noisy(key) else "")]
+            cells += ["" if v is None else fmt_value(v) for v in series]
+            cells.append(delta(nums))
+            cells.append(sparkline(nums))
+            lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_html(labels, groups):
+    head = (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        "<title>Performance trend</title>\n<style>\n"
+        "body { font: 14px/1.5 system-ui, sans-serif; margin: 2em; }\n"
+        "table { border-collapse: collapse; margin-bottom: 2em; }\n"
+        "th, td { border: 1px solid #ccc; padding: 0.25em 0.6em; "
+        "text-align: right; }\n"
+        "th:first-child, td:first-child { text-align: left; }\n"
+        "td.spark { font-family: monospace; color: #369; }\n"
+        ".noisy { color: #969; }\n"
+        "</style></head><body>\n<h1>Performance trend</h1>\n"
+        "<p>One column per committed bench snapshot (oldest first). "
+        "Keys marked ~ are wall-clock/throughput measurements.</p>\n"
+    )
+    parts = [head]
+    for group in sorted(groups):
+        parts.append(f"<h2>{html.escape(group)}</h2>\n<table>\n<tr>")
+        parts.append("<th>metric</th>")
+        for label in labels:
+            parts.append(f"<th>{html.escape(label)}</th>")
+        parts.append("<th>trend</th><th></th></tr>\n")
+        for key, series in groups[group]:
+            nums = numeric_series(series)
+            cls = " class='noisy'" if is_noisy(key) else ""
+            parts.append(f"<tr><td{cls}><code>{html.escape(key)}</code>"
+                         f"{' ~' if is_noisy(key) else ''}</td>")
+            for v in series:
+                parts.append(
+                    "<td></td>" if v is None
+                    else f"<td>{html.escape(fmt_value(v))}</td>")
+            parts.append(f"<td>{html.escape(delta(nums))}</td>")
+            parts.append(f"<td class='spark'>{sparkline(nums)}</td></tr>\n")
+        parts.append("</table>\n")
+    parts.append("</body></html>\n")
+    return "".join(parts)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--history", default="bench/history",
+                    help="directory of BENCH_*.json snapshots")
+    ap.add_argument("--out", default="doc/TREND.md",
+                    help="Markdown output path ('-' for stdout)")
+    ap.add_argument("--html", default=None,
+                    help="also write a standalone HTML page here")
+    args = ap.parse_args()
+
+    snapshots = load_history(args.history)
+    labels, groups = collect(snapshots)
+    md = render_markdown(labels, groups)
+    if args.out == "-":
+        sys.stdout.write(md + "\n")
+    else:
+        with open(args.out, "w") as f:
+            f.write(md + "\n")
+        print(f"trend: wrote {args.out} "
+              f"({len(labels)} revision(s), "
+              f"{sum(len(v) for v in groups.values())} metric(s))")
+    if args.html:
+        with open(args.html, "w") as f:
+            f.write(render_html(labels, groups))
+        print(f"trend: wrote {args.html}")
+
+
+if __name__ == "__main__":
+    main()

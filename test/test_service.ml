@@ -176,6 +176,85 @@ let test_request_pareto_decode_errors () =
         (Json.parse_exn
            "{\"id\": \"x\", \"program\": {}, \"arch\": {\"level_bytes\": []}}"))
 
+let test_request_simulate_roundtrip () =
+  let case = Gen.case ~profile:Gen.Mixed ~seed:29L () in
+  let make kind =
+    Request.make ~id:"sim"
+      ~kind
+      ~arch:(Request.Two_level { onchip_bytes = 1024; dma = true })
+      case.Gen.program
+  in
+  List.iter
+    (fun kind ->
+      let req = make kind in
+      let back = Request.of_json (Json.parse_exn (line req)) in
+      Alcotest.(check bool) "simulate round trip" true
+        (Request.equal req back))
+    [
+      Request.Simulate { channels = None; queue_depth = None };
+      Request.Simulate { channels = Some 4; queue_depth = None };
+      Request.Simulate { channels = None; queue_depth = Some 2 };
+      Request.Simulate { channels = Some 1; queue_depth = Some 8 };
+    ]
+
+let test_request_simulate_decode_errors () =
+  let patch fields =
+    match Json.parse_exn (line (sample 0)) with
+    | Json.Obj base -> Json.obj (base @ fields)
+    | _ -> assert false
+  in
+  check_invalid "channels without simulate mode" (fun () ->
+      Request.of_json (patch [ ("channels", Json.int 2) ]));
+  check_invalid "queue_depth without simulate mode" (fun () ->
+      Request.of_json (patch [ ("queue_depth", Json.int 2) ]));
+  check_invalid "non-positive channels" (fun () ->
+      Request.of_json
+        (patch [ ("mode", Json.str "simulate"); ("channels", Json.int 0) ]));
+  check_invalid "non-positive queue depth" (fun () ->
+      Request.of_json
+        (patch
+           [ ("mode", Json.str "simulate"); ("queue_depth", Json.int (-1)) ]));
+  check_invalid "grid on a simulate request" (fun () ->
+      Request.of_json
+        (patch
+           [ ("mode", Json.str "simulate");
+             ("grid", Json.arr [ Json.arr [ Json.int 128 ] ]) ]))
+
+let test_service_simulate_end_to_end () =
+  let case = Gen.case ~profile:Gen.Mixed ~seed:31L () in
+  let req =
+    Request.make ~id:"sim-e2e"
+      ~kind:(Request.Simulate { channels = Some 2; queue_depth = None })
+      ~arch:(Request.Two_level { onchip_bytes = 2048; dma = true })
+      case.Gen.program
+  in
+  let service = Service.create () in
+  ignore (Service.submit service (line req));
+  let responses = Service.drain service in
+  Service.shutdown service;
+  match responses with
+  | [ resp ] -> (
+    Alcotest.(check string) "status" "ok"
+      (Response.status_name resp.Response.status);
+    let payload =
+      match resp.Response.result with
+      | Some p -> p
+      | None -> Alcotest.fail "ok response carries no payload"
+    in
+    match payload with
+    | Json.Obj fields -> (
+      Alcotest.(check bool) "payload carries the solve" true
+        (List.mem_assoc "result" fields);
+      match List.assoc_opt "simulate" fields with
+      | Some (Json.Obj sim) ->
+        Alcotest.(check bool) "report has checks" true
+          (List.mem_assoc "checks" sim);
+        Alcotest.(check bool) "report has an agreement verdict" true
+          (List.mem_assoc "agreement" sim)
+      | _ -> Alcotest.fail "payload has no simulate report")
+    | _ -> Alcotest.fail "payload is not an object")
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
 let test_id_salvage () =
   Alcotest.(check (option string))
     "id salvaged" (Some "half-broken")
@@ -381,6 +460,10 @@ let () =
           Alcotest.test_case "decode errors" `Quick test_request_decode_errors;
           Alcotest.test_case "pareto decode errors" `Quick
             test_request_pareto_decode_errors;
+          Alcotest.test_case "simulate round trip" `Quick
+            test_request_simulate_roundtrip;
+          Alcotest.test_case "simulate decode errors" `Quick
+            test_request_simulate_decode_errors;
           Alcotest.test_case "id salvage" `Quick test_id_salvage;
         ] );
       ( "executor",
@@ -389,6 +472,8 @@ let () =
             test_service_ok_bit_identical;
           Alcotest.test_case "pareto end to end" `Quick
             test_service_pareto_end_to_end;
+          Alcotest.test_case "simulate end to end" `Quick
+            test_service_simulate_end_to_end;
           Alcotest.test_case "poison isolated" `Quick
             test_service_isolates_poison;
           Alcotest.test_case "timeout and error codes" `Quick
